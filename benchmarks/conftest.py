@@ -1,0 +1,42 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Each ``test_fig*.py`` / ``test_table1.py`` module regenerates one table or
+figure of the paper with ``pytest benchmarks/ --benchmark-only``. The
+rendered text tables are written to ``benchmarks/out/`` and echoed to the
+terminal; pytest-benchmark reports the wall time of each regeneration.
+
+Environment:
+
+* ``REPRO_BENCH_SUBSET`` — comma-separated benchmark names to restrict a
+  run (e.g. ``REPRO_BENCH_SUBSET=fir_256,mult_10``); default: all ten.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench_suite import benchmark_names
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def selected_benchmarks():
+    subset = os.environ.get("REPRO_BENCH_SUBSET", "").strip()
+    if subset:
+        return [name.strip() for name in subset.split(",") if name.strip()]
+    return benchmark_names()
+
+
+def write_report(filename: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def benchmarks_under_test():
+    return selected_benchmarks()

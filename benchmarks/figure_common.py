@@ -1,0 +1,49 @@
+"""Shared implementation of the per-figure regeneration benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.toolflow.experiments import FigureResult, run_figure
+from repro.toolflow.report import render_figure
+
+from benchmarks.conftest import write_report
+
+
+def regenerate_figure(
+    benchmark, figure: str, names: Sequence[str]
+) -> FigureResult:
+    """Run one figure's sweep under pytest-benchmark (single round)."""
+    result_box = {}
+
+    def run():
+        result_box["figure"] = run_figure(figure, benchmarks=names)
+        return result_box["figure"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    fig = result_box["figure"]
+    write_report(f"figure_{figure}.txt", render_figure(fig))
+    benchmark.extra_info["homogeneous_avg_speedup"] = round(
+        fig.average_speedup("homogeneous"), 3
+    )
+    benchmark.extra_info["heterogeneous_avg_speedup"] = round(
+        fig.average_speedup("heterogeneous"), 3
+    )
+    benchmark.extra_info["theoretical_limit"] = fig.theoretical_limit
+    return fig
+
+
+def assert_common_shape(fig: FigureResult) -> None:
+    """Shape criteria shared by all four figures (DESIGN.md §4)."""
+    for name, by_approach in fig.runs.items():
+        homo = by_approach["homogeneous"]
+        hetero = by_approach["heterogeneous"]
+        # paper result 4: hetero outperforms homo and never slows down
+        assert hetero.speedup >= homo.speedup - 1e-6, name
+        assert hetero.speedup > 1.0, name
+        # nothing beats the theoretical limit
+        assert hetero.speedup <= fig.theoretical_limit + 1e-6, name
+        assert homo.speedup <= fig.theoretical_limit + 1e-6, name
+    assert fig.average_speedup("heterogeneous") > fig.average_speedup(
+        "homogeneous"
+    )

@@ -1,0 +1,59 @@
+"""Ablation: static task-to-core binding vs. dynamic scheduling.
+
+The paper binds tasks to processing units statically, "avoiding
+additional scheduling overhead" (Section IV-I). This ablation quantifies
+what an idealized dynamic (earliest-finish) runtime would add on top of
+the ILP's placements across the benchmark suite: if the ILP balanced
+well, the answer should be "nothing".
+"""
+
+import pytest
+
+from repro.core.flatten import flatten_solution
+from repro.core.mapping import compute_static_mapping
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.platforms import config_a
+from repro.simulator.engine import SimOptions, simulate_graph
+from repro.toolflow.experiments import prepare_benchmark
+
+from benchmarks.conftest import write_report
+
+_KERNELS = ("fir_256", "mult_10", "spectral", "latnrm_32")
+
+
+def test_static_vs_dynamic_mapping(benchmark):
+    platform = config_a("accelerator")
+    box = {}
+
+    def run():
+        rows = {}
+        for name in _KERNELS:
+            _, htg = prepare_benchmark(name)
+            result = HeterogeneousParallelizer(platform).parallelize(htg)
+            graph = flatten_solution(result.best, platform)
+            mapping = compute_static_mapping(graph, platform)
+            static = simulate_graph(
+                graph, platform, SimOptions(fixed_mapping=mapping.assignment)
+            )
+            dynamic = simulate_graph(graph, platform)
+            rows[name] = (static.makespan_us, dynamic.makespan_us)
+        box["rows"] = rows
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = box["rows"]
+    lines = [
+        "Ablation: static binding vs dynamic scheduling (platform A-I)",
+        f"{'benchmark':<12} {'static (us)':>12} {'dynamic (us)':>13} {'overhead':>9}",
+    ]
+    for name, (static_us, dynamic_us) in rows.items():
+        overhead = static_us / dynamic_us - 1.0
+        lines.append(
+            f"{name:<12} {static_us:>12,.1f} {dynamic_us:>13,.1f} {overhead:>8.1%}"
+        )
+    write_report("ablation_mapping.txt", "\n".join(lines))
+
+    for name, (static_us, dynamic_us) in rows.items():
+        # dynamic can't be worse; static must stay within 10% of it
+        assert dynamic_us <= static_us + 1e-6, name
+        assert static_us <= 1.10 * dynamic_us, name

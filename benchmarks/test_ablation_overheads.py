@@ -1,0 +1,69 @@
+"""Ablations: task-creation overhead and bus-contention sensitivity.
+
+The ILP's Eq. 8 balances speedup against the configurable TCO; this
+sweep shows extracted parallelism degrading gracefully as spawning gets
+more expensive, and quantifies the (small) cost of modelling bus
+contention in the simulator.
+"""
+
+import pytest
+
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.platforms import config_a
+from repro.simulator.engine import SimOptions
+from repro.simulator.run import evaluate_solution
+from repro.toolflow.experiments import prepare_benchmark
+
+from benchmarks.conftest import write_report
+
+
+def _speedup_with_tco(htg, tco_us: float) -> float:
+    platform = config_a("accelerator", task_creation_overhead_us=tco_us)
+    result = HeterogeneousParallelizer(platform).parallelize(htg)
+    return evaluate_solution(result).speedup
+
+
+def test_tco_sensitivity(benchmark):
+    _program, htg = prepare_benchmark("fir_256")
+    box = {}
+
+    def sweep():
+        box["results"] = {
+            tco: _speedup_with_tco(htg, tco) for tco in (0.0, 25.0, 250.0, 2500.0)
+        }
+        return box["results"]
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = box["results"]
+    lines = ["Ablation: task-creation-overhead sweep (fir_256, platform A-I)"]
+    for tco, speedup in results.items():
+        lines.append(f"  TCO {tco:7.0f} us  speedup {speedup:5.2f}x")
+    write_report("ablation_tco.txt", "\n".join(lines))
+
+    # monotone degradation, and graceful: never a slowdown
+    values = [results[k] for k in sorted(results)]
+    assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+    assert values[-1] >= 1.0 - 1e-9
+
+
+def test_bus_contention_effect(benchmark):
+    _program, htg = prepare_benchmark("spectral")
+    platform = config_a("accelerator")
+    result = HeterogeneousParallelizer(platform).parallelize(htg)
+    box = {}
+
+    def run_both():
+        box["free"] = evaluate_solution(result, SimOptions(bus_contention=False))
+        box["contended"] = evaluate_solution(result, SimOptions(bus_contention=True))
+        return box
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    free, contended = box["free"], box["contended"]
+    lines = [
+        "Ablation: shared-bus contention (spectral, platform A-I)",
+        f"  infinite bus: speedup {free.speedup:5.2f}x",
+        f"  contended:    speedup {contended.speedup:5.2f}x "
+        f"(bus busy {contended.sim.bus_busy_us:8.1f} us)",
+    ]
+    write_report("ablation_bus.txt", "\n".join(lines))
+    assert contended.speedup <= free.speedup + 1e-9

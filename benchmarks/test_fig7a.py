@@ -1,0 +1,16 @@
+"""Regenerates Figure 7(a): platform (A), accelerator scenario (I).
+
+Paper numbers: homogeneous ~3.3x average (3-4x band for data-parallel
+kernels), heterogeneous ~8.7x average with 11-12x peaks; limit 13.5x.
+"""
+
+from benchmarks.figure_common import assert_common_shape, regenerate_figure
+
+
+def test_figure_7a(benchmark, benchmarks_under_test):
+    fig = regenerate_figure(benchmark, "7a", benchmarks_under_test)
+    assert_common_shape(fig)
+    # scenario-specific shape: substantial headroom exploited
+    assert fig.average_speedup("heterogeneous") >= 1.3 * fig.average_speedup(
+        "homogeneous"
+    )

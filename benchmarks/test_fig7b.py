@@ -1,0 +1,16 @@
+"""Regenerates Figure 7(b): platform (A), slower-cores scenario (II).
+
+Paper numbers: homogeneous < 1x (the uniform partition makes the fast
+main core wait on the 100 MHz core), heterogeneous 1.2-2.5x; limit 2.7x.
+"""
+
+from benchmarks.figure_common import assert_common_shape, regenerate_figure
+
+
+def test_figure_7b(benchmark, benchmarks_under_test):
+    fig = regenerate_figure(benchmark, "7b", benchmarks_under_test)
+    assert_common_shape(fig)
+    # the paper's signature result: the class-blind baseline slows some
+    # data-parallel kernels below 1x on average
+    homo_values = list(fig.speedups("homogeneous").values())
+    assert min(homo_values) < 1.0

@@ -1,0 +1,14 @@
+"""Regenerates Figure 8(a): platform (B) 200/200/500/500, scenario (I).
+
+Paper numbers: homogeneous ~2.9x average, heterogeneous ~4.5x average
+(peaks >6x); limit 7x — lower than (A) because the performance variance
+is smaller.
+"""
+
+from benchmarks.figure_common import assert_common_shape, regenerate_figure
+
+
+def test_figure_8a(benchmark, benchmarks_under_test):
+    fig = regenerate_figure(benchmark, "8a", benchmarks_under_test)
+    assert_common_shape(fig)
+    assert fig.theoretical_limit == 7.0

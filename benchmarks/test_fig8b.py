@@ -1,0 +1,13 @@
+"""Regenerates Figure 8(b): platform (B), slower-cores scenario (II).
+
+Paper numbers: homogeneous up to 1.7x, heterogeneous up to 2.6x;
+limit 2.8x.
+"""
+
+from benchmarks.figure_common import assert_common_shape, regenerate_figure
+
+
+def test_figure_8b(benchmark, benchmarks_under_test):
+    fig = regenerate_figure(benchmark, "8b", benchmarks_under_test)
+    assert_common_shape(fig)
+    assert fig.theoretical_limit == 2.8

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the substrate components (proper pytest-benchmark
+timing: these functions run many rounds)."""
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.bench_suite import get_benchmark
+from repro.core.flatten import flatten_solution
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.ilp import Model, lin_sum
+from repro.platforms import config_a
+from repro.simulator.engine import simulate_graph
+from repro.timing.interp import run_function
+from repro.toolflow.experiments import prepare_benchmark
+
+
+def test_parse_fir(benchmark):
+    source = get_benchmark("fir_256").source
+    benchmark(parse_c_source, source)
+
+
+def test_interpret_fir(benchmark):
+    program = parse_c_source(get_benchmark("fir_256").source)
+    benchmark(run_function, program, "main")
+
+
+def test_ilp_solve_knapsack(benchmark):
+    def build_and_solve():
+        m = Model("bench")
+        xs = [m.add_binary(f"x{i}") for i in range(24)]
+        m.add_constraint(lin_sum((i % 7 + 1) * x for i, x in enumerate(xs)) <= 40)
+        m.maximize(lin_sum((i % 5 + 1) * x for i, x in enumerate(xs)))
+        return m.solve()
+
+    result = benchmark(build_and_solve)
+    assert result.objective > 0
+
+
+def test_simulator_throughput(benchmark):
+    platform = config_a("accelerator")
+    _program, htg = prepare_benchmark("fir_256")
+    result = HeterogeneousParallelizer(platform).parallelize(htg)
+    graph = flatten_solution(result.best, platform)
+
+    sim = benchmark(simulate_graph, graph, platform)
+    assert sim.makespan_us > 0
+
+
+def test_htg_build_fir(benchmark):
+    from repro.cfront.defuse import compute_call_summaries
+    from repro.htg.builder import build_htg
+    from repro.timing.estimator import annotate_costs
+
+    program = parse_c_source(get_benchmark("fir_256").source)
+    func = program.entry("main")
+    summaries = compute_call_summaries(program)
+    cost_db = annotate_costs(program, func)
+
+    htg = benchmark(
+        build_htg, program, func, cost_db, None, 4, summaries
+    )
+    assert htg.num_nodes > 5

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Design-space exploration: when does heterogeneity-aware parallelization pay?
+
+Uses the sweep framework and the AHTG parallelism metrics on the
+edge-detection benchmark to answer three design questions the paper's
+fixed two-platform evaluation raises:
+
+1. How does the hetero-over-homo advantage grow with the clock gap?
+2. How many fast helper cores can a kernel actually exploit?
+3. How sensitive is the extracted parallelism to spawn overhead?
+
+Also prints the structural parallelism report (critical path, available
+parallelism, analytic speedup bound) and the simulated schedule of the
+chosen solution on a Tegra-3-style platform from the platform library.
+
+Usage::
+
+    python examples/design_space.py
+"""
+
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.htg.metrics import analyze_parallelism, render_report
+from repro.platforms import config_a
+from repro.platforms.library import tegra3
+from repro.simulator.run import evaluate_solution
+from repro.simulator.trace import render_gantt
+from repro.toolflow.experiments import prepare_benchmark
+from repro.toolflow.sweeps import (
+    render_sweep,
+    sweep_core_count,
+    sweep_frequency_ratio,
+    sweep_tco,
+)
+
+
+def main() -> None:
+    _program, htg = prepare_benchmark("edge_detect")
+
+    print("=== structural parallelism (edge_detect) ===")
+    report = analyze_parallelism(htg)
+    print(render_report(report, config_a("accelerator")))
+    print()
+
+    print("=== clock-gap sweep (2 slow + 2 fast cores) ===")
+    print(render_sweep(sweep_frequency_ratio(htg, ratios=(1.0, 1.5, 2.5, 4.0))))
+    print()
+
+    print("=== helper-core sweep (1x100 MHz main + N x 500 MHz) ===")
+    print(render_sweep(sweep_core_count(htg, counts=(1, 2, 4))))
+    print()
+
+    print("=== spawn-overhead sweep (platform A, scenario I) ===")
+    print(render_sweep(sweep_tco(htg, config_a("accelerator"),
+                                 tcos_us=(0.0, 25.0, 250.0))))
+    print()
+
+    print("=== Tegra-3-style platform: simulated schedule ===")
+    platform = tegra3("accelerator")
+    print(platform.describe())
+    result = HeterogeneousParallelizer(platform).parallelize(htg)
+    evaluation = evaluate_solution(result)
+    print(
+        f"speedup {evaluation.speedup:.2f}x "
+        f"(limit {evaluation.theoretical_limit:.2f}x)"
+    )
+    print(render_gantt(evaluation.sim, evaluation.graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables and figures from the CLI.
+
+Examples::
+
+    # one figure, all ten benchmarks (takes a few minutes)
+    python examples/paper_experiments.py --figure 7a
+
+    # quick look with a subset
+    python examples/paper_experiments.py --figure 7b --benchmarks fir_256,mult_10
+
+    # Table I (ILP statistics)
+    python examples/paper_experiments.py --table1
+
+    # everything the paper reports
+    python examples/paper_experiments.py --all
+"""
+
+import argparse
+import sys
+import time
+
+from repro.toolflow.experiments import FIGURES, run_figure, run_table1
+from repro.toolflow.report import render_figure, render_table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURES), help="figure to regenerate"
+    )
+    parser.add_argument(
+        "--table1", action="store_true", help="regenerate Table I"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every figure and Table I"
+    )
+    parser.add_argument(
+        "--benchmarks",
+        help="comma-separated subset of benchmark names (default: all ten)",
+    )
+    args = parser.parse_args(argv)
+
+    names = None
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+
+    todo = []
+    if args.all:
+        todo = [("figure", f) for f in sorted(FIGURES)] + [("table1", None)]
+    else:
+        if args.figure:
+            todo.append(("figure", args.figure))
+        if args.table1:
+            todo.append(("table1", None))
+    if not todo:
+        parser.print_help()
+        return 2
+
+    for kind, which in todo:
+        start = time.perf_counter()
+        if kind == "figure":
+            result = run_figure(which, benchmarks=names)
+            print(render_figure(result))
+        else:
+            result = run_table1(benchmarks=names)
+            print(render_table1(result))
+        print(f"[{time.perf_counter() - start:.0f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""repro — ILP-based task-level parallelization for heterogeneous MPSoCs.
+
+A from-scratch reproduction of
+
+    D. Cordes, O. Neugebauer, M. Engel, P. Marwedel:
+    "Automatic Extraction of Task-Level Parallelism for Heterogeneous
+    MPSoCs", ICPP 2013.
+
+Quickstart::
+
+    from repro import parallelize_source
+    from repro.platforms import config_a
+
+    result, evaluation = parallelize_source(C_SOURCE, config_a("accelerator"))
+    print(evaluation.speedup)
+
+Subpackages
+-----------
+
+``repro.cfront``      ANSI-C frontend (pycparser-based IR + analyses)
+``repro.timing``      high-level timing models (interpreter + cycle tables)
+``repro.htg``         Augmented Hierarchical Task Graph
+``repro.ilp``         ILP modelling layer + exact solvers
+``repro.core``        heterogeneous/homogeneous ILP parallelization
+``repro.platforms``   MPSoC platform descriptions
+``repro.simulator``   discrete-event MPSoC simulator
+``repro.codegen``     annotated-source + pre-mapping output
+``repro.bench_suite`` UTDSP-style benchmark kernels
+``repro.toolflow``    end-to-end tool flow + paper experiments
+"""
+
+__version__ = "1.0.0"
+
+from repro.toolflow.flow import ToolFlow, parallelize_source
+
+__all__ = ["ToolFlow", "parallelize_source", "__version__"]

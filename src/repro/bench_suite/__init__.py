@@ -1,0 +1,18 @@
+"""UTDSP-style benchmark kernels.
+
+Self-written ANSI-C kernels mirroring the computational structure of the
+UTDSP benchmarks the paper evaluates (plus the boundary-value problem).
+Each kernel is embedded as a source string with metadata describing its
+expected parallelism character; all kernels parse with
+:mod:`repro.cfront`, run to completion under the interpreter, and include
+a self-check so the parallelizer's input is a *correct* program.
+"""
+
+from repro.bench_suite.registry import (
+    BENCHMARKS,
+    Benchmark,
+    get_benchmark,
+    benchmark_names,
+)
+
+__all__ = ["BENCHMARKS", "Benchmark", "benchmark_names", "get_benchmark"]

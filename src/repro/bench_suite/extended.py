@@ -1,0 +1,168 @@
+"""Extended benchmark kernels (beyond the paper's evaluation set).
+
+Three additional DSP/embedded kernels exercising analysis corners the
+UTDSP-style set does not cover:
+
+* **lms_adaptive** — LMS adaptive FIR: the weight vector carries across
+  samples (array recurrence the dependence test must reject) while the
+  inner dot products are reductions;
+* **histogram** — indirect subscripts (``bins[(int)v]``): non-affine
+  writes must classify as serial (conservative correctness);
+* **cholesky** — in-place triangular factorization: triangular loop
+  bounds depend on outer indices (non-constant trip counts) and the
+  update has true cross-iteration dependences.
+
+They are not part of the paper's figures; the test suite uses them to
+harden the frontend, and they are available to users via
+``get_extended_benchmark``.
+"""
+
+from typing import Dict
+
+from repro.bench_suite.registry import Benchmark
+
+LMS_ADAPTIVE = r"""
+/* lms adaptive filter: weights adapt per sample (carried array). */
+#define NTAPS 16
+#define NSAMP 512
+
+float x[NSAMP + NTAPS];
+float d[NSAMP];
+float w[NTAPS];
+float e[NSAMP];
+float checksum;
+
+void main(void) {
+    int n;
+    int k;
+    float yhat;
+    float err;
+    for (n = 0; n < NSAMP + NTAPS; n++) {
+        x[n] = sin(0.05f * n);
+    }
+    for (n = 0; n < NSAMP; n++) {
+        d[n] = sin(0.05f * (n + 2));
+    }
+    for (k = 0; k < NTAPS; k++) {
+        w[k] = 0.0f;
+    }
+    for (n = 0; n < NSAMP; n++) {
+        yhat = 0.0f;
+        for (k = 0; k < NTAPS; k++) {
+            yhat = yhat + w[k] * x[n + k];
+        }
+        err = d[n] - yhat;
+        e[n] = err;
+        for (k = 0; k < NTAPS; k++) {
+            w[k] = w[k] + 0.01f * err * x[n + k];
+        }
+    }
+    checksum = 0.0f;
+    for (n = 0; n < NSAMP; n++) {
+        checksum = checksum + e[n] * e[n];
+    }
+}
+"""
+
+HISTOGRAM = r"""
+/* histogram: indirect writes (data-dependent bin index). */
+#define NSAMP 2048
+#define NBINS 64
+
+float data[NSAMP];
+float bins[NBINS];
+float checksum;
+
+void main(void) {
+    int i;
+    int b;
+    float v;
+    for (i = 0; i < NSAMP; i++) {
+        data[i] = 32.0f + 24.0f * sin(0.01f * i) + 7.0f * sin(0.13f * i);
+    }
+    for (b = 0; b < NBINS; b++) {
+        bins[b] = 0.0f;
+    }
+    for (i = 0; i < NSAMP; i++) {
+        b = (int)data[i];
+        if (b < 0) {
+            b = 0;
+        }
+        if (b > NBINS - 1) {
+            b = NBINS - 1;
+        }
+        bins[b] = bins[b] + 1.0f;
+    }
+    checksum = 0.0f;
+    for (b = 0; b < NBINS; b++) {
+        checksum = checksum + bins[b] * b;
+    }
+}
+"""
+
+CHOLESKY = r"""
+/* cholesky: in-place factorization of a small SPD matrix. */
+#define DIM 24
+
+float a[DIM][DIM];
+float checksum;
+
+void main(void) {
+    int i;
+    int j;
+    int k;
+    float sum;
+    for (i = 0; i < DIM; i++) {
+        for (j = 0; j < DIM; j++) {
+            if (i == j) {
+                a[i][j] = DIM + 1.0f;
+            } else {
+                a[i][j] = 1.0f / (1.0f + i + j);
+            }
+        }
+    }
+    for (j = 0; j < DIM; j++) {
+        sum = a[j][j];
+        for (k = 0; k < j; k++) {
+            sum = sum - a[j][k] * a[j][k];
+        }
+        a[j][j] = sqrt(sum);
+        for (i = j + 1; i < DIM; i++) {
+            sum = a[i][j];
+            for (k = 0; k < j; k++) {
+                sum = sum - a[i][k] * a[j][k];
+            }
+            a[i][j] = sum / a[j][j];
+        }
+    }
+    checksum = 0.0f;
+    for (i = 0; i < DIM; i++) {
+        checksum = checksum + a[i][i];
+    }
+}
+"""
+
+EXTENDED_BENCHMARKS: Dict[str, Benchmark] = {
+    "lms_adaptive": Benchmark(
+        "lms_adaptive", LMS_ADAPTIVE, "serial",
+        "LMS adaptive FIR filter (carried weight vector)", 100,
+    ),
+    "histogram": Benchmark(
+        "histogram", HISTOGRAM, "serial",
+        "histogram with data-dependent bin indices", 101,
+    ),
+    "cholesky": Benchmark(
+        "cholesky", CHOLESKY, "serial",
+        "in-place Cholesky factorization (triangular loops)", 102,
+    ),
+}
+
+
+def get_extended_benchmark(name: str) -> Benchmark:
+    try:
+        return EXTENDED_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extended benchmark {name!r}; "
+            f"available: {sorted(EXTENDED_BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,120 @@
+"""Benchmark registry: names, sources and parallelism metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench_suite import sources
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark kernel.
+
+    ``character`` describes the dominant parallelism structure, used by
+    tests to assert the analyses classify the kernels correctly:
+
+    * ``data-parallel`` — a dominant provably parallel loop;
+    * ``block-parallel`` — independent blocks/channels with serial inner
+      recurrences;
+    * ``serial`` — inherently sequential main loop (offload-only).
+    """
+
+    name: str
+    source: str
+    character: str
+    description: str
+    #: paper figure ordering (matches the x-axes of Figures 7/8)
+    paper_order: int
+
+
+BENCHMARKS: Dict[str, Benchmark] = {
+    b.name: b
+    for b in [
+        Benchmark(
+            "adpcm_enc",
+            sources.ADPCM_ENC,
+            "block-parallel",
+            "4-bit adaptive differential PCM encoder, per-block predictor",
+            0,
+        ),
+        Benchmark(
+            "bound_value",
+            sources.BOUND_VALUE,
+            "data-parallel",
+            "Jacobi relaxation of a 1-D boundary value problem",
+            1,
+        ),
+        Benchmark(
+            "compress",
+            sources.COMPRESS,
+            "data-parallel",
+            "8x8 block-DCT image compression with thresholding",
+            2,
+        ),
+        Benchmark(
+            "edge_detect",
+            sources.EDGE_DETECT,
+            "data-parallel",
+            "Sobel gradient edge detection",
+            3,
+        ),
+        Benchmark(
+            "filterbank",
+            sources.FILTERBANK,
+            "data-parallel",
+            "8-band FIR filter bank",
+            4,
+        ),
+        Benchmark(
+            "fir_256",
+            sources.FIR_256,
+            "data-parallel",
+            "256-tap FIR filter",
+            5,
+        ),
+        Benchmark(
+            "iir_4",
+            sources.IIR_4,
+            "block-parallel",
+            "4th-order IIR (cascaded biquads), independent channels",
+            6,
+        ),
+        Benchmark(
+            "latnrm_32",
+            sources.LATNRM_32,
+            "serial",
+            "32nd-order normalized lattice filter, single stream",
+            7,
+        ),
+        Benchmark(
+            "mult_10",
+            sources.MULT_10,
+            "data-parallel",
+            "batch of independent 10x10 matrix multiplications",
+            8,
+        ),
+        Benchmark(
+            "spectral",
+            sources.SPECTRAL,
+            "data-parallel",
+            "autocorrelation + periodogram power-spectrum estimation",
+            9,
+        ),
+    ]
+}
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the paper's figure order."""
+    return [b.name for b in sorted(BENCHMARKS.values(), key=lambda b: b.paper_order)]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None

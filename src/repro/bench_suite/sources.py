@@ -1,0 +1,476 @@
+"""ANSI-C sources of the benchmark kernels.
+
+Every kernel is a complete, self-contained program in the supported C
+subset (no ``#include``; math builtins like ``cos``/``sqrt``/``fabs`` are
+used directly; data is initialized in loops, never with initializer
+lists). Each ``main`` produces a ``checksum`` global so tests can verify
+the kernels compute what they claim.
+
+Where the original UTDSP kernel is inherently single-stream, the variant
+here processes independent blocks/channels/batches — the standard
+streaming formulation of the same kernel — so that iteration-level
+parallelism exists to extract; DESIGN.md documents these choices.
+"""
+
+FIR_256 = r"""
+/* fir 256: 256-tap finite impulse response filter over a sample window. */
+#define NOUT 64
+#define NTAP 256
+
+float x[NOUT + NTAP];
+float h[NTAP];
+float y[NOUT];
+float checksum;
+
+void main(void) {
+    int i;
+    int j;
+    float sum;
+    for (i = 0; i < NOUT + NTAP; i++) {
+        x[i] = 0.001f * i - 0.05f;
+    }
+    for (i = 0; i < NTAP; i++) {
+        h[i] = 1.0f / (i + 1);
+    }
+    for (i = 0; i < NOUT; i++) {
+        sum = 0.0f;
+        for (j = 0; j < NTAP; j++) {
+            sum = sum + x[i + j] * h[j];
+        }
+        y[i] = sum;
+    }
+    checksum = 0.0f;
+    for (i = 0; i < NOUT; i++) {
+        checksum = checksum + y[i];
+    }
+}
+"""
+
+ADPCM_ENC = r"""
+/* adpcm encoder: blockwise adaptive differential PCM (4-bit), with the
+ * predictor reset per block (streaming formulation: blocks independent). */
+#define NBLK 16
+#define BLK 128
+
+float pcm[NBLK * BLK];
+float code[NBLK * BLK];
+float checksum;
+
+void main(void) {
+    int b;
+    int i;
+    float valpred;
+    float step;
+    float delta;
+    float sign;
+    float q;
+    for (i = 0; i < NBLK * BLK; i++) {
+        pcm[i] = 100.0f * sin(0.03f * i) + 20.0f * sin(0.3f * i);
+    }
+    for (b = 0; b < NBLK; b++) {
+        valpred = 0.0f;
+        step = 4.0f;
+        for (i = 0; i < BLK; i++) {
+            delta = pcm[b * BLK + i] - valpred;
+            sign = 1.0f;
+            if (delta < 0.0f) {
+                sign = -1.0f;
+                delta = -delta;
+            }
+            q = delta / step;
+            if (q > 7.0f) {
+                q = 7.0f;
+            }
+            q = floor(q);
+            code[b * BLK + i] = sign * q;
+            valpred = valpred + sign * q * step;
+            if (q >= 4.0f) {
+                step = step * 1.5f;
+            } else {
+                step = step * 0.8f;
+            }
+            if (step < 1.0f) {
+                step = 1.0f;
+            }
+            if (step > 512.0f) {
+                step = 512.0f;
+            }
+        }
+    }
+    checksum = 0.0f;
+    for (i = 0; i < NBLK * BLK; i++) {
+        checksum = checksum + code[i];
+    }
+}
+"""
+
+BOUND_VALUE = r"""
+/* boundary value problem: Jacobi relaxation of u'' = f on [0,1] with
+ * fixed boundary values (the "physical application domain" benchmark). */
+#define NPTS 768
+#define SWEEPS 8
+
+float u[NPTS];
+float unew[NPTS];
+float f[NPTS];
+float checksum;
+
+void main(void) {
+    int i;
+    int t;
+    for (i = 0; i < NPTS; i++) {
+        u[i] = 0.0f;
+        f[i] = 0.0001f * i;
+    }
+    u[0] = 1.0f;
+    u[NPTS - 1] = 2.0f;
+    unew[0] = 1.0f;
+    unew[NPTS - 1] = 2.0f;
+    for (t = 0; t < SWEEPS; t++) {
+        for (i = 1; i < NPTS - 1; i++) {
+            unew[i] = 0.5f * (u[i - 1] + u[i + 1]) - 0.5f * f[i];
+        }
+        for (i = 1; i < NPTS - 1; i++) {
+            u[i] = unew[i];
+        }
+    }
+    checksum = 0.0f;
+    for (i = 0; i < NPTS; i++) {
+        checksum = checksum + u[i];
+    }
+}
+"""
+
+COMPRESS = r"""
+/* compress: 8x8 block DCT image compression with coefficient
+ * thresholding (rate reduction), blocks independent. */
+#define DIM 48
+#define BS 8
+#define NBY 6
+
+float img[DIM][DIM];
+float coef[DIM][DIM];
+float cosbl[BS][BS];
+float checksum;
+
+void main(void) {
+    int by;
+    int bx;
+    int u;
+    int v;
+    int i;
+    int j;
+    float sum;
+    float cu;
+    float cv;
+    for (i = 0; i < DIM; i++) {
+        for (j = 0; j < DIM; j++) {
+            img[i][j] = 128.0f + 64.0f * sin(0.1f * i) * cos(0.13f * j);
+        }
+    }
+    for (i = 0; i < BS; i++) {
+        for (j = 0; j < BS; j++) {
+            cosbl[i][j] = cos((2.0f * i + 1.0f) * j * 3.14159265f / 16.0f);
+        }
+    }
+    for (by = 0; by < NBY; by++) {
+        for (bx = 0; bx < NBY; bx++) {
+            for (u = 0; u < BS; u++) {
+                for (v = 0; v < BS; v++) {
+                    sum = 0.0f;
+                    for (i = 0; i < BS; i++) {
+                        for (j = 0; j < BS; j++) {
+                            sum = sum + img[by * BS + i][bx * BS + j]
+                                      * cosbl[i][u] * cosbl[j][v];
+                        }
+                    }
+                    cu = 1.0f;
+                    if (u == 0) {
+                        cu = 0.70710678f;
+                    }
+                    cv = 1.0f;
+                    if (v == 0) {
+                        cv = 0.70710678f;
+                    }
+                    sum = 0.25f * cu * cv * sum;
+                    if (fabs(sum) < 4.0f) {
+                        sum = 0.0f;
+                    }
+                    coef[by * BS + u][bx * BS + v] = sum;
+                }
+            }
+        }
+    }
+    checksum = 0.0f;
+    for (i = 0; i < DIM; i++) {
+        for (j = 0; j < DIM; j++) {
+            checksum = checksum + coef[i][j];
+        }
+    }
+}
+"""
+
+EDGE_DETECT = r"""
+/* edge detect: Sobel gradient + threshold over a grayscale image. */
+#define H 56
+#define W 56
+
+float img[H][W];
+float out[H][W];
+float checksum;
+
+void main(void) {
+    int i;
+    int j;
+    float gx;
+    float gy;
+    float mag;
+    for (i = 0; i < H; i++) {
+        for (j = 0; j < W; j++) {
+            img[i][j] = 100.0f + 50.0f * sin(0.2f * i + 0.1f * j);
+            out[i][j] = 0.0f;
+        }
+    }
+    for (i = 1; i < H - 1; i++) {
+        for (j = 1; j < W - 1; j++) {
+            gx = img[i - 1][j + 1] + 2.0f * img[i][j + 1] + img[i + 1][j + 1]
+               - img[i - 1][j - 1] - 2.0f * img[i][j - 1] - img[i + 1][j - 1];
+            gy = img[i + 1][j - 1] + 2.0f * img[i + 1][j] + img[i + 1][j + 1]
+               - img[i - 1][j - 1] - 2.0f * img[i - 1][j] - img[i - 1][j + 1];
+            mag = sqrt(gx * gx + gy * gy);
+            if (mag > 80.0f) {
+                out[i][j] = 255.0f;
+            } else {
+                out[i][j] = 0.0f;
+            }
+        }
+    }
+    checksum = 0.0f;
+    for (i = 0; i < H; i++) {
+        for (j = 0; j < W; j++) {
+            checksum = checksum + out[i][j];
+        }
+    }
+}
+"""
+
+FILTERBANK = r"""
+/* filterbank: bank of FIR filters, one output stream per band. */
+#define NBANK 8
+#define NSAMP 256
+#define NTAPS 32
+
+float input[NSAMP + NTAPS];
+float coeff[NBANK][NTAPS];
+float bankout[NBANK][NSAMP];
+float checksum;
+
+void main(void) {
+    int b;
+    int n;
+    int k;
+    float acc;
+    for (n = 0; n < NSAMP + NTAPS; n++) {
+        input[n] = sin(0.02f * n) + 0.5f * sin(0.11f * n);
+    }
+    for (b = 0; b < NBANK; b++) {
+        for (k = 0; k < NTAPS; k++) {
+            coeff[b][k] = cos(0.05f * (b + 1) * k) / (k + 1);
+        }
+    }
+    for (b = 0; b < NBANK; b++) {
+        for (n = 0; n < NSAMP; n++) {
+            acc = 0.0f;
+            for (k = 0; k < NTAPS; k++) {
+                acc = acc + input[n + k] * coeff[b][k];
+            }
+            bankout[b][n] = acc;
+        }
+    }
+    checksum = 0.0f;
+    for (b = 0; b < NBANK; b++) {
+        for (n = 0; n < NSAMP; n++) {
+            checksum = checksum + bankout[b][n];
+        }
+    }
+}
+"""
+
+IIR_4 = r"""
+/* iir 4: 4th-order IIR filter (two cascaded biquads) applied to
+ * independent channels (multi-channel streaming formulation). */
+#define NCHAN 8
+#define NSAMP 1024
+
+float input[NCHAN][NSAMP];
+float output[NCHAN][NSAMP];
+float checksum;
+
+void main(void) {
+    int c;
+    int n;
+    float w1a;
+    float w2a;
+    float w1b;
+    float w2b;
+    float t;
+    float s;
+    for (c = 0; c < NCHAN; c++) {
+        for (n = 0; n < NSAMP; n++) {
+            input[c][n] = sin(0.01f * (c + 1) * n);
+        }
+    }
+    for (c = 0; c < NCHAN; c++) {
+        w1a = 0.0f;
+        w2a = 0.0f;
+        w1b = 0.0f;
+        w2b = 0.0f;
+        for (n = 0; n < NSAMP; n++) {
+            t = input[c][n] + 1.2f * w1a - 0.5f * w2a;
+            s = t + 2.0f * w1a + w2a;
+            w2a = w1a;
+            w1a = t;
+            t = s + 0.8f * w1b - 0.3f * w2b;
+            s = t + 2.0f * w1b + w2b;
+            w2b = w1b;
+            w1b = t;
+            output[c][n] = 0.05f * s;
+        }
+    }
+    checksum = 0.0f;
+    for (c = 0; c < NCHAN; c++) {
+        for (n = 0; n < NSAMP; n++) {
+            checksum = checksum + output[c][n];
+        }
+    }
+}
+"""
+
+LATNRM_32 = r"""
+/* latnrm 32: 32nd-order normalized lattice filter, single stream —
+ * inherently sequential over samples and stages (high communication). */
+#define NORDER 32
+#define NSAMP 1024
+
+float input[NSAMP];
+float output[NSAMP];
+float kcoef[NORDER];
+float state[NORDER];
+float checksum;
+
+void main(void) {
+    int n;
+    int s;
+    float top;
+    float bot;
+    float tmp;
+    for (n = 0; n < NSAMP; n++) {
+        input[n] = sin(0.05f * n) + 0.3f * sin(0.31f * n);
+    }
+    for (s = 0; s < NORDER; s++) {
+        kcoef[s] = 0.5f / (s + 1);
+        state[s] = 0.0f;
+    }
+    for (n = 0; n < NSAMP; n++) {
+        top = input[n];
+        for (s = 0; s < NORDER; s++) {
+            tmp = state[s];
+            bot = tmp + kcoef[s] * top;
+            top = top - kcoef[s] * bot;
+            state[s] = bot;
+        }
+        output[n] = top;
+    }
+    checksum = 0.0f;
+    for (n = 0; n < NSAMP; n++) {
+        checksum = checksum + output[n];
+    }
+}
+"""
+
+MULT_10 = r"""
+/* mult 10: batch of independent 10x10 matrix multiplications. */
+#define NMAT 64
+#define DIM 10
+
+float a[NMAT][DIM][DIM];
+float b[NMAT][DIM][DIM];
+float c[NMAT][DIM][DIM];
+float checksum;
+
+void main(void) {
+    int m;
+    int i;
+    int j;
+    int k;
+    float sum;
+    for (m = 0; m < NMAT; m++) {
+        for (i = 0; i < DIM; i++) {
+            for (j = 0; j < DIM; j++) {
+                a[m][i][j] = 0.01f * (m + i + j);
+                b[m][i][j] = 0.02f * (m + i) - 0.01f * j;
+            }
+        }
+    }
+    for (m = 0; m < NMAT; m++) {
+        for (i = 0; i < DIM; i++) {
+            for (j = 0; j < DIM; j++) {
+                sum = 0.0f;
+                for (k = 0; k < DIM; k++) {
+                    sum = sum + a[m][i][k] * b[m][k][j];
+                }
+                c[m][i][j] = sum;
+            }
+        }
+    }
+    checksum = 0.0f;
+    for (m = 0; m < NMAT; m++) {
+        for (i = 0; i < DIM; i++) {
+            for (j = 0; j < DIM; j++) {
+                checksum = checksum + c[m][i][j];
+            }
+        }
+    }
+}
+"""
+
+SPECTRAL = r"""
+/* spectral: power spectrum estimation — autocorrelation followed by a
+ * cosine-transform periodogram (two communicating parallel stages). */
+#define NSAMP 1024
+#define NLAG 96
+#define NFREQ 96
+
+float x[NSAMP];
+float r[NLAG];
+float p[NFREQ];
+float checksum;
+
+void main(void) {
+    int n;
+    int k;
+    int f;
+    float acc;
+    for (n = 0; n < NSAMP; n++) {
+        x[n] = sin(0.07f * n) + 0.5f * sin(0.23f * n) + 0.25f * sin(0.41f * n);
+    }
+    for (k = 0; k < NLAG; k++) {
+        acc = 0.0f;
+        for (n = 0; n < NSAMP - NLAG; n++) {
+            acc = acc + x[n] * x[n + k];
+        }
+        r[k] = acc / (NSAMP - NLAG);
+    }
+    for (f = 0; f < NFREQ; f++) {
+        acc = r[0];
+        for (k = 1; k < NLAG; k++) {
+            acc = acc + 2.0f * r[k] * cos(3.14159265f * f * k / NFREQ);
+        }
+        p[f] = fabs(acc);
+    }
+    checksum = 0.0f;
+    for (f = 0; f < NFREQ; f++) {
+        checksum = checksum + p[f];
+    }
+}
+"""

@@ -1,0 +1,72 @@
+"""ANSI-C frontend.
+
+Replaces the ICD-C based frontend of the paper's tool flow: parses a
+(benchmark-sized) subset of ANSI C via ``pycparser`` into a hierarchical
+statement IR (:mod:`repro.cfront.ir`), computes def/use sets
+(:mod:`repro.cfront.defuse`), statement-level data dependences and
+loop-carried dependence / reduction classification
+(:mod:`repro.cfront.deps`), and static trip counts
+(:mod:`repro.cfront.loops`).
+"""
+
+from repro.cfront.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CallExpr,
+    CallStmt,
+    Cast,
+    Const,
+    Decl,
+    ExprStmt,
+    ForLoop,
+    Function,
+    If,
+    Program,
+    Return,
+    UnOp,
+    UnsupportedCError,
+    VarRef,
+    WhileLoop,
+)
+from repro.cfront.parser import parse_c_program, parse_c_source
+from repro.cfront.defuse import DefUse, compute_defuse
+from repro.cfront.deps import (
+    DependenceEdge,
+    LoopParallelism,
+    analyze_block_dependences,
+    classify_loop,
+)
+from repro.cfront.loops import trip_count
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Block",
+    "CallExpr",
+    "CallStmt",
+    "Cast",
+    "Const",
+    "Decl",
+    "DefUse",
+    "DependenceEdge",
+    "ExprStmt",
+    "ForLoop",
+    "Function",
+    "If",
+    "LoopParallelism",
+    "Program",
+    "Return",
+    "UnOp",
+    "UnsupportedCError",
+    "VarRef",
+    "WhileLoop",
+    "analyze_block_dependences",
+    "classify_loop",
+    "compute_defuse",
+    "parse_c_program",
+    "parse_c_source",
+    "trip_count",
+]

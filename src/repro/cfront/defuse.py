@@ -1,0 +1,248 @@
+"""Def/use analysis over the statement IR.
+
+Produces, per statement (including hierarchical statements, aggregated
+over their subtree):
+
+* scalar definitions and uses by variable name,
+* array definitions and uses by array name,
+* the individual subscripted accesses (for the dependence tests in
+  :mod:`repro.cfront.deps`).
+
+Calls are handled through *function summaries*: pure math builtins only
+read their scalar arguments; calls to functions defined in the same
+program use a computed parameter read/write summary; unknown calls
+conservatively read and write every array argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfront import ir
+
+#: Math-library functions treated as pure scalar functions.
+PURE_BUILTINS: Set[str] = {
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinf", "cosf", "tanf", "sqrtf", "fabsf", "expf", "logf",
+    "sqrt", "fabs", "abs", "exp", "log", "log2", "log10", "pow",
+    "floor", "ceil", "fmod", "hypot",
+}
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access: ``name[indices...]``, read or write."""
+
+    name: str
+    indices: Tuple[ir.Expr, ...]
+    is_write: bool
+
+    def __str__(self) -> str:
+        arrow = "W" if self.is_write else "R"
+        subs = "".join(f"[{i}]" for i in self.indices)
+        return f"{arrow}:{self.name}{subs}"
+
+
+@dataclass
+class DefUse:
+    """Aggregated def/use information for one statement subtree."""
+
+    scalar_defs: Set[str] = field(default_factory=set)
+    scalar_uses: Set[str] = field(default_factory=set)
+    array_defs: Set[str] = field(default_factory=set)
+    array_uses: Set[str] = field(default_factory=set)
+    accesses: List[Access] = field(default_factory=list)
+    has_unknown_call: bool = False
+    has_return: bool = False
+
+    @property
+    def all_defs(self) -> Set[str]:
+        return self.scalar_defs | self.array_defs
+
+    @property
+    def all_uses(self) -> Set[str]:
+        return self.scalar_uses | self.array_uses
+
+    def merge(self, other: "DefUse") -> None:
+        self.scalar_defs |= other.scalar_defs
+        self.scalar_uses |= other.scalar_uses
+        self.array_defs |= other.array_defs
+        self.array_uses |= other.array_uses
+        self.accesses.extend(other.accesses)
+        self.has_unknown_call |= other.has_unknown_call
+        self.has_return |= other.has_return
+
+
+@dataclass(frozen=True)
+class CallSummary:
+    """Which pointer/array parameters a function reads and writes."""
+
+    reads_params: frozenset
+    writes_params: frozenset
+    reads_globals: frozenset
+    writes_globals: frozenset
+
+
+def compute_call_summaries(program: ir.Program) -> Dict[str, CallSummary]:
+    """Parameter/global read-write summaries for every defined function.
+
+    One fixed-point-free pass suffices for the benchmark kernels (no
+    recursion in the subset); nested calls to defined functions are
+    resolved by iterating until stable, bounded by the function count.
+    """
+    summaries: Dict[str, CallSummary] = {}
+    for _ in range(max(1, len(program.functions))):
+        changed = False
+        for name, func in program.functions.items():
+            summary = _summarize_function(func, program, summaries)
+            if summaries.get(name) != summary:
+                summaries[name] = summary
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _summarize_function(
+    func: ir.Function,
+    program: ir.Program,
+    summaries: Dict[str, CallSummary],
+) -> CallSummary:
+    du = compute_defuse(func.body, summaries)
+    param_names = {p.name: i for i, p in enumerate(func.params)}
+    reads_p = frozenset(param_names[n] for n in du.all_uses if n in param_names)
+    writes_p = frozenset(param_names[n] for n in du.all_defs if n in param_names)
+    global_names = set(program.globals)
+    reads_g = frozenset(n for n in du.all_uses if n in global_names)
+    writes_g = frozenset(n for n in du.all_defs if n in global_names)
+    return CallSummary(reads_p, writes_p, reads_g, writes_g)
+
+
+def compute_defuse(
+    stmt: ir.Stmt,
+    summaries: Optional[Dict[str, CallSummary]] = None,
+) -> DefUse:
+    """Def/use sets of a statement subtree."""
+    du = DefUse()
+    _visit_stmt(stmt, du, summaries or {})
+    return du
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _visit_stmt(stmt: ir.Stmt, du: DefUse, summaries: Dict[str, CallSummary]) -> None:
+    if isinstance(stmt, ir.Block):
+        for child in stmt.stmts:
+            _visit_stmt(child, du, summaries)
+    elif isinstance(stmt, ir.Decl):
+        # A declaration defines the name; array decls define the array shape
+        # but no elements yet.
+        if stmt.init is not None:
+            _visit_expr_read(stmt.init, du, summaries)
+            du.scalar_defs.add(stmt.name)
+        elif not stmt.is_array:
+            # Uninitialized scalar: definition happens at first assignment,
+            # but the name exists; treat the decl itself as neutral.
+            pass
+    elif isinstance(stmt, ir.Assign):
+        _visit_expr_read(stmt.rhs, du, summaries)
+        _visit_lvalue_write(stmt.lhs, du, summaries)
+    elif isinstance(stmt, ir.CallStmt):
+        _visit_call(stmt.call, du, summaries, used_as_value=False)
+    elif isinstance(stmt, ir.ExprStmt):
+        _visit_expr_read(stmt.expr, du, summaries)
+    elif isinstance(stmt, ir.ForLoop):
+        _visit_expr_read(stmt.lower, du, summaries)
+        _visit_expr_read(stmt.upper, du, summaries)
+        du.scalar_defs.add(stmt.var)
+        du.scalar_uses.add(stmt.var)
+        _visit_stmt(stmt.body, du, summaries)
+    elif isinstance(stmt, ir.WhileLoop):
+        _visit_expr_read(stmt.cond, du, summaries)
+        _visit_stmt(stmt.body, du, summaries)
+    elif isinstance(stmt, ir.If):
+        _visit_expr_read(stmt.cond, du, summaries)
+        _visit_stmt(stmt.then_block, du, summaries)
+        if stmt.else_block is not None:
+            _visit_stmt(stmt.else_block, du, summaries)
+    elif isinstance(stmt, ir.Return):
+        if stmt.expr is not None:
+            _visit_expr_read(stmt.expr, du, summaries)
+        du.has_return = True
+    else:  # pragma: no cover - exhaustive over IR statements
+        raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+def _visit_lvalue_write(lhs: ir.Expr, du: DefUse, summaries) -> None:
+    if isinstance(lhs, ir.VarRef):
+        du.scalar_defs.add(lhs.name)
+    elif isinstance(lhs, ir.ArrayRef):
+        du.array_defs.add(lhs.name)
+        du.accesses.append(Access(lhs.name, lhs.indices, is_write=True))
+        for index in lhs.indices:
+            _visit_expr_read(index, du, summaries)
+    else:  # pragma: no cover - parser restricts lvalues
+        raise TypeError(f"invalid lvalue {lhs!r}")
+
+
+def _visit_expr_read(expr: ir.Expr, du: DefUse, summaries) -> None:
+    if isinstance(expr, ir.Const):
+        return
+    if isinstance(expr, ir.VarRef):
+        du.scalar_uses.add(expr.name)
+        return
+    if isinstance(expr, ir.ArrayRef):
+        du.array_uses.add(expr.name)
+        du.accesses.append(Access(expr.name, expr.indices, is_write=False))
+        for index in expr.indices:
+            _visit_expr_read(index, du, summaries)
+        return
+    if isinstance(expr, ir.CallExpr):
+        _visit_call(expr, du, summaries, used_as_value=True)
+        return
+    for child in expr.children():
+        _visit_expr_read(child, du, summaries)
+
+
+def _visit_call(
+    call: ir.CallExpr,
+    du: DefUse,
+    summaries: Dict[str, CallSummary],
+    used_as_value: bool,
+) -> None:
+    # Scalar-valued index/argument expressions are always reads.
+    array_args: List[Tuple[int, str]] = []
+    for pos, arg in enumerate(call.args):
+        if isinstance(arg, ir.VarRef):
+            # Could be a scalar or a whole-array argument; resolved below.
+            array_args.append((pos, arg.name))
+            du.scalar_uses.add(arg.name)
+        else:
+            _visit_expr_read(arg, du, summaries)
+
+    if call.name in PURE_BUILTINS:
+        return
+
+    summary = summaries.get(call.name)
+    if summary is None:
+        # Unknown function: conservatively, every named argument may be an
+        # array that is both read and written.
+        du.has_unknown_call = True
+        for _pos, name in array_args:
+            du.array_uses.add(name)
+            du.array_defs.add(name)
+        return
+
+    for pos, name in array_args:
+        if pos in summary.reads_params:
+            du.array_uses.add(name)
+        if pos in summary.writes_params:
+            du.array_defs.add(name)
+    du.array_uses |= set(summary.reads_globals)
+    du.array_defs |= set(summary.writes_globals)
+    du.scalar_uses |= set(summary.reads_globals)
+    du.scalar_defs |= set(summary.writes_globals)

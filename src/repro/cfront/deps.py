@@ -1,0 +1,468 @@
+"""Data-dependence analysis.
+
+Two services used by the AHTG builder:
+
+* :func:`analyze_block_dependences` — flow/anti/output dependence edges
+  between sibling statements of a block, at variable-name granularity.
+  These become the AHTG's data-flow edges (Section III-A).
+* :func:`classify_loop` — loop-carried dependence test for canonical
+  counted loops, deciding whether a loop may be *chunked* into
+  iteration-range sub-loops (the paper's "loop iterations" granularity
+  level). The test combines a scalar privatization/reduction analysis
+  with a conservative per-dimension affine-subscript disjointness test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cfront import ir
+from repro.cfront.defuse import Access, CallSummary, DefUse, compute_defuse
+
+
+class DepKind(enum.Enum):
+    FLOW = "flow"      # def -> use (true dependence, carries data)
+    ANTI = "anti"      # use -> def
+    OUTPUT = "output"  # def -> def
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """A dependence between sibling statements ``src_index -> dst_index``."""
+
+    src_index: int
+    dst_index: int
+    kind: DepKind
+    variables: frozenset
+
+    def __str__(self) -> str:
+        return f"{self.src_index}->{self.dst_index} [{self.kind.value}: {sorted(self.variables)}]"
+
+
+def analyze_block_dependences(
+    stmts: Sequence[ir.Stmt],
+    summaries: Optional[Dict[str, CallSummary]] = None,
+) -> List[DependenceEdge]:
+    """Dependence edges between the statements of one block.
+
+    Edges always point forward in program order (``src < dst``) — the
+    block's sequential order is the source of truth, matching the AHTG
+    construction where nodes are topologically sorted by source order.
+    Only *direct* dependences are reported: an edge ``i -> j`` on
+    variable ``v`` is omitted when an intermediate statement ``k``
+    (``i < k < j``) redefines ``v`` (killing the dependence).
+    """
+    defuses = [compute_defuse(s, summaries) for s in stmts]
+    edges: List[DependenceEdge] = []
+    n = len(stmts)
+    for j in range(n):
+        for i in range(j):
+            flow = _surviving(defuses, i, j, lambda a, b: a.all_defs & b.all_uses)
+            anti = _surviving(defuses, i, j, lambda a, b: a.all_uses & b.all_defs)
+            output = _surviving(defuses, i, j, lambda a, b: a.all_defs & b.all_defs)
+            if flow:
+                edges.append(DependenceEdge(i, j, DepKind.FLOW, frozenset(flow)))
+            if anti:
+                edges.append(DependenceEdge(i, j, DepKind.ANTI, frozenset(anti)))
+            if output:
+                edges.append(DependenceEdge(i, j, DepKind.OUTPUT, frozenset(output)))
+    return edges
+
+
+def _surviving(defuses: List[DefUse], i: int, j: int, relation) -> Set[str]:
+    """Variables related between i and j with no killing redefinition between."""
+    related = relation(defuses[i], defuses[j])
+    if not related:
+        return set()
+    survivors = set(related)
+    for k in range(i + 1, j):
+        survivors -= defuses[k].all_defs
+        if not survivors:
+            break
+    return survivors
+
+
+# ---------------------------------------------------------------------------
+# Loop-carried dependence analysis
+# ---------------------------------------------------------------------------
+
+
+class LoopParallelism(enum.Enum):
+    """Classification of a counted loop w.r.t. iteration-level parallelism."""
+
+    PARALLEL = "parallel"      # iterations independent; freely chunkable
+    REDUCTION = "reduction"    # independent up to associative reductions
+    SERIAL = "serial"          # loop-carried dependence; keep sequential
+
+
+@dataclass
+class LoopClassification:
+    """Result of :func:`classify_loop`."""
+
+    parallelism: LoopParallelism
+    reduction_vars: Tuple[str, ...] = ()
+    reason: str = ""
+
+    @property
+    def chunkable(self) -> bool:
+        return self.parallelism in (LoopParallelism.PARALLEL, LoopParallelism.REDUCTION)
+
+
+def classify_loop(
+    loop: ir.ForLoop,
+    summaries: Optional[Dict[str, CallSummary]] = None,
+) -> LoopClassification:
+    """Decide whether ``loop``'s iterations may execute concurrently.
+
+    Conservative: any construct the analysis cannot prove independent
+    yields ``SERIAL``. The rules:
+
+    * calls to unknown (non-builtin, non-summarized) functions ⇒ serial;
+    * ``return`` inside the body ⇒ serial (control leaves the loop);
+    * every written scalar must be loop-private (defined before use on
+      every use path — approximated by "first textual access is a
+      non-self-referencing write") or a recognized ``s = s ⊕ expr``
+      reduction with ⊕ ∈ {+, -, *};
+    * every array with a write must pass the affine disjointness test
+      against every other access to the same array: some dimension has
+      identical affine form ``c*i + k`` (``c ≠ 0``) in both accesses,
+      proving the pair only ever touches the same element within one
+      iteration (dependence distance 0).
+    """
+    summaries = summaries or {}
+    body_du = compute_defuse(loop.body, summaries)
+
+    if body_du.has_return:
+        return LoopClassification(LoopParallelism.SERIAL, reason="return inside loop body")
+    if body_du.has_unknown_call:
+        return LoopClassification(LoopParallelism.SERIAL, reason="call to unknown function")
+    if loop.var in _written_scalars_excluding_loop_header(loop, summaries):
+        return LoopClassification(LoopParallelism.SERIAL, reason="loop variable mutated in body")
+
+    # --- scalar analysis ----------------------------------------------------
+    reductions: List[str] = []
+    written = body_du.scalar_defs - {loop.var}
+    # Names declared inside the body are trivially private.
+    declared_inside = {
+        s.name for s in loop.body.walk() if isinstance(s, ir.Decl)
+    }
+    inner_loop_vars = {
+        s.var for s in loop.body.walk() if isinstance(s, ir.ForLoop)
+    }
+    for name in sorted(written):
+        if name in inner_loop_vars:
+            continue
+        if name in declared_inside and _is_private_scalar(loop.body, name):
+            continue
+        if _is_private_scalar(loop.body, name):
+            continue
+        if _is_reduction_scalar(loop.body, name):
+            reductions.append(name)
+            continue
+        return LoopClassification(
+            LoopParallelism.SERIAL,
+            reason=f"scalar {name!r} carries a loop dependence",
+        )
+
+    # --- array analysis -------------------------------------------------------
+    accesses_by_array: Dict[str, List[Access]] = {}
+    for access in body_du.accesses:
+        accesses_by_array.setdefault(access.name, []).append(access)
+    for name, accesses in accesses_by_array.items():
+        writes = [a for a in accesses if a.is_write]
+        if not writes:
+            continue
+        for write in writes:
+            for other in accesses:
+                if other is write and len(writes) == 1 and len(accesses) == 1:
+                    # A single access pair (the write with itself) still needs
+                    # the distance-0 proof across iterations.
+                    pass
+                if not _distance_zero(write, other, loop.var):
+                    return LoopClassification(
+                        LoopParallelism.SERIAL,
+                        reason=(
+                            f"array {name!r}: cannot prove independence of "
+                            f"{write} and {other}"
+                        ),
+                    )
+
+    if reductions:
+        return LoopClassification(
+            LoopParallelism.REDUCTION,
+            reduction_vars=tuple(reductions),
+            reason=f"reductions over {reductions}",
+        )
+    return LoopClassification(LoopParallelism.PARALLEL, reason="no carried dependences")
+
+
+def _written_scalars_excluding_loop_header(loop: ir.ForLoop, summaries) -> Set[str]:
+    du = compute_defuse(loop.body, summaries)
+    return du.scalar_defs
+
+
+def private_scalars(block: ir.Block, summaries=None) -> Set[str]:
+    """Scalars private to ``block``: declared inside, used as loop counters,
+    or always written before read (per-execution temporaries).
+
+    Private scalars neither consume values from outside the block nor
+    (by the benchmark-subset convention) publish their final value, so the
+    AHTG builder strips them from a hierarchical node's boundary def/use
+    sets to avoid spurious inter-node dependences.
+    """
+    du = compute_defuse(block, summaries)
+    private: Set[str] = set()
+    for stmt in block.walk():
+        if isinstance(stmt, ir.Decl) and not stmt.is_array:
+            private.add(stmt.name)
+        if isinstance(stmt, ir.ForLoop):
+            private.add(stmt.var)
+    for name in du.scalar_defs:
+        if name not in private and _is_private_scalar(block, name):
+            private.add(name)
+    return private
+
+
+def _is_private_scalar(body: ir.Block, name: str) -> bool:
+    """True if the first straight-line access to ``name`` is a plain write.
+
+    The approximation walks statements in textual order; a write whose RHS
+    does not read ``name`` privatizes it for the rest of the iteration.
+    Conditional contexts (if/while) make the first access ambiguous, so a
+    first access inside a conditional only counts when it is a write on
+    *both* branches (approximated by: any read anywhere before an
+    unconditional write disqualifies).
+    """
+    state = _first_access_state(body, name, conditional=False)
+    return state == "write"
+
+
+def _first_access_state(stmt: ir.Stmt, name: str, conditional: bool) -> str:
+    """Return 'write', 'read', or 'none' for the first access to name."""
+    if isinstance(stmt, ir.Block):
+        for child in stmt.stmts:
+            state = _first_access_state(child, name, conditional)
+            if state != "none":
+                return state
+        return "none"
+    if isinstance(stmt, ir.Decl):
+        if stmt.name == name:
+            if stmt.init is not None and not _expr_reads(stmt.init, name):
+                return "write" if not conditional else "read"
+        if stmt.init is not None and _expr_reads(stmt.init, name):
+            return "read"
+        return "none"
+    if isinstance(stmt, ir.Assign):
+        if _expr_reads(stmt.rhs, name):
+            return "read"
+        if isinstance(stmt.lhs, ir.ArrayRef) and any(
+            _expr_reads(i, name) for i in stmt.lhs.indices
+        ):
+            return "read"
+        if isinstance(stmt.lhs, ir.VarRef) and stmt.lhs.name == name:
+            # A write inside a conditional context does not dominate the
+            # loop body's uses.
+            return "write" if not conditional else "read"
+        return "none"
+    if isinstance(stmt, (ir.CallStmt, ir.ExprStmt, ir.Return)):
+        for expr in stmt.expressions():
+            if expr is not None and _expr_reads(expr, name):
+                return "read"
+        return "none"
+    if isinstance(stmt, ir.ForLoop):
+        if _expr_reads(stmt.lower, name) or _expr_reads(stmt.upper, name):
+            return "read"
+        if stmt.var == name:
+            return "write" if not conditional else "read"
+        # A counted loop with a provably positive trip count always runs
+        # its body, so a leading write there still dominates.
+        from repro.cfront.loops import trip_count
+
+        trips = trip_count(stmt)
+        body_conditional = conditional or trips is None or trips < 1
+        return _first_access_state(stmt.body, name, conditional=body_conditional)
+    if isinstance(stmt, ir.WhileLoop):
+        if _expr_reads(stmt.cond, name):
+            return "read"
+        return _first_access_state(stmt.body, name, conditional=True)
+    if isinstance(stmt, ir.If):
+        if _expr_reads(stmt.cond, name):
+            return "read"
+        then_state = _first_access_state(stmt.then_block, name, conditional=True)
+        if then_state == "read":
+            return "read"
+        if stmt.else_block is not None:
+            else_state = _first_access_state(stmt.else_block, name, conditional=True)
+            if else_state == "read":
+                return "read"
+        return "none"
+    return "none"
+
+
+def _expr_reads(expr: ir.Expr, name: str) -> bool:
+    for node in expr.walk():
+        if isinstance(node, ir.VarRef) and node.name == name:
+            return True
+        if isinstance(node, ir.ArrayRef) and node.name == name:
+            return True
+    return False
+
+
+def _is_reduction_scalar(body: ir.Block, name: str) -> bool:
+    """True if every write to ``name`` is ``name = name ⊕ expr`` (⊕ ∈ +,-,*)
+    and ``name`` is read nowhere else in the body."""
+    found_update = False
+    for stmt in body.walk():
+        if isinstance(stmt, ir.Decl) and stmt.name == name:
+            return False
+        if isinstance(stmt, ir.Assign):
+            writes_name = isinstance(stmt.lhs, ir.VarRef) and stmt.lhs.name == name
+            if writes_name:
+                if not _is_reduction_rhs(stmt.rhs, name):
+                    return False
+                found_update = True
+            else:
+                if _expr_reads(stmt.rhs, name):
+                    return False
+                if isinstance(stmt.lhs, ir.ArrayRef) and any(
+                    _expr_reads(i, name) for i in stmt.lhs.indices
+                ):
+                    return False
+        else:
+            for expr in stmt.expressions():
+                if expr is not None and _expr_reads(expr, name):
+                    return False
+    return found_update
+
+
+def _is_reduction_rhs(rhs: ir.Expr, name: str) -> bool:
+    """Match ``name ⊕ expr`` / ``expr + name`` with name-free ``expr``."""
+    if not isinstance(rhs, ir.BinOp) or rhs.op not in ("+", "-", "*"):
+        return False
+    left_is_name = isinstance(rhs.left, ir.VarRef) and rhs.left.name == name
+    right_is_name = isinstance(rhs.right, ir.VarRef) and rhs.right.name == name
+    if left_is_name and not _expr_reads(rhs.right, name):
+        return True
+    if (
+        right_is_name
+        and rhs.op in ("+", "*")
+        and not _expr_reads(rhs.left, name)
+    ):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Affine subscript machinery
+# ---------------------------------------------------------------------------
+
+
+def affine_form(expr: ir.Expr, var: str) -> Optional[Tuple[int, str]]:
+    """Decompose ``expr`` as ``c * var + rest`` with ``rest`` free of ``var``.
+
+    Returns ``(c, canonical_rest)`` or ``None`` when the expression is not
+    affine in ``var``. ``canonical_rest`` is a normalized string used for
+    syntactic equality of the var-free remainder.
+    """
+    decomposed = _affine(expr, var)
+    if decomposed is None:
+        return None
+    coef, rest_terms, const = decomposed
+    rest = "+".join(sorted(rest_terms)) + (f"#{const}" if const or not rest_terms else "#0")
+    return coef, rest
+
+
+def _affine(expr: ir.Expr, var: str):
+    """Return (coef, multiset-of-other-term-strings, const) or None."""
+    if isinstance(expr, ir.Const):
+        if isinstance(expr.value, int):
+            return 0, [], expr.value
+        return None
+    if isinstance(expr, ir.VarRef):
+        if expr.name == var:
+            return 1, [], 0
+        return 0, [expr.name], 0
+    if isinstance(expr, ir.UnOp) and expr.op == "-":
+        inner = _affine(expr.operand, var)
+        if inner is None:
+            return None
+        coef, rest, const = inner
+        return -coef, [f"-({t})" for t in rest], -const
+    if isinstance(expr, ir.BinOp):
+        if expr.op == "+":
+            left = _affine(expr.left, var)
+            right = _affine(expr.right, var)
+            if left is None or right is None:
+                return None
+            return left[0] + right[0], left[1] + right[1], left[2] + right[2]
+        if expr.op == "-":
+            left = _affine(expr.left, var)
+            right = _affine(expr.right, var)
+            if left is None or right is None:
+                return None
+            return (
+                left[0] - right[0],
+                left[1] + [f"-({t})" for t in right[1]],
+                left[2] - right[2],
+            )
+        if expr.op == "*":
+            left_const = _fold_const_int(expr.left)
+            right_const = _fold_const_int(expr.right)
+            if left_const is not None:
+                inner = _affine(expr.right, var)
+                if inner is None:
+                    return None
+                coef, rest, const = inner
+                return (
+                    coef * left_const,
+                    [f"{left_const}*({t})" for t in rest],
+                    const * left_const,
+                )
+            if right_const is not None:
+                inner = _affine(expr.left, var)
+                if inner is None:
+                    return None
+                coef, rest, const = inner
+                return (
+                    coef * right_const,
+                    [f"{right_const}*({t})" for t in rest],
+                    const * right_const,
+                )
+            # var-free product is fine as an opaque term
+            if not _expr_reads(expr, var):
+                return 0, [str(expr)], 0
+            return None
+    if not _expr_reads(expr, var):
+        return 0, [str(expr)], 0
+    return None
+
+
+def _fold_const_int(expr: ir.Expr) -> Optional[int]:
+    if isinstance(expr, ir.Const) and isinstance(expr.value, int):
+        return expr.value
+    if isinstance(expr, ir.UnOp) and expr.op == "-":
+        inner = _fold_const_int(expr.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _distance_zero(write: Access, other: Access, var: str) -> bool:
+    """Prove that ``write`` and ``other`` only collide within one iteration.
+
+    True when some dimension has identical affine forms ``c*var + k`` with
+    ``c != 0`` in both accesses: equal subscripts then force equal
+    iteration indices, so cross-iteration collisions are impossible.
+    """
+    dims = min(len(write.indices), len(other.indices))
+    for d in range(dims):
+        wform = affine_form(write.indices[d], var)
+        oform = affine_form(other.indices[d], var)
+        if wform is None or oform is None:
+            continue
+        wc, wrest = wform
+        oc, orest = oform
+        if wc != 0 and wc == oc and wrest == orest:
+            return True
+    return False

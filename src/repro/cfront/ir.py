@@ -1,0 +1,434 @@
+"""Hierarchical statement-level IR for the C frontend.
+
+The IR mirrors the hierarchical structure the paper's Augmented
+Hierarchical Task Graph is built from: every statement becomes a node;
+compound statements (loops, conditionals, blocks, function bodies) contain
+child statements. Expressions form ordinary trees below statements.
+
+The IR covers the ANSI-C subset exercised by UTDSP-style DSP kernels:
+scalar and (multi-dimensional) array declarations, assignments (including
+normalized compound assignment and ++/--), canonical counted ``for`` loops,
+``while`` loops, ``if``/``else``, calls, and ``return``. Anything outside
+the subset raises :class:`UnsupportedCError` at parse time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+
+class UnsupportedCError(Exception):
+    """Raised when the input program uses C features outside the subset."""
+
+
+_stmt_ids = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant; ``value`` is an ``int`` or ``float``."""
+
+    value: Union[int, float]
+    ctype: str = "int"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A scalar variable reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """``name[i0][i1]...`` — an array element access."""
+
+    name: str
+    indices: Tuple[Expr, ...]
+
+    def children(self) -> Sequence[Expr]:
+        return self.indices
+
+    def __str__(self) -> str:
+        return self.name + "".join(f"[{i}]" for i in self.indices)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is the C operator token (``+``, ``<``, ...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operation (``-``, ``!``, ``~``)."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """A C cast ``(type) expr``."""
+
+    ctype: str
+    operand: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"(({self.ctype}){self.operand})"
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    """A call used as an expression (e.g. ``sqrt(x)``)."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+LValue = Union[VarRef, ArrayRef]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statement nodes. Each instance has a unique ``sid``."""
+
+    def __init__(self, coord: Optional[str] = None):
+        self.sid: int = next(_stmt_ids)
+        self.coord = coord
+
+    def substatements(self) -> Sequence["Stmt"]:
+        """Direct child statements (the hierarchical structure)."""
+        return ()
+
+    def expressions(self) -> Sequence[Expr]:
+        """Expressions evaluated directly by this statement (not children)."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        yield self
+        for child in self.substatements():
+            yield from child.walk()
+
+    def is_hierarchical(self) -> bool:
+        return bool(self.substatements())
+
+
+class Block(Stmt):
+    """A ``{ ... }`` compound statement."""
+
+    def __init__(self, stmts: List[Stmt], coord: Optional[str] = None):
+        super().__init__(coord)
+        self.stmts = stmts
+
+    def substatements(self) -> Sequence[Stmt]:
+        return self.stmts
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.stmts)} stmts)"
+
+
+class Decl(Stmt):
+    """A declaration; ``dims`` is non-empty for arrays, ``init`` optional."""
+
+    def __init__(
+        self,
+        name: str,
+        ctype: str,
+        dims: Tuple[int, ...] = (),
+        init: Optional[Expr] = None,
+        coord: Optional[str] = None,
+    ):
+        super().__init__(coord)
+        self.name = name
+        self.ctype = ctype
+        self.dims = dims
+        self.init = init
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.init,) if self.init is not None else ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    def __repr__(self) -> str:
+        dims = "".join(f"[{d}]" for d in self.dims)
+        return f"Decl({self.ctype} {self.name}{dims})"
+
+
+class Assign(Stmt):
+    """``lhs = rhs`` (compound assignments are normalized to this form)."""
+
+    def __init__(self, lhs: LValue, rhs: Expr, coord: Optional[str] = None):
+        super().__init__(coord)
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"Assign({self.lhs} = {self.rhs})"
+
+
+class CallStmt(Stmt):
+    """A call used as a statement (``foo(a, b);``)."""
+
+    def __init__(self, call: CallExpr, coord: Optional[str] = None):
+        super().__init__(coord)
+        self.call = call
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.call,)
+
+    def __repr__(self) -> str:
+        return f"CallStmt({self.call})"
+
+
+class ExprStmt(Stmt):
+    """A bare expression statement with a side-effect-free expression."""
+
+    def __init__(self, expr: Expr, coord: Optional[str] = None):
+        super().__init__(coord)
+        self.expr = expr
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.expr,)
+
+    def __repr__(self) -> str:
+        return f"ExprStmt({self.expr})"
+
+
+class ForLoop(Stmt):
+    """A canonical counted loop ``for (var = lower; var < upper; var += step)``.
+
+    ``lower``/``upper`` are expressions; ``step`` is a positive integer
+    constant. The comparison is normalized to ``<`` (so ``i <= n`` becomes
+    ``upper = n + 1``). Non-canonical loops fall back to :class:`WhileLoop`.
+    """
+
+    def __init__(
+        self,
+        var: str,
+        lower: Expr,
+        upper: Expr,
+        step: int,
+        body: Block,
+        coord: Optional[str] = None,
+    ):
+        super().__init__(coord)
+        if step <= 0:
+            raise UnsupportedCError("for-loop step must be a positive constant")
+        self.var = var
+        self.lower = lower
+        self.upper = upper
+        self.step = step
+        self.body = body
+
+    def substatements(self) -> Sequence[Stmt]:
+        return (self.body,)
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.lower, self.upper)
+
+    def __repr__(self) -> str:
+        return f"ForLoop({self.var}: {self.lower}..{self.upper} step {self.step})"
+
+
+class WhileLoop(Stmt):
+    """A general loop with a guard condition."""
+
+    def __init__(self, cond: Expr, body: Block, coord: Optional[str] = None):
+        super().__init__(coord)
+        self.cond = cond
+        self.body = body
+
+    def substatements(self) -> Sequence[Stmt]:
+        return (self.body,)
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        return f"WhileLoop({self.cond})"
+
+
+class If(Stmt):
+    """``if (cond) then_block else else_block``."""
+
+    def __init__(
+        self,
+        cond: Expr,
+        then_block: Block,
+        else_block: Optional[Block] = None,
+        coord: Optional[str] = None,
+    ):
+        super().__init__(coord)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def substatements(self) -> Sequence[Stmt]:
+        if self.else_block is not None:
+            return (self.then_block, self.else_block)
+        return (self.then_block,)
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        return f"If({self.cond})"
+
+
+class Return(Stmt):
+    """``return expr;`` (or bare ``return;``)."""
+
+    def __init__(self, expr: Optional[Expr] = None, coord: Optional[str] = None):
+        super().__init__(coord)
+        self.expr = expr
+
+    def expressions(self) -> Sequence[Expr]:
+        return (self.expr,) if self.expr is not None else ()
+
+    def __repr__(self) -> str:
+        return f"Return({self.expr})"
+
+
+# ---------------------------------------------------------------------------
+# Functions and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A function parameter. ``is_pointer`` marks array-like parameters."""
+
+    name: str
+    ctype: str
+    is_pointer: bool = False
+
+
+@dataclass
+class Function:
+    """A parsed C function."""
+
+    name: str
+    return_type: str
+    params: List[Param]
+    body: Block
+
+    def walk_statements(self) -> Iterator[Stmt]:
+        yield from self.body.walk()
+
+
+#: Element sizes in bytes for communicated-data estimation.
+SIZEOF: Dict[str, int] = {
+    "char": 1,
+    "signed char": 1,
+    "unsigned char": 1,
+    "short": 2,
+    "unsigned short": 2,
+    "int": 4,
+    "unsigned int": 4,
+    "unsigned": 4,
+    "long": 8,
+    "unsigned long": 8,
+    "long long": 8,
+    "float": 4,
+    "double": 8,
+    "long double": 8,
+    "void": 0,
+}
+
+
+def sizeof(ctype: str) -> int:
+    """Byte size of a C scalar type (defaults to 4 for unknown types)."""
+    return SIZEOF.get(ctype, 4)
+
+
+@dataclass
+class Program:
+    """A parsed translation unit.
+
+    ``functions`` preserves source order; ``globals`` maps names of
+    file-scope declarations (arrays and scalars) to their :class:`Decl`.
+    ``constants`` holds file-scope ``const``-style scalar initializers,
+    used for trip-count evaluation.
+    """
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals: Dict[str, Decl] = field(default_factory=dict)
+    constants: Dict[str, Union[int, float]] = field(default_factory=dict)
+
+    def entry(self, name: str = "main") -> Function:
+        if name in self.functions:
+            return self.functions[name]
+        if len(self.functions) == 1:
+            return next(iter(self.functions.values()))
+        raise KeyError(
+            f"no function {name!r}; available: {sorted(self.functions)}"
+        )
+
+    def array_decl(self, name: str, scope: Optional[Function] = None) -> Optional[Decl]:
+        """Find the declaration of an array by name (scope then globals)."""
+        if scope is not None:
+            for stmt in scope.body.walk():
+                if isinstance(stmt, Decl) and stmt.name == name:
+                    return stmt
+        return self.globals.get(name)

@@ -1,0 +1,91 @@
+"""Static trip-count extraction for canonical counted loops.
+
+The AHTG annotates every node with iteration counts (Section III-A; in
+the paper these come from target-platform simulation / profiling). For
+the benchmark subset, bounds are integer literals or names bound to
+compile-time constants, so a small evaluator over a constant environment
+suffices; the abstract interpreter in :mod:`repro.timing.interp` provides
+dynamic counts when static evaluation fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from repro.cfront import ir
+
+Env = Mapping[str, Union[int, float]]
+
+
+def eval_const_expr(expr: ir.Expr, env: Optional[Env] = None) -> Optional[Union[int, float]]:
+    """Evaluate an expression over a constant environment, or ``None``."""
+    env = env or {}
+    if isinstance(expr, ir.Const):
+        return expr.value
+    if isinstance(expr, ir.VarRef):
+        return env.get(expr.name)
+    if isinstance(expr, ir.UnOp):
+        inner = eval_const_expr(expr.operand, env)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "!":
+            return int(not inner)
+        if expr.op == "~" and isinstance(inner, int):
+            return ~inner
+        return None
+    if isinstance(expr, ir.Cast):
+        inner = eval_const_expr(expr.operand, env)
+        if inner is None:
+            return None
+        return int(inner) if expr.ctype in ir.SIZEOF and expr.ctype not in (
+            "float",
+            "double",
+            "long double",
+        ) else float(inner)
+    if isinstance(expr, ir.BinOp):
+        left = eval_const_expr(expr.left, env)
+        right = eval_const_expr(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                if right == 0:
+                    return None
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right
+                return left / right
+            if expr.op == "%":
+                return left % right if right else None
+            if expr.op == "<<":
+                return left << right
+            if expr.op == ">>":
+                return left >> right
+        except TypeError:
+            return None
+    return None
+
+
+def trip_count(loop: ir.ForLoop, env: Optional[Env] = None) -> Optional[int]:
+    """Number of iterations of a canonical loop, or ``None`` if unknown.
+
+    ``env`` supplies values for symbolic bounds (e.g. a parameter ``n``
+    fixed by the benchmark driver).
+    """
+    lower = eval_const_expr(loop.lower, env)
+    upper = eval_const_expr(loop.upper, env)
+    if lower is None or upper is None:
+        return None
+    if not isinstance(lower, (int, float)) or not isinstance(upper, (int, float)):
+        return None
+    span = upper - lower
+    if span <= 0:
+        return 0
+    return int((span + loop.step - 1) // loop.step)

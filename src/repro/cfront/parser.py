@@ -1,0 +1,392 @@
+"""pycparser-based ANSI-C parser producing the :mod:`repro.cfront.ir` IR.
+
+Only a preprocessed translation unit is accepted (no ``#include``; the
+benchmark kernels in :mod:`repro.bench_suite` are written in this style,
+mirroring how the paper's ICD-C frontend consumes preprocessed sources).
+``#define NAME literal`` lines are honoured by a tiny built-in
+pre-pass so kernels can keep their symbolic sizes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from pycparser import c_ast, c_parser
+
+from repro.cfront import ir
+from repro.cfront.ir import UnsupportedCError
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)\s+(.+?)\s*$", re.MULTILINE)
+_COMMENT_RE = re.compile(r"/\*.*?\*/|//[^\n]*", re.DOTALL)
+
+
+def parse_c_source(source: str) -> ir.Program:
+    """Parse a C source string into a :class:`repro.cfront.ir.Program`."""
+    source = _COMMENT_RE.sub(" ", source)
+    defines: Dict[str, str] = {}
+    for match in _DEFINE_RE.finditer(source):
+        defines[match.group(1)] = match.group(2)
+    source = _DEFINE_RE.sub("", source)
+    # Expand object-like macros (iterate to support chained defines).
+    for _ in range(4):
+        changed = False
+        for name, repl in defines.items():
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            new_source = pattern.sub(f"({repl})", source)
+            if new_source != source:
+                source = new_source
+                changed = True
+        if not changed:
+            break
+
+    parser = c_parser.CParser()
+    try:
+        ast = parser.parse(source)
+    except Exception as exc:  # pycparser raises plain ParseError
+        raise UnsupportedCError(f"C parse error: {exc}") from exc
+    return _Converter().convert(ast)
+
+
+def parse_c_program(path: str) -> ir.Program:
+    """Parse a C source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_c_source(handle.read())
+
+
+class _Converter:
+    """Converts a pycparser AST into the statement IR."""
+
+    def convert(self, ast: c_ast.FileAST) -> ir.Program:
+        program = ir.Program()
+        for ext in ast.ext:
+            if isinstance(ext, c_ast.FuncDef):
+                func = self._function(ext)
+                program.functions[func.name] = func
+            elif isinstance(ext, c_ast.Decl):
+                decl = self._decl(ext)
+                program.globals[decl.name] = decl
+                if decl.init is not None and isinstance(decl.init, ir.Const):
+                    program.constants[decl.name] = decl.init.value
+            elif isinstance(ext, c_ast.Typedef):
+                raise UnsupportedCError("typedef is outside the supported subset")
+            else:
+                raise UnsupportedCError(
+                    f"unsupported file-scope construct {type(ext).__name__}"
+                )
+        return program
+
+    # -- declarations -------------------------------------------------------
+
+    def _function(self, node: c_ast.FuncDef) -> ir.Function:
+        name = node.decl.name
+        func_decl = node.decl.type
+        return_type = self._type_name(func_decl.type)
+        params: List[ir.Param] = []
+        if func_decl.args is not None:
+            for param in func_decl.args.params:
+                if isinstance(param, c_ast.EllipsisParam):
+                    raise UnsupportedCError("varargs functions are unsupported")
+                if isinstance(param.type, c_ast.PtrDecl):
+                    ptype = self._type_name(param.type.type)
+                    params.append(ir.Param(param.name, ptype, is_pointer=True))
+                elif isinstance(param.type, c_ast.ArrayDecl):
+                    ptype = self._base_type_name(param.type)
+                    params.append(ir.Param(param.name, ptype, is_pointer=True))
+                elif isinstance(param.type, c_ast.TypeDecl):
+                    ptype = self._type_name(param.type)
+                    if ptype == "void":
+                        continue  # f(void)
+                    params.append(ir.Param(param.name, ptype))
+                else:
+                    raise UnsupportedCError(
+                        f"unsupported parameter declarator {type(param.type).__name__}"
+                    )
+        body = self._block(node.body)
+        return ir.Function(name, return_type, params, body)
+
+    def _decl(self, node: c_ast.Decl) -> ir.Decl:
+        dims: List[int] = []
+        type_node = node.type
+        while isinstance(type_node, c_ast.ArrayDecl):
+            dim_expr = type_node.dim
+            if dim_expr is None:
+                raise UnsupportedCError(f"array {node.name!r} needs explicit dimensions")
+            dim_value = self._const_int(dim_expr)
+            dims.append(dim_value)
+            type_node = type_node.type
+        if isinstance(type_node, c_ast.PtrDecl):
+            raise UnsupportedCError(
+                f"pointer declaration {node.name!r}: pointers are only supported "
+                f"as array-style function parameters"
+            )
+        if not isinstance(type_node, c_ast.TypeDecl):
+            raise UnsupportedCError(
+                f"unsupported declarator for {node.name!r}: {type(type_node).__name__}"
+            )
+        ctype = self._type_name(type_node)
+        init: Optional[ir.Expr] = None
+        if node.init is not None:
+            if isinstance(node.init, c_ast.InitList):
+                raise UnsupportedCError(
+                    f"initializer lists are unsupported (array {node.name!r}); "
+                    f"initialize in a loop instead"
+                )
+            init = self._expr(node.init)
+        return ir.Decl(node.name, ctype, tuple(dims), init, coord=str(node.coord))
+
+    def _type_name(self, node: c_ast.TypeDecl) -> str:
+        inner = node.type
+        if isinstance(inner, c_ast.IdentifierType):
+            return " ".join(inner.names)
+        raise UnsupportedCError(f"unsupported type {type(inner).__name__}")
+
+    def _base_type_name(self, node) -> str:
+        while isinstance(node, (c_ast.ArrayDecl, c_ast.PtrDecl)):
+            node = node.type
+        return self._type_name(node)
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self, node: Optional[c_ast.Compound]) -> ir.Block:
+        stmts: List[ir.Stmt] = []
+        if node is not None and node.block_items:
+            for item in node.block_items:
+                converted = self._stmt(item)
+                stmts.extend(converted)
+        return ir.Block(stmts)
+
+    def _stmt_as_block(self, node) -> ir.Block:
+        """Wrap a single statement (loop/if body) into a Block."""
+        if node is None:
+            return ir.Block([])
+        if isinstance(node, c_ast.Compound):
+            return self._block(node)
+        return ir.Block(list(self._stmt(node)))
+
+    def _stmt(self, node) -> List[ir.Stmt]:
+        coord = str(node.coord) if getattr(node, "coord", None) else None
+
+        if isinstance(node, c_ast.Decl):
+            return [self._decl(node)]
+        if isinstance(node, c_ast.DeclList):
+            return [self._decl(d) for d in node.decls]
+        if isinstance(node, c_ast.Assignment):
+            return [self._assignment(node, coord)]
+        if isinstance(node, c_ast.UnaryOp) and node.op in ("p++", "++", "p--", "--"):
+            return [self._incdec(node, coord)]
+        if isinstance(node, c_ast.FuncCall):
+            call = self._expr(node)
+            assert isinstance(call, ir.CallExpr)
+            return [ir.CallStmt(call, coord)]
+        if isinstance(node, c_ast.For):
+            return [self._for(node, coord)]
+        if isinstance(node, c_ast.While):
+            return [ir.WhileLoop(self._expr(node.cond), self._stmt_as_block(node.stmt), coord)]
+        if isinstance(node, c_ast.If):
+            else_block = self._stmt_as_block(node.iffalse) if node.iffalse else None
+            return [
+                ir.If(self._expr(node.cond), self._stmt_as_block(node.iftrue), else_block, coord)
+            ]
+        if isinstance(node, c_ast.Return):
+            expr = self._expr(node.expr) if node.expr is not None else None
+            return [ir.Return(expr, coord)]
+        if isinstance(node, c_ast.Compound):
+            return [self._block(node)]
+        if isinstance(node, c_ast.EmptyStatement):
+            return []
+        raise UnsupportedCError(f"unsupported statement {type(node).__name__} at {coord}")
+
+    def _assignment(self, node: c_ast.Assignment, coord: Optional[str]) -> ir.Assign:
+        lhs = self._expr(node.lvalue)
+        if not isinstance(lhs, (ir.VarRef, ir.ArrayRef)):
+            raise UnsupportedCError(f"unsupported assignment target {lhs} at {coord}")
+        rhs = self._expr(node.rvalue)
+        if node.op != "=":
+            binop = node.op[:-1]  # "+=" -> "+"
+            rhs = ir.BinOp(binop, lhs, rhs)
+        return ir.Assign(lhs, rhs, coord)
+
+    def _incdec(self, node: c_ast.UnaryOp, coord: Optional[str]) -> ir.Assign:
+        target = self._expr(node.expr)
+        if not isinstance(target, (ir.VarRef, ir.ArrayRef)):
+            raise UnsupportedCError(f"unsupported ++/-- target at {coord}")
+        op = "+" if "++" in node.op else "-"
+        return ir.Assign(target, ir.BinOp(op, target, ir.Const(1)), coord)
+
+    # -- loops ------------------------------------------------------------------
+
+    def _for(self, node: c_ast.For, coord: Optional[str]) -> ir.Stmt:
+        body = self._stmt_as_block(node.stmt)
+        canonical = self._canonical_for(node)
+        if canonical is not None:
+            var, lower, upper, step = canonical
+            return ir.ForLoop(var, lower, upper, step, body, coord)
+        # Fall back to a while loop preserving semantics as far as possible.
+        init_stmts: List[ir.Stmt] = []
+        if node.init is not None:
+            init_stmts = self._stmt(node.init)
+        cond = self._expr(node.cond) if node.cond is not None else ir.Const(1)
+        if node.next is not None:
+            body.stmts.extend(self._stmt(node.next))
+        loop = ir.WhileLoop(cond, body, coord)
+        if init_stmts:
+            return ir.Block(init_stmts + [loop], coord)
+        return loop
+
+    def _canonical_for(
+        self, node: c_ast.For
+    ) -> Optional[Tuple[str, ir.Expr, ir.Expr, int]]:
+        """Recognize ``for (i = lo; i < hi; i += step)`` shapes."""
+        # init: i = lo  (assignment or single declaration)
+        var: Optional[str] = None
+        lower: Optional[ir.Expr] = None
+        if isinstance(node.init, c_ast.Assignment) and node.init.op == "=":
+            if isinstance(node.init.lvalue, c_ast.ID):
+                var = node.init.lvalue.name
+                lower = self._expr(node.init.rvalue)
+        elif isinstance(node.init, c_ast.DeclList) and len(node.init.decls) == 1:
+            decl = node.init.decls[0]
+            if decl.init is not None and isinstance(decl.type, c_ast.TypeDecl):
+                var = decl.name
+                lower = self._expr(decl.init)
+        if var is None or lower is None:
+            return None
+
+        # cond: i < hi or i <= hi
+        if not isinstance(node.cond, c_ast.BinaryOp):
+            return None
+        if not (isinstance(node.cond.left, c_ast.ID) and node.cond.left.name == var):
+            return None
+        bound = self._expr(node.cond.right)
+        if node.cond.op == "<":
+            upper = bound
+        elif node.cond.op == "<=":
+            upper = ir.BinOp("+", bound, ir.Const(1))
+        else:
+            return None
+
+        # next: i++, ++i, i += c, i = i + c
+        step: Optional[int] = None
+        nxt = node.next
+        if isinstance(nxt, c_ast.UnaryOp) and nxt.op in ("p++", "++"):
+            if isinstance(nxt.expr, c_ast.ID) and nxt.expr.name == var:
+                step = 1
+        elif isinstance(nxt, c_ast.Assignment):
+            if isinstance(nxt.lvalue, c_ast.ID) and nxt.lvalue.name == var:
+                if nxt.op == "+=":
+                    step = self._try_const_int(nxt.rvalue)
+                elif nxt.op == "=":
+                    rv = nxt.rvalue
+                    if (
+                        isinstance(rv, c_ast.BinaryOp)
+                        and rv.op == "+"
+                        and isinstance(rv.left, c_ast.ID)
+                        and rv.left.name == var
+                    ):
+                        step = self._try_const_int(rv.right)
+        if step is None or step <= 0:
+            return None
+        return var, lower, upper, step
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expr(self, node) -> ir.Expr:
+        if isinstance(node, c_ast.Constant):
+            return self._constant(node)
+        if isinstance(node, c_ast.ID):
+            return ir.VarRef(node.name)
+        if isinstance(node, c_ast.ArrayRef):
+            return self._array_ref(node)
+        if isinstance(node, c_ast.BinaryOp):
+            return ir.BinOp(node.op, self._expr(node.left), self._expr(node.right))
+        if isinstance(node, c_ast.UnaryOp):
+            if node.op in ("-", "+", "!", "~"):
+                if node.op == "+":
+                    return self._expr(node.expr)
+                return ir.UnOp(node.op, self._expr(node.expr))
+            raise UnsupportedCError(f"unsupported unary operator {node.op!r} in expression")
+        if isinstance(node, c_ast.Cast):
+            ctype = self._base_type_name(node.to_type.type)
+            return ir.Cast(ctype, self._expr(node.expr))
+        if isinstance(node, c_ast.FuncCall):
+            args: List[ir.Expr] = []
+            if node.args is not None:
+                args = [self._expr(a) for a in node.args.exprs]
+            name = node.name.name if isinstance(node.name, c_ast.ID) else None
+            if name is None:
+                raise UnsupportedCError("indirect calls are unsupported")
+            return ir.CallExpr(name, tuple(args))
+        if isinstance(node, c_ast.TernaryOp):
+            raise UnsupportedCError("the ?: operator is unsupported; use if/else")
+        if isinstance(node, c_ast.Paren) if hasattr(c_ast, "Paren") else False:
+            return self._expr(node.expr)  # pragma: no cover - pycparser folds parens
+        raise UnsupportedCError(f"unsupported expression {type(node).__name__}")
+
+    def _array_ref(self, node: c_ast.ArrayRef) -> ir.ArrayRef:
+        indices: List[ir.Expr] = []
+        base = node
+        while isinstance(base, c_ast.ArrayRef):
+            indices.append(self._expr(base.subscript))
+            base = base.name
+        if not isinstance(base, c_ast.ID):
+            raise UnsupportedCError("array base must be a plain identifier")
+        indices.reverse()
+        return ir.ArrayRef(base.name, tuple(indices))
+
+    def _constant(self, node: c_ast.Constant) -> ir.Const:
+        text = node.value
+        if node.type in ("int", "long int", "unsigned int", "long long int", "char"):
+            if node.type == "char":
+                stripped = text.strip("'")
+                value = ord(stripped) if len(stripped) == 1 else 0
+                return ir.Const(value, "char")
+            cleaned = text.rstrip("uUlL")
+            base = 16 if cleaned.lower().startswith("0x") else (8 if _is_octal(cleaned) else 10)
+            return ir.Const(int(cleaned, base), "int")
+        if node.type in ("float", "double", "long double"):
+            cleaned = text.rstrip("fFlL")
+            return ir.Const(float(cleaned), "double" if node.type != "float" else "float")
+        raise UnsupportedCError(f"unsupported constant type {node.type!r}")
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _const_int(self, node) -> int:
+        value = self._try_const_int(node)
+        if value is None:
+            raise UnsupportedCError("expected an integer constant expression")
+        return value
+
+    def _try_const_int(self, node) -> Optional[int]:
+        try:
+            expr = self._expr(node)
+        except UnsupportedCError:
+            return None
+        return _fold_int(expr)
+
+
+def _is_octal(text: str) -> bool:
+    return len(text) > 1 and text.startswith("0") and text[1:].isdigit()
+
+
+def _fold_int(expr: ir.Expr) -> Optional[int]:
+    """Constant-fold an integer expression tree, or None."""
+    if isinstance(expr, ir.Const) and isinstance(expr.value, int):
+        return expr.value
+    if isinstance(expr, ir.UnOp) and expr.op == "-":
+        inner = _fold_int(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ir.BinOp):
+        left = _fold_int(expr.left)
+        right = _fold_int(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left // right
+    return None

@@ -1,0 +1,202 @@
+"""IR normalization passes.
+
+Source-level tools benefit from a canonical IR: macro expansion leaves
+constant arithmetic in loop bounds and subscripts (``i < 64 + 256``),
+and benchmark kernels accumulate algebraic noise (``x * 1.0``,
+``0 + e``). Two passes are provided:
+
+* :func:`fold_constants` — bottom-up constant folding over expressions
+  (C semantics: truncating integer division, short-circuit collapse of
+  constant conditions), plus algebraic identities
+  (``e*1 → e``, ``e+0 → e``, ``e*0 → 0`` for side-effect-free ``e``);
+* :func:`simplify_program` — applies folding to every statement of every
+  function and drops statically dead branches (``if (0) ...``).
+
+The passes return *new* expression trees but mutate statements in place
+(the IR's statement identity — ``sid`` — must survive for cost
+annotations to stay attached).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cfront import ir
+
+Number = Union[int, float]
+
+
+def _is_const(expr: ir.Expr, value: Optional[Number] = None) -> bool:
+    if not isinstance(expr, ir.Const):
+        return False
+    return value is None or expr.value == value
+
+
+def _const_of(left: ir.Const, right: ir.Const, op: str) -> Optional[ir.Const]:
+    a, b = left.value, right.value
+    both_int = isinstance(a, int) and isinstance(b, int)
+    ctype = "int" if both_int else (
+        "double" if "double" in (left.ctype, right.ctype) else "float"
+    )
+    try:
+        if op == "+":
+            value: Number = a + b
+        elif op == "-":
+            value = a - b
+        elif op == "*":
+            value = a * b
+        elif op == "/":
+            if b == 0:
+                return None
+            if both_int:
+                q = abs(a) // abs(b)
+                value = q if (a >= 0) == (b >= 0) else -q
+            else:
+                value = a / b
+        elif op == "%":
+            if b == 0 or not both_int:
+                return None
+            q = abs(a) // abs(b)
+            q = q if (a >= 0) == (b >= 0) else -q
+            value = a - q * b
+        elif op in ("<", "<=", ">", ">=", "==", "!="):
+            value = int(
+                {"<": a < b, "<=": a <= b, ">": a > b,
+                 ">=": a >= b, "==": a == b, "!=": a != b}[op]
+            )
+            ctype = "int"
+        elif op == "<<" and both_int:
+            value = a << b
+        elif op == ">>" and both_int:
+            value = a >> b
+        elif op == "&" and both_int:
+            value = a & b
+        elif op == "|" and both_int:
+            value = a | b
+        elif op == "^" and both_int:
+            value = a ^ b
+        elif op == "&&":
+            value = int(bool(a) and bool(b))
+            ctype = "int"
+        elif op == "||":
+            value = int(bool(a) or bool(b))
+            ctype = "int"
+        else:
+            return None
+    except TypeError:
+        return None
+    return ir.Const(value, ctype)
+
+
+def fold_constants(expr: ir.Expr) -> ir.Expr:
+    """Return an equivalent expression with constants folded."""
+    if isinstance(expr, (ir.Const, ir.VarRef)):
+        return expr
+    if isinstance(expr, ir.ArrayRef):
+        return ir.ArrayRef(expr.name, tuple(fold_constants(i) for i in expr.indices))
+    if isinstance(expr, ir.UnOp):
+        inner = fold_constants(expr.operand)
+        if isinstance(inner, ir.Const):
+            if expr.op == "-":
+                return ir.Const(-inner.value, inner.ctype)
+            if expr.op == "!":
+                return ir.Const(int(not inner.value), "int")
+            if expr.op == "~" and isinstance(inner.value, int):
+                return ir.Const(~inner.value, "int")
+        if expr.op == "-" and isinstance(inner, ir.UnOp) and inner.op == "-":
+            return inner.operand  # --e -> e
+        return ir.UnOp(expr.op, inner)
+    if isinstance(expr, ir.Cast):
+        inner = fold_constants(expr.operand)
+        if isinstance(inner, ir.Const):
+            int_types = set(ir.SIZEOF) - {"float", "double", "long double", "void"}
+            if expr.ctype in int_types:
+                return ir.Const(int(inner.value), "int")
+            return ir.Const(float(inner.value), expr.ctype)
+        return ir.Cast(expr.ctype, inner)
+    if isinstance(expr, ir.CallExpr):
+        return ir.CallExpr(expr.name, tuple(fold_constants(a) for a in expr.args))
+    if isinstance(expr, ir.BinOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if isinstance(left, ir.Const) and isinstance(right, ir.Const):
+            folded = _const_of(left, right, expr.op)
+            if folded is not None:
+                return folded
+        # algebraic identities on side-effect-free operands
+        if expr.op == "+":
+            if _is_const(left, 0):
+                return right
+            if _is_const(right, 0):
+                return left
+        if expr.op == "-" and _is_const(right, 0):
+            return left
+        if expr.op == "*":
+            if _is_const(left, 1):
+                return right
+            if _is_const(right, 1):
+                return left
+            if (_is_const(left, 0) or _is_const(right, 0)) and not _may_have_effects(
+                right if _is_const(left, 0) else left
+            ):
+                return ir.Const(0, "int")
+        if expr.op == "/" and _is_const(right, 1):
+            return left
+        return ir.BinOp(expr.op, left, right)
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _may_have_effects(expr: ir.Expr) -> bool:
+    """Calls may have side effects; everything else in the subset is pure."""
+    return any(isinstance(node, ir.CallExpr) for node in expr.walk())
+
+
+def simplify_stmt(stmt: ir.Stmt) -> None:
+    """Fold constants in one statement subtree, in place."""
+    if isinstance(stmt, ir.Block):
+        new_stmts = []
+        for child in stmt.stmts:
+            simplify_stmt(child)
+            if isinstance(child, ir.If) and isinstance(child.cond, ir.Const):
+                # statically decided branch: splice the live side
+                live = child.then_block if child.cond.value else child.else_block
+                if live is not None:
+                    new_stmts.append(live)
+                continue
+            new_stmts.append(child)
+        stmt.stmts = new_stmts
+    elif isinstance(stmt, ir.Decl):
+        if stmt.init is not None:
+            stmt.init = fold_constants(stmt.init)
+    elif isinstance(stmt, ir.Assign):
+        stmt.lhs = fold_constants(stmt.lhs)  # folds subscripts
+        stmt.rhs = fold_constants(stmt.rhs)
+    elif isinstance(stmt, ir.CallStmt):
+        stmt.call = fold_constants(stmt.call)
+    elif isinstance(stmt, ir.ExprStmt):
+        stmt.expr = fold_constants(stmt.expr)
+    elif isinstance(stmt, ir.ForLoop):
+        stmt.lower = fold_constants(stmt.lower)
+        stmt.upper = fold_constants(stmt.upper)
+        simplify_stmt(stmt.body)
+    elif isinstance(stmt, ir.WhileLoop):
+        stmt.cond = fold_constants(stmt.cond)
+        simplify_stmt(stmt.body)
+    elif isinstance(stmt, ir.If):
+        stmt.cond = fold_constants(stmt.cond)
+        simplify_stmt(stmt.then_block)
+        if stmt.else_block is not None:
+            simplify_stmt(stmt.else_block)
+    elif isinstance(stmt, ir.Return):
+        if stmt.expr is not None:
+            stmt.expr = fold_constants(stmt.expr)
+
+
+def simplify_program(program: ir.Program) -> ir.Program:
+    """Fold constants and prune dead branches in every function (in place)."""
+    for func in program.functions.values():
+        simplify_stmt(func.body)
+    for decl in program.globals.values():
+        if decl.init is not None:
+            decl.init = fold_constants(decl.init)
+    return program

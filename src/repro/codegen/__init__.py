@@ -1,0 +1,24 @@
+"""Source-to-source output stage.
+
+The paper's tool annotates the application source to describe the
+extracted parallelism (ATOMIUM/MPA-compatible or OpenMP-extension
+format) and emits a *pre-mapping specification* binding tasks to
+processor classes. This subpackage provides the open equivalents:
+
+* :mod:`repro.codegen.unparse` — regenerates C from the IR;
+* :mod:`repro.codegen.annotate` — emits the parallelized source with
+  ``#pragma repro`` task/section annotations and split chunk loops;
+* :mod:`repro.codegen.mapping_spec` — the JSON pre-mapping specification.
+"""
+
+from repro.codegen.annotate import annotate_solution
+from repro.codegen.mapping_spec import mapping_spec
+from repro.codegen.unparse import unparse_function, unparse_program, unparse_stmt
+
+__all__ = [
+    "annotate_solution",
+    "mapping_spec",
+    "unparse_function",
+    "unparse_program",
+    "unparse_stmt",
+]

@@ -1,0 +1,238 @@
+"""Emit the parallelized source with task annotations.
+
+Output format: the transformed C program with ``#pragma repro``
+annotations — the open stand-in for the paper's ATOMIUM/MPA parallel
+specification or OpenMP extension. Parallel regions show the fork/join
+structure chosen by the ILP; chunked loops are *actually split* into
+their per-task iteration-range loops (the source-to-source transformation
+the paper's tool flow performs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cfront import ir
+from repro.codegen.unparse import unparse_expr, unparse_stmt
+from repro.core.parallelize import ParallelizeResult
+from repro.core.solution import SolutionCandidate
+from repro.htg.nodes import ChunkNode, HierarchicalNode, HTGNode, SimpleNode
+
+_INDENT = "    "
+
+
+def annotate_solution(result: ParallelizeResult, program=None) -> str:
+    """Render the chosen solution as annotated C.
+
+    With ``program`` (the :class:`repro.cfront.ir.Program` the solution was
+    extracted from) the output is a *complete translation unit*: file-scope
+    declarations, the other functions, and the entry function rebuilt
+    around the annotated body (local declarations hoisted to the top).
+    Stripping the ``#pragma repro`` lines then yields a compilable —
+    and, because task indices follow the topological child order, a
+    semantically equivalent — sequential program. Without ``program``
+    only the annotated body is emitted.
+    """
+    lines: List[str] = [
+        f"/* parallelized by repro ({result.approach} approach) */",
+        f"/* platform: {result.platform.describe()} */",
+        f"/* estimated execution time: {result.best.exec_time_us:,.1f} us"
+        f" (speedup {result.estimated_speedup:.2f}x) */",
+        "",
+    ]
+    if program is None:
+        lines.extend(_render_candidate(result.best, depth=0))
+        return "\n".join(lines)
+
+    from repro.cfront import ir as _ir
+    from repro.codegen.unparse import unparse_function, unparse_stmt as _unparse
+
+    entry_name = result.htg.function_name
+    for decl in program.globals.values():
+        lines.extend(_unparse(decl, 0))
+    lines.append("")
+    inlined = _inlined_function_names(result.best)
+    for func in program.functions.values():
+        if func.name == entry_name or func.name in inlined:
+            continue
+        lines.append(unparse_function(func))
+        lines.append("")
+
+    entry = program.functions[entry_name]
+    lines.append(f"{entry.return_type} {entry_name}(void)")
+    lines.append("{")
+    hoisted = _local_declarations(entry, inlined, program)
+    for decl_line in hoisted:
+        lines.append(f"{_INDENT}{decl_line}")
+    if hoisted:
+        lines.append("")
+    for body_line in _render_candidate(result.best, depth=1):
+        lines.append(body_line)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _inlined_function_names(candidate: SolutionCandidate) -> set:
+    """Functions expanded inline into the solution (construct == 'call')."""
+    names = set()
+
+    def visit(cand: SolutionCandidate) -> None:
+        node = cand.node
+        if isinstance(node, HierarchicalNode) and node.construct == "call":
+            names.add(node.label.replace("call ", "", 1))
+        for child in cand.child_choice.values():
+            visit(child)
+
+    visit(candidate)
+    return names
+
+
+def _local_declarations(entry, inlined, program) -> List[str]:
+    """Uninitialized local declarations of the entry function (and of any
+    inlined callees), hoisted above the annotated body."""
+    from repro.cfront import ir as _ir
+
+    seen = set()
+    out: List[str] = []
+
+    def collect(func) -> None:
+        for stmt in func.body.walk():
+            if isinstance(stmt, _ir.Decl) and stmt.init is None:
+                if stmt.name in seen:
+                    continue
+                seen.add(stmt.name)
+                dims = "".join(f"[{d}]" for d in stmt.dims)
+                out.append(f"{stmt.ctype} {stmt.name}{dims};")
+
+    collect(entry)
+    # Note: inlined callees' bodies reference their parameter names; the
+    # full-unit output is only guaranteed re-parseable for call-free entry
+    # functions (all bundled benchmarks qualify). Their locals are still
+    # hoisted so partial inspection works.
+    for name in inlined:
+        func = program.functions.get(name)
+        if func is not None:
+            collect(func)
+    return out
+
+
+def _render_candidate(candidate: SolutionCandidate, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    node = candidate.node
+    if candidate.is_sequential:
+        lines = [f"{pad}/* sequential on class {candidate.main_class} */"]
+        lines.extend(_render_node_source(node, depth))
+        return lines
+
+    assert isinstance(node, HierarchicalNode)
+
+    # Constructs whose control flow encloses the parallel region must keep
+    # their headers: a parallelized serial-loop body still iterates, and
+    # parallelized if-branches stay guarded by the condition.
+    if node.construct == "loop" and isinstance(node.stmt, (ir.ForLoop, ir.WhileLoop)):
+        header = _loop_header(node.stmt, pad)
+        inner = _render_region(candidate, node, depth + 1)
+        return [header, f"{pad}{{", *inner, f"{pad}}}"]
+    if node.construct == "if" and isinstance(node.stmt, ir.If):
+        return _render_if(candidate, node, depth)
+    return _render_region(candidate, node, depth)
+
+
+def _render_region(
+    candidate: SolutionCandidate, node: HierarchicalNode, depth: int
+) -> List[str]:
+    pad = _INDENT * depth
+    lines = [
+        f"{pad}#pragma repro parallel region(\"{node.label}\") "
+        f"tasks({candidate.num_tasks}) main_class({candidate.main_class})"
+    ]
+    for segment in candidate.segments:
+        if not segment.children:
+            continue
+        lines.append(
+            f"{pad}#pragma repro task({segment.index}) role({segment.role}) "
+            f"class({segment.proc_class})"
+        )
+        lines.append(f"{pad}{{")
+        for child in segment.children:
+            chosen = candidate.child_choice[child.uid]
+            lines.extend(_render_candidate(chosen, depth + 1))
+        lines.append(f"{pad}}}")
+    lines.append(f"{pad}#pragma repro join region(\"{node.label}\")")
+    return lines
+
+
+def _loop_header(stmt, pad: str) -> str:
+    if isinstance(stmt, ir.ForLoop):
+        step = f"{stmt.var}++" if stmt.step == 1 else f"{stmt.var} += {stmt.step}"
+        return (
+            f"{pad}for ({stmt.var} = {unparse_expr(stmt.lower)}; "
+            f"{stmt.var} < {unparse_expr(stmt.upper)}; {step})"
+        )
+    return f"{pad}while ({unparse_expr(stmt.cond)})"
+
+
+def _render_if(
+    candidate: SolutionCandidate, node: HierarchicalNode, depth: int
+) -> List[str]:
+    """Branches are mutually exclusive: keep the guard, annotate per branch."""
+    pad = _INDENT * depth
+    lines = [f"{pad}if ({unparse_expr(node.stmt.cond)})"]
+    branches = list(node.children)
+    for index, branch in enumerate(branches):
+        if index == 1:
+            lines.append(f"{pad}else")
+        segment_index = candidate.task_of_child(branch)
+        segment = next(
+            (s for s in candidate.segments if s.index == segment_index), None
+        )
+        if segment is not None:
+            lines.append(
+                f"{pad}/* branch task({segment.index}) class({segment.proc_class}) */"
+            )
+        lines.append(f"{pad}{{")
+        chosen = candidate.child_choice[branch.uid]
+        lines.extend(_render_candidate(chosen, depth + 1))
+        lines.append(f"{pad}}}")
+    if len(branches) == 1:
+        # no else branch in the AHTG: nothing to emit
+        pass
+    return lines
+
+
+def _render_node_source(node: HTGNode, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(node, ChunkNode):
+        return _render_chunk(node, depth)
+    stmt = getattr(node, "stmt", None)
+    if stmt is not None:
+        return unparse_stmt(stmt, depth)
+    if isinstance(node, HierarchicalNode):
+        lines: List[str] = []
+        for child in node.children:
+            lines.extend(_render_node_source(child, depth))
+        return lines
+    return [f"{pad}/* {node.label} */"]
+
+
+def _render_chunk(chunk: ChunkNode, depth: int) -> List[str]:
+    """Render a chunk as its iteration-range sub-loop."""
+    loop = chunk.loop
+    lo = _offset_expr(loop.lower, chunk.iter_lo * loop.step)
+    hi = _offset_expr(loop.lower, chunk.iter_hi * loop.step)
+    pad = _INDENT * depth
+    step = f"{loop.var}++" if loop.step == 1 else f"{loop.var} += {loop.step}"
+    header = (
+        f"{pad}for ({loop.var} = {unparse_expr(lo)}; "
+        f"{loop.var} < {unparse_expr(hi)}; {step})"
+        f" /* chunk {chunk.chunk_index + 1}/{chunk.num_chunks} */"
+    )
+    return [header] + unparse_stmt(loop.body, depth)
+
+
+def _offset_expr(base: ir.Expr, offset: int) -> ir.Expr:
+    if offset == 0:
+        return base
+    if isinstance(base, ir.Const) and isinstance(base.value, int):
+        return ir.Const(base.value + offset)
+    return ir.BinOp("+", base, ir.Const(offset))

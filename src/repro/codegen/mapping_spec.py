@@ -1,0 +1,88 @@
+"""Pre-mapping specification (task → processor class), JSON format.
+
+The paper's parallelization tool passes a pre-mapping specification to
+the downstream mapping tool "to ensure that tasks are mapped to
+processing units for which they are optimized" (Section V). This module
+emits that specification as a JSON-serializable dictionary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.parallelize import ParallelizeResult
+from repro.core.solution import SolutionCandidate
+from repro.htg.nodes import ChunkNode
+
+
+def mapping_spec(result: ParallelizeResult) -> Dict[str, Any]:
+    """Build the pre-mapping specification for a parallelization result."""
+    platform = result.platform
+    return {
+        "format": "repro-premapping",
+        "version": 1,
+        "approach": result.approach,
+        "platform": {
+            "name": platform.name,
+            "classes": [
+                {
+                    "name": pc.name,
+                    "frequency_mhz": pc.frequency_mhz,
+                    "count": pc.count,
+                }
+                for pc in platform.processor_classes
+            ],
+            "main_class": platform.main_class.name,
+            "task_creation_overhead_us": platform.task_creation_overhead_us,
+        },
+        "estimated_execution_time_us": result.best.exec_time_us,
+        "tasks": _tasks_of(result.best, path="root"),
+    }
+
+
+def _tasks_of(candidate: SolutionCandidate, path: str) -> List[Dict[str, Any]]:
+    if candidate.is_sequential:
+        return [
+            {
+                "path": path,
+                "role": "sequential",
+                "class": candidate.main_class,
+                "node": candidate.node.label,
+                "exec_time_us": candidate.exec_time_us,
+            }
+        ]
+    tasks: List[Dict[str, Any]] = []
+    for segment in candidate.segments:
+        if not segment.children:
+            continue
+        entry: Dict[str, Any] = {
+            "path": f"{path}/T{segment.index}",
+            "role": segment.role,
+            "class": segment.proc_class,
+            "statements": [],
+            "subtasks": [],
+        }
+        for child in segment.children:
+            chosen = candidate.child_choice[child.uid]
+            if isinstance(child, ChunkNode):
+                entry["statements"].append(
+                    {
+                        "node": child.label,
+                        "loop_var": child.loop.var,
+                        "iteration_range": [child.iter_lo, child.iter_hi],
+                    }
+                )
+            elif chosen.is_sequential:
+                entry["statements"].append({"node": child.label})
+            else:
+                entry["subtasks"].extend(
+                    _tasks_of(chosen, f"{path}/T{segment.index}")
+                )
+        tasks.append(entry)
+    return tasks
+
+
+def mapping_spec_json(result: ParallelizeResult, indent: int = 2) -> str:
+    """The specification as a JSON string."""
+    return json.dumps(mapping_spec(result), indent=indent)

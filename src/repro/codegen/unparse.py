@@ -1,0 +1,133 @@
+"""IR → C source regeneration.
+
+Produces compilable ANSI C from the statement IR — the inverse of
+:mod:`repro.cfront.parser` over the supported subset. The annotator
+builds on this to emit the transformed (parallelized) program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cfront import ir
+
+_INDENT = "    "
+
+# Operator precedence for minimal parenthesization (C precedence levels).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+
+
+def unparse_expr(expr: ir.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, ir.Const):
+        if isinstance(expr.value, float):
+            text = repr(expr.value)
+            if "." not in text and "e" not in text and "inf" not in text:
+                text += ".0"
+            return text + ("f" if expr.ctype == "float" else "")
+        return str(expr.value)
+    if isinstance(expr, ir.VarRef):
+        return expr.name
+    if isinstance(expr, ir.ArrayRef):
+        return expr.name + "".join(f"[{unparse_expr(i)}]" for i in expr.indices)
+    if isinstance(expr, ir.UnOp):
+        inner = unparse_expr(expr.operand, _UNARY_PRECEDENCE)
+        # Avoid lexing hazards: "-(-x)" must not render as "--x".
+        sep = " " if inner.startswith(expr.op[0]) else ""
+        text = f"{expr.op}{sep}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PRECEDENCE else text
+    if isinstance(expr, ir.Cast):
+        inner = unparse_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"({expr.ctype}){inner}"
+        return f"({text})" if parent_prec > _UNARY_PRECEDENCE else text
+    if isinstance(expr, ir.BinOp):
+        prec = _PRECEDENCE.get(expr.op, 9)
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)  # left-assoc
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    if isinstance(expr, ir.CallExpr):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def unparse_stmt(stmt: ir.Stmt, depth: int = 0) -> List[str]:
+    """Render a statement as a list of indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ir.Block):
+        lines = [f"{pad}{{"]
+        for child in stmt.stmts:
+            lines.extend(unparse_stmt(child, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ir.Decl):
+        dims = "".join(f"[{d}]" for d in stmt.dims)
+        init = f" = {unparse_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{stmt.ctype} {stmt.name}{dims}{init};"]
+    if isinstance(stmt, ir.Assign):
+        return [f"{pad}{unparse_expr(stmt.lhs)} = {unparse_expr(stmt.rhs)};"]
+    if isinstance(stmt, ir.CallStmt):
+        return [f"{pad}{unparse_expr(stmt.call)};"]
+    if isinstance(stmt, ir.ExprStmt):
+        return [f"{pad}{unparse_expr(stmt.expr)};"]
+    if isinstance(stmt, ir.ForLoop):
+        header = (
+            f"{pad}for ({stmt.var} = {unparse_expr(stmt.lower)}; "
+            f"{stmt.var} < {unparse_expr(stmt.upper)}; "
+            + (f"{stmt.var}++)" if stmt.step == 1 else f"{stmt.var} += {stmt.step})")
+        )
+        return [header] + unparse_stmt(stmt.body, depth)
+    if isinstance(stmt, ir.WhileLoop):
+        return [f"{pad}while ({unparse_expr(stmt.cond)})"] + unparse_stmt(
+            stmt.body, depth
+        )
+    if isinstance(stmt, ir.If):
+        lines = [f"{pad}if ({unparse_expr(stmt.cond)})"]
+        lines.extend(unparse_stmt(stmt.then_block, depth))
+        if stmt.else_block is not None:
+            lines.append(f"{pad}else")
+            lines.extend(unparse_stmt(stmt.else_block, depth))
+        return lines
+    if isinstance(stmt, ir.Return):
+        if stmt.expr is not None:
+            return [f"{pad}return {unparse_expr(stmt.expr)};"]
+        return [f"{pad}return;"]
+    raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+
+def unparse_function(func: ir.Function) -> str:
+    """Render a complete function definition."""
+    if func.params:
+        params = ", ".join(
+            f"{p.ctype} {'*' if p.is_pointer else ''}{p.name}" for p in func.params
+        )
+    else:
+        params = "void"
+    header = f"{func.return_type} {func.name}({params})"
+    return "\n".join([header] + unparse_stmt(func.body, 0))
+
+
+def unparse_program(program: ir.Program) -> str:
+    """Render a whole translation unit (globals then functions)."""
+    parts: List[str] = []
+    for decl in program.globals.values():
+        parts.extend(unparse_stmt(decl, 0))
+    if parts:
+        parts.append("")
+    for func in program.functions.values():
+        parts.append(unparse_function(func))
+        parts.append("")
+    return "\n".join(parts)

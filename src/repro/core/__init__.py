@@ -1,0 +1,51 @@
+"""The paper's primary contribution: ILP-based heterogeneous parallelization.
+
+* :mod:`repro.core.solution` — parallel solution candidates (tagged by the
+  processor class of the main task, carrying exec time, node→task and
+  task→class mappings, and per-class processor usage).
+* :mod:`repro.core.ilppar` — the heterogeneous ILP (Section IV, Eq. 1-18).
+* :mod:`repro.core.homogeneous` — the baseline homogeneous ILP of
+  [Cordes et al., CODES+ISSS 2010] used for comparison.
+* :mod:`repro.core.parallelize` — the global bottom-up Algorithm 1.
+* :mod:`repro.core.flatten` — expands the chosen hierarchical solution
+  into a flat task DAG for simulation and code generation.
+* :mod:`repro.core.pipeline` — pipeline-parallelism extension (paper
+  future work).
+"""
+
+from repro.core.solution import SolutionCandidate, SolutionSet, TaskSegment
+from repro.core.ilppar import IlpParOptions, ilp_parallelize_node
+from repro.core.homogeneous import homogeneous_parallelize_node
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+    ParallelizeOptions,
+    ParallelizeResult,
+)
+from repro.core.flatten import AtomicTask, FlatTaskGraph, flatten_solution
+from repro.core.mapping import StaticMapping, compute_static_mapping
+from repro.core.pipeline import PipelineSolution, PipelineStage, extract_pipeline
+from repro.core.validation import validate_candidate, validate_result
+
+__all__ = [
+    "AtomicTask",
+    "FlatTaskGraph",
+    "HeterogeneousParallelizer",
+    "HomogeneousParallelizer",
+    "IlpParOptions",
+    "ParallelizeOptions",
+    "ParallelizeResult",
+    "SolutionCandidate",
+    "SolutionSet",
+    "TaskSegment",
+    "PipelineSolution",
+    "StaticMapping",
+    "compute_static_mapping",
+    "PipelineStage",
+    "extract_pipeline",
+    "flatten_solution",
+    "homogeneous_parallelize_node",
+    "ilp_parallelize_node",
+    "validate_candidate",
+    "validate_result",
+]

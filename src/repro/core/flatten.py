@@ -1,0 +1,248 @@
+"""Flattening: hierarchical solution → global atomic-task DAG.
+
+The paper implements the chosen solution by source-to-source
+transformation and hands it to the MPSoC simulator. Here the chosen
+:class:`~repro.core.solution.SolutionCandidate` tree is expanded into a
+flat DAG of *atomic tasks* — contiguous sequential work segments with a
+processor-class requirement — connected by precedence edges carrying
+communication volumes. The DAG is what the discrete-event simulator
+(:mod:`repro.simulator`) executes and what the code generator annotates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.solution import SolutionCandidate
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.platforms.description import Platform
+
+
+@dataclass
+class AtomicTask:
+    """A contiguous sequential execution segment.
+
+    ``proc_class`` is the required processor class, or ``None`` when the
+    producing approach is class-blind (homogeneous baseline) and any core
+    may execute the task. ``spawn_overhead_us`` is charged once at task
+    start (task-creation overhead for newly spawned tasks).
+    """
+
+    tid: int
+    label: str
+    cycles: float
+    proc_class: Optional[str]
+    spawn_overhead_us: float = 0.0
+    node_uid: Optional[int] = None
+
+    @property
+    def is_marker(self) -> bool:
+        return self.cycles == 0.0 and self.spawn_overhead_us == 0.0
+
+
+@dataclass
+class FlatEdge:
+    """Precedence between atomic tasks; bytes flow src → dst."""
+
+    src: int
+    dst: int
+    bytes_volume: float = 0.0
+    transfers: float = 1.0
+
+
+@dataclass
+class FlatTaskGraph:
+    """The flattened DAG with a unique entry and exit marker."""
+
+    tasks: List[AtomicTask] = field(default_factory=list)
+    edges: List[FlatEdge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def successors(self, tid: int) -> List[FlatEdge]:
+        return [e for e in self.edges if e.src == tid]
+
+    def predecessors(self, tid: int) -> List[FlatEdge]:
+        return [e for e in self.edges if e.dst == tid]
+
+    @property
+    def num_work_tasks(self) -> int:
+        return sum(1 for t in self.tasks if t.cycles > 0)
+
+    def total_cycles(self) -> float:
+        return sum(t.cycles for t in self.tasks)
+
+    def validate(self) -> List[str]:
+        """Check the graph is a DAG with valid endpoints."""
+        problems: List[str] = []
+        ids = {t.tid for t in self.tasks}
+        if self.entry not in ids or self.exit not in ids:
+            problems.append("entry/exit not in task set")
+        valid_edges = []
+        for edge in self.edges:
+            if edge.src not in ids or edge.dst not in ids:
+                problems.append(f"dangling edge {edge.src}->{edge.dst}")
+            else:
+                valid_edges.append(edge)
+        # Kahn's algorithm for cycle detection (over well-formed edges).
+        indeg: Dict[int, int] = {t.tid: 0 for t in self.tasks}
+        adj: Dict[int, List[int]] = {t.tid: [] for t in self.tasks}
+        for edge in valid_edges:
+            indeg[edge.dst] += 1
+            adj[edge.src].append(edge.dst)
+        queue = [tid for tid, d in indeg.items() if d == 0]
+        visited = 0
+        while queue:
+            tid = queue.pop()
+            visited += 1
+            for nxt in adj[tid]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if visited != len(self.tasks):
+            problems.append("task graph contains a cycle")
+        return problems
+
+
+class _FlattenError(RuntimeError):
+    pass
+
+
+def flatten_solution(
+    candidate: SolutionCandidate,
+    platform: Platform,
+    class_blind: bool = False,
+) -> FlatTaskGraph:
+    """Expand a solution candidate into a :class:`FlatTaskGraph`.
+
+    ``class_blind=True`` drops the class requirements (used for the
+    homogeneous baseline, whose partition carries no real mapping).
+    """
+    builder = _Flattener(platform, class_blind)
+    entry, exit_ = builder.flatten(candidate)
+    graph = builder.graph
+    graph.entry = entry
+    graph.exit = exit_
+    return graph
+
+
+class _Flattener:
+    def __init__(self, platform: Platform, class_blind: bool):
+        self.platform = platform
+        self.class_blind = class_blind
+        self.graph = FlatTaskGraph()
+        self._next_tid = 0
+
+    def _new_task(
+        self,
+        label: str,
+        cycles: float,
+        proc_class: Optional[str],
+        spawn_overhead_us: float = 0.0,
+        node_uid: Optional[int] = None,
+    ) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        if self.class_blind:
+            proc_class = None
+        self.graph.tasks.append(
+            AtomicTask(tid, label, cycles, proc_class, spawn_overhead_us, node_uid)
+        )
+        return tid
+
+    def _edge(self, src: int, dst: int, bytes_volume: float = 0.0, transfers: float = 1.0):
+        self.graph.edges.append(FlatEdge(src, dst, bytes_volume, transfers))
+
+    # -- recursion ------------------------------------------------------------
+
+    def flatten(self, candidate: SolutionCandidate) -> Tuple[int, int]:
+        """Returns (entry_tid, exit_tid) of the candidate's subgraph."""
+        node = candidate.node
+        if candidate.is_sequential:
+            tid = self._new_task(
+                f"seq:{node.label}", node.total_cycles(), candidate.main_class,
+                node_uid=node.uid,
+            )
+            return tid, tid
+
+        assert isinstance(node, HierarchicalNode)
+        ec = max(1.0, node.exec_count)
+        tco = self.platform.task_creation_overhead_us
+        entry = self._new_task(f"fork:{node.label}", 0.0, candidate.main_class)
+        exit_ = self._new_task(f"join:{node.label}", 0.0, candidate.main_class)
+
+        # Expand each segment as a sequential chain of child subgraphs.
+        endpoints: Dict[int, Tuple[int, int]] = {}  # child uid -> (entry, exit)
+        segment_of: Dict[int, int] = {}
+        for segment in candidate.segments:
+            prev_exit: Optional[int] = None
+            first = True
+            for child in segment.children:
+                chosen = candidate.child_choice[child.uid]
+                c_entry, c_exit = self.flatten(chosen)
+                endpoints[child.uid] = (c_entry, c_exit)
+                segment_of[child.uid] = segment.index
+                if first and segment.role == "extra":
+                    self.graph.tasks[c_entry].spawn_overhead_us += ec * tco
+                if prev_exit is not None:
+                    self._edge(prev_exit, c_entry)
+                else:
+                    self._edge(entry, c_entry)
+                prev_exit = c_exit
+                first = False
+            if prev_exit is not None:
+                self._edge(prev_exit, exit_)
+
+        # Dependence edges between children in different segments; bytes are
+        # charged by the simulator when the endpoints run on distinct cores.
+        for edge in node.edges:
+            src_uid = edge.src.uid
+            dst_uid = edge.dst.uid
+            if edge.src is node.comm_in and dst_uid in endpoints:
+                seg = segment_of[dst_uid]
+                is_extra = self._segment_role(candidate, seg) == "extra"
+                self._edge(
+                    entry,
+                    endpoints[dst_uid][0],
+                    edge.bytes_volume if is_extra else 0.0,
+                    transfers=ec,
+                )
+            elif edge.dst is node.comm_out and src_uid in endpoints:
+                seg = segment_of[src_uid]
+                is_extra = self._segment_role(candidate, seg) == "extra"
+                self._edge(
+                    endpoints[src_uid][1],
+                    exit_,
+                    edge.bytes_volume if is_extra else 0.0,
+                    transfers=ec,
+                )
+            elif src_uid in endpoints and dst_uid in endpoints:
+                same_segment = segment_of[src_uid] == segment_of[dst_uid]
+                if edge.backward and not same_segment:
+                    raise _FlattenError(
+                        f"backward edge {edge} crosses tasks in the chosen "
+                        f"solution — the ILP should have colocated the nodes"
+                    )
+                if same_segment:
+                    continue  # already ordered by the segment chain
+                transfers = max(1.0, edge.src.exec_count)
+                self._edge(
+                    endpoints[src_uid][1],
+                    endpoints[dst_uid][0],
+                    edge.bytes_volume,
+                    transfers=transfers,
+                )
+
+        # The join must also wait for every segment (already wired above via
+        # segment chains), and the entry precedes the exit even when all
+        # segments are empty.
+        self._edge(entry, exit_)
+        return entry, exit_
+
+    @staticmethod
+    def _segment_role(candidate: SolutionCandidate, index: int) -> str:
+        for segment in candidate.segments:
+            if segment.index == index:
+                return segment.role
+        return "extra"

@@ -1,0 +1,309 @@
+"""The homogeneous baseline ILP of [Cordes/Marwedel/Mallik, CODES+ISSS 2010].
+
+This is the approach the paper compares against (its reference [6]): the
+same hierarchical task-graph partitioning, but with **no processor-class
+dimension** — all processing units are assumed identical, so the model
+has no task→class mapping variables, no per-class candidate selection and
+no per-class processor budgets. Costs are evaluated on a single reference
+class (the class the tool profiles on — the platform's *main* class, as a
+homogeneous tool has exactly one timing model).
+
+On an actually heterogeneous platform the partition it produces is
+uniformly balanced and therefore mis-balanced in reality — the effect the
+paper's evaluation quantifies (Figures 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.ilppar import IlpParOptions
+from repro.core.solution import SolutionCandidate, SolutionSet, TaskSegment
+from repro.ilp.model import InfeasibleError, LinExpr, Model, Variable, lin_sum
+from repro.ilp.stats import StatsCollector
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.platforms.description import Platform
+
+
+def homogeneous_parallelize_node(
+    node: HierarchicalNode,
+    budget: int,
+    platform: Platform,
+    solution_sets: Mapping[int, SolutionSet],
+    collector: Optional[StatsCollector] = None,
+    options: Optional[IlpParOptions] = None,
+    ref_class: Optional[str] = None,
+) -> Optional[SolutionCandidate]:
+    """Partition ``node``'s children assuming ``budget`` identical cores.
+
+    ``ref_class`` names the class whose timing model is used for all
+    costs (default: the platform's main class). The returned candidate is
+    tagged with that class and carries class-agnostic extra-processor
+    usage recorded under the reference class name.
+    """
+    options = options or IlpParOptions()
+    children = node.topological_children()
+    if not children or budget < 2:
+        return None
+    num_extra = min(budget - 1, len(children))
+    if num_extra < 1:
+        return None
+
+    ref = ref_class or platform.main_class.name
+    ec = max(1.0, node.exec_count)
+    tco = platform.task_creation_overhead_us
+
+    cand_table: List[List[SolutionCandidate]] = []
+    for child in children:
+        sset = solution_sets.get(child.uid)
+        if sset is None:
+            raise ValueError(f"child {child.label!r} has no solution set")
+        entries = sset.for_class(ref)
+        if not entries:
+            raise ValueError(f"child {child.label!r} has no {ref!r} candidates")
+        cand_table.append(entries)
+
+    fork = 0
+    join = num_extra + 1
+    tasks = list(range(num_extra + 2))
+    extras = tasks[1:-1]
+
+    model = Model(f"homopar[{node.label}|i={budget}]")
+
+    x = [
+        [model.add_binary(f"x_n{ni}_t{t}") for t in tasks]
+        for ni in range(len(children))
+    ]
+    for ni in range(len(children)):
+        model.add_constraint(lin_sum(x[ni]) == 1, name=f"node{ni}_once")
+
+    p = [
+        [model.add_binary(f"p_n{ni}_s{si}") for si in range(len(cand_table[ni]))]
+        for ni in range(len(children))
+    ]
+    for ni in range(len(children)):
+        model.add_constraint(lin_sum(p[ni]) == 1, name=f"sol{ni}_once")
+
+    used = {t: model.add_binary(f"used_t{t}") for t in extras}
+    for t in extras:
+        for ni in range(len(children)):
+            model.add_constraint(used[t] >= x[ni][t], name=f"used{t}_n{ni}")
+        if t + 1 in used:
+            model.add_constraint(used[t] >= used[t + 1], name=f"used_order_{t}")
+
+    def taskid_expr(ni: int) -> LinExpr:
+        return lin_sum(t * x[ni][t] for t in tasks if t > 0)
+
+    for ni in range(1, len(children)):
+        model.add_constraint(taskid_expr(ni) >= taskid_expr(ni - 1), name=f"monotone_{ni}")
+
+    def xfer_us(bytes_volume: float, transfers: float) -> float:
+        if bytes_volume <= 0:
+            return 0.0
+        ic = platform.interconnect
+        return ic.latency_us * max(1.0, transfers) + bytes_volume / ic.bandwidth_bytes_per_us
+
+    index_of = {child.uid: ni for ni, child in enumerate(children)}
+    inner_edges: List[Tuple[int, int, float]] = []
+    out_edge_time = [0.0] * len(children)
+    in_edge_time = [0.0] * len(children)
+    order_pairs = set()
+    for edge in node.edges:
+        src_ni = index_of.get(edge.src.uid)
+        dst_ni = index_of.get(edge.dst.uid)
+        if edge.src is node.comm_in and dst_ni is not None:
+            in_edge_time[dst_ni] += xfer_us(edge.bytes_volume, ec)
+        elif edge.dst is node.comm_out and src_ni is not None:
+            out_edge_time[src_ni] += xfer_us(edge.bytes_volume, ec)
+        elif src_ni is not None and dst_ni is not None:
+            transfers = max(1.0, edge.src.exec_count)
+            inner_edges.append((src_ni, dst_ni, xfer_us(edge.bytes_volume, transfers)))
+            order_pairs.add((src_ni, dst_ni))
+
+    child_cost_const = [
+        [cand.exec_time_us for cand in cand_table[ni]] for ni in range(len(children))
+    ]
+    max_child_cost = [max(row) for row in child_cost_const]
+    childcost = []
+    for ni in range(len(children)):
+        var = model.add_var(f"childcost_{ni}", 0.0)
+        model.add_constraint(
+            var
+            == lin_sum(
+                child_cost_const[ni][si] * p[ni][si]
+                for si in range(len(cand_table[ni]))
+            ),
+            name=f"childcost_def_{ni}",
+        )
+        childcost.append(var)
+
+    contrib: Dict[Tuple[int, int], Variable] = {}
+    for ni in range(len(children)):
+        for t in tasks:
+            var = model.add_var(f"contrib_n{ni}_t{t}", 0.0)
+            model.add_implication_ge(
+                x[ni][t], var, childcost[ni], big_m=max_child_cost[ni],
+                name=f"contrib_gate_n{ni}_t{t}",
+            )
+            contrib[(ni, t)] = var
+
+    control_us = platform.get_class(ref).time_us(
+        getattr(node, "control_overhead_cycles", 0.0)
+    )
+    cost = {}
+    for t in tasks:
+        terms: List[LinExpr] = [contrib[(ni, t)]._as_expr() for ni in range(len(children))]
+        if t == join and control_us > 0:
+            terms.append(LinExpr({}, control_us))
+        if t in extras:
+            terms.append((ec * tco) * used[t])
+            for ni in range(len(children)):
+                if in_edge_time[ni] > 0:
+                    terms.append(in_edge_time[ni] * x[ni][t])
+        var = model.add_var(f"cost_t{t}", 0.0)
+        model.add_constraint(var == lin_sum(terms), name=f"cost_def_t{t}")
+        cost[t] = var
+
+    commcost = {}
+    for t in tasks:
+        terms = []
+        for src_ni, dst_ni, xt in inner_edges:
+            if xt <= 0:
+                continue
+            both = model.add_and(x[src_ni][t], x[dst_ni][t], name=f"w_e{src_ni}_{dst_ni}_t{t}")
+            expr = xt * (x[src_ni][t] - both)
+            if t == fork:
+                w2 = model.add_and(
+                    x[src_ni][fork], x[dst_ni][join], name=f"w2_e{src_ni}_{dst_ni}"
+                )
+                expr = expr - xt * w2
+            terms.append(expr)
+        if t in extras:
+            for ni in range(len(children)):
+                if out_edge_time[ni] > 0:
+                    terms.append(out_edge_time[ni] * x[ni][t])
+        var = model.add_var(f"commcost_t{t}", 0.0)
+        model.add_constraint(var >= lin_sum(terms) if terms else var >= 0,
+                             name=f"commcost_def_t{t}")
+        commcost[t] = var
+
+    pred: Dict[Tuple[int, int], Variable] = {}
+    for t in tasks:
+        for u in tasks:
+            if t != u:
+                pred[(t, u)] = model.add_binary(f"pred_t{t}_u{u}")
+    for src_ni, dst_ni in order_pairs:
+        for t in tasks:
+            for u in tasks:
+                if t == u:
+                    continue
+                model.add_constraint(
+                    pred[(t, u)] >= x[src_ni][t] + x[dst_ni][u] - 1,
+                    name=f"pred_e{src_ni}_{dst_ni}_t{t}_u{u}",
+                )
+    for ni in range(len(children)):
+        for t in tasks:
+            if t != join:
+                model.add_constraint(
+                    pred[(t, join)] >= x[ni][t], name=f"join_pred_n{ni}_t{t}"
+                )
+
+    total_comm_bound = (
+        sum(xt for *_s, xt in inner_edges) + sum(out_edge_time) + sum(in_edge_time)
+    )
+    big_m = sum(max_child_cost) + len(extras) * ec * tco + total_comm_bound + 1.0
+    accum = {t: model.add_var(f"accum_t{t}", 0.0) for t in tasks}
+    for t in tasks:
+        model.add_constraint(accum[t] >= cost[t], name=f"accum_base_t{t}")
+        for u in tasks:
+            if u == t:
+                continue
+            model.add_implication_ge(
+                pred[(u, t)],
+                accum[t],
+                cost[t] + accum[u] + commcost[u],
+                big_m=big_m,
+                name=f"path_t{t}_u{u}",
+            )
+
+    # single uniform processor budget
+    max_inner = max(
+        (cand.total_procs - 1 for row in cand_table for cand in row), default=0
+    )
+    childprocs = []
+    for ni in range(len(children)):
+        coeffs = [cand.total_procs - 1 for cand in cand_table[ni]]
+        if not any(coeffs):
+            childprocs.append(None)
+            continue
+        var = model.add_var(f"childprocs_n{ni}", 0.0)
+        model.add_constraint(
+            var == lin_sum(coeffs[si] * p[ni][si] for si in range(len(coeffs))),
+            name=f"childprocs_def_n{ni}",
+        )
+        childprocs.append(var)
+
+    budget_terms: List[LinExpr] = [used[t]._as_expr() for t in extras]
+    for t in tasks:
+        relevant = [ni for ni in range(len(children)) if childprocs[ni] is not None]
+        if not relevant:
+            continue
+        var = model.add_var(f"procsused_t{t}", 0.0)
+        for ni in relevant:
+            model.add_implication_ge(
+                x[ni][t], var, childprocs[ni], big_m=max_inner,
+                name=f"procsused_gate_t{t}_n{ni}",
+            )
+        budget_terms.append(var._as_expr())
+    model.add_constraint(lin_sum(budget_terms) <= budget - 1, name="global_budget")
+
+    model.minimize(accum[join])
+
+    try:
+        solution = model.solve(
+            backend=options.backend,
+            collector=collector,
+            time_limit=options.time_limit_s,
+            mip_rel_gap=options.mip_rel_gap,
+        )
+    except InfeasibleError:
+        return None
+
+    task_children: Dict[int, List[HTGNode]] = {t: [] for t in tasks}
+    child_choice: Dict[int, SolutionCandidate] = {}
+    for ni, child in enumerate(children):
+        t_of = next(t for t in tasks if solution[x[ni][t]] > 0.5)
+        task_children[t_of].append(child)
+        si = next(si for si in range(len(cand_table[ni])) if solution[p[ni][si]] > 0.5)
+        child_choice[child.uid] = cand_table[ni][si]
+
+    segments = []
+    for t in tasks:
+        role = "fork" if t == fork else ("join" if t == join else "extra")
+        segments.append(
+            TaskSegment(index=t, role=role, proc_class=ref,
+                        children=tuple(task_children[t]))
+        )
+
+    used_procs: Dict[str, int] = {}
+    for segment in segments:
+        if segment.role == "extra" and segment.children:
+            used_procs[ref] = used_procs.get(ref, 0) + 1
+        inner_max = 0
+        for child in segment.children:
+            chosen = child_choice[child.uid]
+            inner_max = max(inner_max, chosen.total_procs - 1)
+        if inner_max:
+            used_procs[ref] = used_procs.get(ref, 0) + inner_max
+
+    return SolutionCandidate(
+        node=node,
+        main_class=ref,
+        exec_time_us=solution.objective,
+        segments=tuple(segments),
+        child_choice=child_choice,
+        used_procs=used_procs,
+        is_sequential=False,
+        energy_nj=sum(chosen.energy_nj for chosen in child_choice.values()),
+    )

@@ -1,0 +1,470 @@
+"""The heterogeneous ILP (paper Section IV, Eq. 1-18).
+
+One invocation parallelizes a single hierarchical AHTG node: it maps the
+node's children into tasks (Eq. 1-2), picks one previously computed
+solution candidate per child (Eq. 3-4, "parallel set"), tracks task
+precedence induced by data-flow edges (Eq. 5-7), accumulates task costs
+including task-creation overhead and per-class execution times (Eq. 8),
+derives critical-path costs (Eq. 9), keeps the task graph cycle-free via
+monotone task ids over the topological child order (Eq. 10), minimizes
+the path cost of the task holding the Communication-Out node (Eq. 11),
+and couples everything with a task→processor-class mapping under
+per-class processor budgets (Eq. 12-18).
+
+Deviations from the paper's literal formulation (see DESIGN.md §5):
+
+* The main task is split into a *fork* and a *join* segment (the master
+  thread before spawning and after joining). Both are pinned to the
+  sequential processor class and share the main processor. The
+  Communication-In node lives in the fork segment, Communication-Out in
+  the join segment; ``exectime = accumcost(join)`` is exactly Eq. 11.
+* Child-candidate costs enter task costs through per-child linear cost
+  variables plus big-M gating instead of per-(task, candidate) AND
+  variables — an equivalent but much smaller linearization of Eq. 8/14.
+* Empty task slots neither pay task-creation overhead nor occupy
+  processors (``used_t`` indicators); the paper instead re-solves with a
+  decreasing task budget, which Algorithm 1's loop still does on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cfront.deps import DepKind
+from repro.core.solution import SolutionCandidate, SolutionSet, TaskSegment
+from repro.ilp.model import InfeasibleError, LinExpr, Model, Variable, lin_sum
+from repro.ilp.stats import StatsCollector
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.platforms.description import Platform
+
+
+@dataclass
+class IlpParOptions:
+    """Solver knobs for one ILPPAR invocation."""
+
+    backend: str = "scipy"
+    time_limit_s: Optional[float] = 30.0
+    mip_rel_gap: float = 0.0
+    #: "time" minimizes the critical path (Eq. 11, the paper's objective);
+    #: "energy" minimizes total energy under a deadline — the objective
+    #: extension the paper lists as future work.
+    objective: str = "time"
+    #: Deadline for the energy objective, as a multiple of the node's
+    #: sequential execution time on the main-task class.
+    energy_deadline_factor: float = 1.0
+
+
+def ilp_parallelize_node(
+    node: HierarchicalNode,
+    seq_class: str,
+    budget: int,
+    platform: Platform,
+    solution_sets: Mapping[int, SolutionSet],
+    collector: Optional[StatsCollector] = None,
+    options: Optional[IlpParOptions] = None,
+) -> Optional[SolutionCandidate]:
+    """Run the heterogeneous ILP for one node (paper's ``ILPPar``).
+
+    Args:
+        node: hierarchical node whose children are partitioned.
+        seq_class: processor class of the main task (the solution's tag).
+        budget: upper bound on allocatable processing units, *including*
+            the main processor (Algorithm 1's ``i``).
+        platform: target platform description.
+        solution_sets: per-child candidate sets (``uid -> SolutionSet``).
+        collector: optional ILP statistics collector (Table I).
+        options: solver options.
+
+    Returns the optimal candidate, or ``None`` when no parallel structure
+    is expressible (no children / no extra processor budget).
+    """
+    options = options or IlpParOptions()
+    children = node.topological_children()
+    if not children or budget < 2:
+        return None
+
+    num_extra = min(budget - 1, len(children))
+    if num_extra < 1:
+        return None
+
+    classes = platform.class_names()
+    ec = max(1.0, node.exec_count)
+    tco = platform.task_creation_overhead_us
+
+    # Candidate tables per child: list of (class, candidate).
+    cand_table: List[List[Tuple[str, SolutionCandidate]]] = []
+    for child in children:
+        sset = solution_sets.get(child.uid)
+        if sset is None:
+            raise ValueError(f"child {child.label!r} has no solution set")
+        entries: List[Tuple[str, SolutionCandidate]] = []
+        for cname in classes:
+            for cand in sset.for_class(cname):
+                entries.append((cname, cand))
+        if not entries:
+            raise ValueError(f"child {child.label!r} has no candidates")
+        cand_table.append(entries)
+
+    # Task layout: 0 = fork (main, pre-spawn), 1..E = extra, E+1 = join (main).
+    fork = 0
+    join = num_extra + 1
+    tasks = list(range(num_extra + 2))
+    extras = tasks[1:-1]
+
+    model = Model(f"ilppar[{node.label}|{seq_class}|i={budget}]")
+
+    # -- Eq. 1-2: node-in-task ------------------------------------------------
+    x = [
+        [model.add_binary(f"x_n{ni}_t{t}") for t in tasks]
+        for ni in range(len(children))
+    ]
+    for ni in range(len(children)):
+        model.add_constraint(lin_sum(x[ni]) == 1, name=f"node{ni}_once")
+
+    # -- Eq. 3-4: parallel-set choice -------------------------------------------
+    p = [
+        [model.add_binary(f"p_n{ni}_s{si}") for si in range(len(cand_table[ni]))]
+        for ni in range(len(children))
+    ]
+    for ni in range(len(children)):
+        model.add_constraint(lin_sum(p[ni]) == 1, name=f"sol{ni}_once")
+
+    # -- Eq. 12-13: task-to-class mapping ------------------------------------------
+    # fork and join are pinned to the sequential class; extras choose freely.
+    map_tc: Dict[Tuple[int, str], Optional[Variable]] = {}
+    for t in extras:
+        row = [model.add_binary(f"map_t{t}_{c}") for c in classes]
+        for c, var in zip(classes, row):
+            map_tc[(t, c)] = var
+        model.add_constraint(lin_sum(row) == 1, name=f"task{t}_one_class")
+
+    used = {t: model.add_binary(f"used_t{t}") for t in extras}
+    for t in extras:
+        for ni in range(len(children)):
+            model.add_constraint(used[t] >= x[ni][t], name=f"used{t}_n{ni}")
+        if t + 1 in used:
+            model.add_constraint(used[t] >= used[t + 1], name=f"used_order_{t}")
+
+    # -- Eq. 17-18: candidate class consistent with the hosting task's class ----
+    for ni in range(len(children)):
+        for c in classes:
+            chosen_c = lin_sum(
+                p[ni][si]
+                for si, (cname, _) in enumerate(cand_table[ni])
+                if cname == c
+            )
+            on_c_terms: List[LinExpr] = []
+            if c == seq_class:
+                on_c_terms.append(x[ni][fork] + x[ni][join])
+            for t in extras:
+                xm = model.add_and(x[ni][t], map_tc[(t, c)], name=f"xm_n{ni}_t{t}_{c}")
+                on_c_terms.append(xm._as_expr())
+            model.add_constraint(
+                chosen_c == lin_sum(on_c_terms), name=f"class_consistency_n{ni}_{c}"
+            )
+
+    # -- Eq. 10: cycle-free via monotone task ids over topological order ---------
+    def taskid_expr(ni: int) -> LinExpr:
+        return lin_sum(t * x[ni][t] for t in tasks if t > 0)
+
+    for ni in range(1, len(children)):
+        model.add_constraint(
+            taskid_expr(ni) >= taskid_expr(ni - 1), name=f"monotone_{ni}"
+        )
+
+    # -- communication timing helpers -----------------------------------------------
+    def xfer_us(bytes_volume: float, transfers: float) -> float:
+        if bytes_volume <= 0:
+            return 0.0
+        ic = platform.interconnect
+        return ic.latency_us * max(1.0, transfers) + bytes_volume / ic.bandwidth_bytes_per_us
+
+    index_of = {child.uid: ni for ni, child in enumerate(children)}
+    inner_edges = []   # (src_ni, dst_ni, xfer_time)
+    out_edge_time = [0.0] * len(children)
+    in_edge_time = [0.0] * len(children)
+    order_pairs = set()  # (src_ni, dst_ni) needing precedence
+    for edge in node.edges:
+        src_ni = index_of.get(edge.src.uid)
+        dst_ni = index_of.get(edge.dst.uid)
+        if edge.src is node.comm_in and dst_ni is not None:
+            in_edge_time[dst_ni] += xfer_us(edge.bytes_volume, ec)
+        elif edge.dst is node.comm_out and src_ni is not None:
+            out_edge_time[src_ni] += xfer_us(edge.bytes_volume, ec)
+        elif src_ni is not None and dst_ni is not None:
+            transfers = max(1.0, edge.src.exec_count)
+            inner_edges.append((src_ni, dst_ni, xfer_us(edge.bytes_volume, transfers)))
+            order_pairs.add((src_ni, dst_ni))
+
+    # -- per-child cost of the chosen candidate ------------------------------------
+    child_cost_const = [
+        [cand.exec_time_us for (_c, cand) in cand_table[ni]]
+        for ni in range(len(children))
+    ]
+    max_child_cost = [max(row) if row else 0.0 for row in child_cost_const]
+    childcost = []
+    for ni in range(len(children)):
+        var = model.add_var(f"childcost_{ni}", 0.0)
+        model.add_constraint(
+            var
+            == lin_sum(
+                child_cost_const[ni][si] * p[ni][si]
+                for si in range(len(cand_table[ni]))
+            ),
+            name=f"childcost_def_{ni}",
+        )
+        childcost.append(var)
+
+    # -- Eq. 8: task costs -------------------------------------------------------------
+    contrib: Dict[Tuple[int, int], Variable] = {}
+    for ni in range(len(children)):
+        for t in tasks:
+            var = model.add_var(f"contrib_n{ni}_t{t}", 0.0)
+            model.add_implication_ge(
+                x[ni][t], var, childcost[ni], big_m=max_child_cost[ni],
+                name=f"contrib_gate_n{ni}_t{t}",
+            )
+            contrib[(ni, t)] = var
+
+    # The node's own control work (loop headers, branch evaluation) stays
+    # with the master thread; charging it keeps parallel candidates
+    # comparable with the sequential times used to seed solution sets.
+    control_us = platform.get_class(seq_class).time_us(
+        getattr(node, "control_overhead_cycles", 0.0)
+    )
+    cost = {}
+    for t in tasks:
+        terms: List[LinExpr] = [contrib[(ni, t)]._as_expr() for ni in range(len(children))]
+        if t == join and control_us > 0:
+            terms.append(LinExpr({}, control_us))
+        if t in extras:
+            terms.append((ec * tco) * used[t])
+            for ni in range(len(children)):
+                if in_edge_time[ni] > 0:
+                    terms.append(in_edge_time[ni] * x[ni][t])
+        var = model.add_var(f"cost_t{t}", 0.0)
+        model.add_constraint(var == lin_sum(terms), name=f"cost_def_t{t}")
+        cost[t] = var
+
+    # -- outgoing communication per task (feeds Eq. 9) -----------------------------------
+    commcost = {}
+    for t in tasks:
+        terms = []
+        for src_ni, dst_ni, xt in inner_edges:
+            if xt <= 0:
+                continue
+            both = model.add_and(x[src_ni][t], x[dst_ni][t], name=f"w_e{src_ni}_{dst_ni}_t{t}")
+            expr = xt * (x[src_ni][t] - both)
+            if t == fork:
+                # fork -> join stays on the master thread: free.
+                w2 = model.add_and(
+                    x[src_ni][fork], x[dst_ni][join], name=f"w2_e{src_ni}_{dst_ni}"
+                )
+                expr = expr - xt * w2
+            terms.append(expr)
+        if t in extras:
+            for ni in range(len(children)):
+                if out_edge_time[ni] > 0:
+                    terms.append(out_edge_time[ni] * x[ni][t])
+        var = model.add_var(f"commcost_t{t}", 0.0)
+        model.add_constraint(var >= lin_sum(terms) if terms else var >= 0,
+                             name=f"commcost_def_t{t}")
+        commcost[t] = var
+
+    # -- Eq. 5-7: precedence --------------------------------------------------------------
+    pred: Dict[Tuple[int, int], Variable] = {}
+    for t in tasks:
+        for u in tasks:
+            if t != u:
+                pred[(t, u)] = model.add_binary(f"pred_t{t}_u{u}")
+    for src_ni, dst_ni in order_pairs:
+        for t in tasks:
+            for u in tasks:
+                if t == u:
+                    continue
+                model.add_constraint(
+                    pred[(t, u)] >= x[src_ni][t] + x[dst_ni][u] - 1,
+                    name=f"pred_e{src_ni}_{dst_ni}_t{t}_u{u}",
+                )
+    # every child joins at the Communication-Out node's task:
+    for ni in range(len(children)):
+        for t in tasks:
+            if t != join:
+                model.add_constraint(
+                    pred[(t, join)] >= x[ni][t], name=f"join_pred_n{ni}_t{t}"
+                )
+
+    # -- Eq. 9: path costs ------------------------------------------------------------------
+    total_comm_bound = sum(xt for _s, _d, xt in inner_edges) + sum(out_edge_time) + sum(
+        in_edge_time
+    )
+    big_m = (
+        sum(max_child_cost)
+        + len(extras) * ec * tco
+        + total_comm_bound
+        + 1.0
+    )
+    accum = {t: model.add_var(f"accum_t{t}", 0.0) for t in tasks}
+    for t in tasks:
+        model.add_constraint(accum[t] >= cost[t], name=f"accum_base_t{t}")
+        for u in tasks:
+            if u == t:
+                continue
+            model.add_implication_ge(
+                pred[(u, t)],
+                accum[t],
+                cost[t] + accum[u] + commcost[u],
+                big_m=big_m,
+                name=f"path_t{t}_u{u}",
+            )
+
+    # -- Eq. 14-16: processor budgets ------------------------------------------------------------
+    max_inner = {
+        c: max(
+            (cand.used_procs_of(c) for row in cand_table for (_cc, cand) in row),
+            default=0,
+        )
+        for c in classes
+    }
+    childprocs: Dict[Tuple[int, str], Optional[Variable]] = {}
+    for ni in range(len(children)):
+        for c in classes:
+            coeffs = [
+                cand.used_procs_of(c) for (_cc, cand) in cand_table[ni]
+            ]
+            if not any(coeffs):
+                childprocs[(ni, c)] = None
+                continue
+            var = model.add_var(f"childprocs_n{ni}_{c}", 0.0)
+            model.add_constraint(
+                var == lin_sum(coeffs[si] * p[ni][si] for si in range(len(coeffs))),
+                name=f"childprocs_def_n{ni}_{c}",
+            )
+            childprocs[(ni, c)] = var
+
+    procsused: Dict[Tuple[int, str], Optional[Variable]] = {}
+    for t in tasks:
+        for c in classes:
+            relevant = [ni for ni in range(len(children)) if childprocs[(ni, c)] is not None]
+            if not relevant:
+                procsused[(t, c)] = None
+                continue
+            var = model.add_var(f"procsused_t{t}_{c}", 0.0)
+            for ni in relevant:
+                model.add_implication_ge(
+                    x[ni][t], var, childprocs[(ni, c)], big_m=max_inner[c],
+                    name=f"procsused_gate_t{t}_n{ni}_{c}",
+                )
+            procsused[(t, c)] = var
+
+    for c in classes:
+        available = platform.num_procs(c) - (1 if c == seq_class else 0)
+        terms = []
+        for t in extras:
+            mu = model.add_and(map_tc[(t, c)], used[t], name=f"mu_t{t}_{c}")
+            terms.append(mu._as_expr())
+        for t in tasks:
+            if procsused[(t, c)] is not None:
+                terms.append(procsused[(t, c)]._as_expr())
+        model.add_constraint(
+            lin_sum(terms) <= available, name=f"class_budget_{c}"
+        )
+
+    global_terms: List[LinExpr] = [used[t]._as_expr() for t in extras]
+    for t in tasks:
+        for c in classes:
+            if procsused[(t, c)] is not None:
+                global_terms.append(procsused[(t, c)]._as_expr())
+    model.add_constraint(lin_sum(global_terms) <= budget - 1, name="global_budget")
+
+    # -- Eq. 11: objective -------------------------------------------------------------------------
+    if options.objective == "energy":
+        # Future-work extension: minimize energy under a deadline.
+        energy_terms: List[LinExpr] = []
+        for ni in range(len(children)):
+            energies = [cand.energy_nj for (_c, cand) in cand_table[ni]]
+            energy_terms.append(
+                lin_sum(energies[si] * p[ni][si] for si in range(len(energies)))
+            )
+        seq_pc = platform.get_class(seq_class)
+        deadline = options.energy_deadline_factor * seq_pc.time_us(
+            node.total_cycles()
+        )
+        model.add_constraint(accum[join] <= deadline, name="energy_deadline")
+        model.minimize(lin_sum(energy_terms))
+    else:
+        model.minimize(accum[join])
+
+    try:
+        solution = model.solve(
+            backend=options.backend,
+            collector=collector,
+            time_limit=options.time_limit_s,
+            mip_rel_gap=options.mip_rel_gap,
+        )
+    except InfeasibleError:
+        return None
+
+    exec_time = float(solution[accum[join]])
+    return _extract_candidate(
+        node, seq_class, classes, children, cand_table, tasks, extras, join,
+        x, p, map_tc, solution, exec_time,
+    )
+
+
+def _extract_candidate(
+    node, seq_class, classes, children, cand_table, tasks, extras, join,
+    x, p, map_tc, solution, exec_time,
+) -> SolutionCandidate:
+    """Turn the ILP assignment into a :class:`SolutionCandidate`."""
+    task_children: Dict[int, List[HTGNode]] = {t: [] for t in tasks}
+    child_choice: Dict[int, SolutionCandidate] = {}
+    for ni, child in enumerate(children):
+        t_of = next(t for t in tasks if solution[x[ni][t]] > 0.5)
+        task_children[t_of].append(child)
+        si = next(
+            si for si in range(len(cand_table[ni])) if solution[p[ni][si]] > 0.5
+        )
+        child_choice[child.uid] = cand_table[ni][si][1]
+
+    segments: List[TaskSegment] = []
+    for t in tasks:
+        if t == 0:
+            role, pclass = "fork", seq_class
+        elif t == join:
+            role, pclass = "join", seq_class
+        else:
+            role = "extra"
+            pclass = next(
+                c for c in classes if solution[map_tc[(t, c)]] > 0.5
+            )
+        segments.append(
+            TaskSegment(index=t, role=role, proc_class=pclass,
+                        children=tuple(task_children[t]))
+        )
+
+    used_procs: Dict[str, int] = {}
+    for segment in segments:
+        if segment.role == "extra" and segment.children:
+            used_procs[segment.proc_class] = used_procs.get(segment.proc_class, 0) + 1
+        inner_max: Dict[str, int] = {}
+        for child in segment.children:
+            chosen = child_choice[child.uid]
+            for c, k in chosen.used_procs.items():
+                inner_max[c] = max(inner_max.get(c, 0), k)
+        for c, k in inner_max.items():
+            used_procs[c] = used_procs.get(c, 0) + k
+
+    energy = sum(chosen.energy_nj for chosen in child_choice.values())
+    return SolutionCandidate(
+        node=node,
+        main_class=seq_class,
+        exec_time_us=exec_time,
+        segments=tuple(segments),
+        child_choice=child_choice,
+        used_procs=used_procs,
+        is_sequential=False,
+        energy_nj=energy,
+    )

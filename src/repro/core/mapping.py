@@ -1,0 +1,167 @@
+"""Static task-to-core mapping (the paper's "mapping tool" stage).
+
+The paper's tool flow hands the pre-mapping specification to a mapping
+tool that binds tasks to concrete processing units *before* execution —
+"by taking advantage of platform information in the task extraction step,
+it is possible to avoid additional scheduling overhead" (Section IV-I).
+This module provides that stage:
+
+* :func:`compute_static_mapping` — one offline list-scheduling pass over
+  the flat task DAG produces a frozen ``task → (class, core index)``
+  binding honouring each task's class requirement;
+* the simulator's :class:`~repro.simulator.engine.SimOptions` accepts the
+  frozen mapping (``fixed_mapping``), turning its dynamic scheduler into
+  a pure executor of the static binding.
+
+Dynamic (greedy earliest-finish) scheduling can only match or beat the
+static binding on the model's deterministic costs, so the pair doubles
+as an ablation: how much does online flexibility buy over the paper's
+static approach? (Answer for the bundled benchmarks: nothing measurable —
+the ILP already placed the work; see ``tests/test_mapping.py``.)
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.flatten import FlatTaskGraph
+from repro.platforms.description import Platform
+
+Core = Tuple[str, int]
+
+
+@dataclass
+class StaticMapping:
+    """A frozen task→core binding for one flat task graph."""
+
+    assignment: Dict[int, Core] = field(default_factory=dict)
+    predicted_makespan_us: float = 0.0
+
+    def core_of(self, tid: int) -> Core:
+        return self.assignment[tid]
+
+    def tasks_on(self, core: Core) -> List[int]:
+        return [tid for tid, c in self.assignment.items() if c == core]
+
+    def validate(self, graph: FlatTaskGraph, platform: Platform) -> List[str]:
+        """Check completeness and class conformity."""
+        problems: List[str] = []
+        cores = set(platform.cores())
+        for task in graph.tasks:
+            core = self.assignment.get(task.tid)
+            if core is None:
+                problems.append(f"task {task.label!r} unmapped")
+                continue
+            if core not in cores:
+                problems.append(f"task {task.label!r} on unknown core {core}")
+                continue
+            if task.proc_class is not None and core[0] != task.proc_class:
+                problems.append(
+                    f"task {task.label!r} requires {task.proc_class!r}, "
+                    f"mapped to {core[0]!r}"
+                )
+        return problems
+
+
+def compute_static_mapping(
+    graph: FlatTaskGraph,
+    platform: Platform,
+) -> StaticMapping:
+    """Bind every task to a concrete core by offline list scheduling.
+
+    Uses the same earliest-finish heuristic as the simulator (class-
+    constrained tasks pick among their class's cores; class-less tasks
+    pick the earliest *available* core, modelling the paper's
+    speed-unaware homogeneous runtime), then freezes the assignment.
+    """
+    problems = graph.validate()
+    if problems:
+        raise ValueError(f"invalid task graph: {problems}")
+
+    tasks = {t.tid: t for t in graph.tasks}
+    preds: Dict[int, List] = {tid: [] for tid in tasks}
+    succs: Dict[int, List] = {tid: [] for tid in tasks}
+    for edge in graph.edges:
+        preds[edge.dst].append(edge)
+        succs[edge.src].append(edge)
+
+    core_free: Dict[Core, float] = {core: 0.0 for core in platform.cores()}
+    by_class: Dict[str, List[Core]] = {}
+    for core in core_free:
+        by_class.setdefault(core[0], []).append(core)
+
+    finish: Dict[int, float] = {}
+    where: Dict[int, Core] = {}
+    remaining = {tid: len(preds[tid]) for tid in tasks}
+    ready = sorted(tid for tid, k in remaining.items() if k == 0)
+    running: List[Tuple[float, int]] = []
+
+    def transfer_us(edge) -> float:
+        ic = platform.interconnect
+        if edge.bytes_volume <= 0:
+            return 0.0
+        return ic.latency_us * max(1.0, edge.transfers) + (
+            edge.bytes_volume / ic.bandwidth_bytes_per_us
+        )
+
+    def arrival(tid: int, core: Core) -> float:
+        latest = 0.0
+        for edge in preds[tid]:
+            src_finish = finish[edge.src]
+            if where[edge.src] == core:
+                latest = max(latest, src_finish)
+            else:
+                latest = max(latest, src_finish + transfer_us(edge))
+        return latest
+
+    while ready or running:
+        for tid in ready:
+            task = tasks[tid]
+            pool = (
+                by_class.get(task.proc_class, [])
+                if task.proc_class is not None
+                else list(core_free)
+            )
+            if not pool:
+                raise ValueError(
+                    f"task {task.label!r} requires unknown class {task.proc_class!r}"
+                )
+            best_core: Optional[Core] = None
+            best_finish = math.inf
+            for core in pool:
+                pc = platform.get_class(core[0])
+                start = max(core_free[core], arrival(tid, core))
+                if task.proc_class is None:
+                    candidate_finish = start  # blind: availability only
+                else:
+                    candidate_finish = (
+                        start + pc.time_us(task.cycles) + task.spawn_overhead_us
+                    )
+                if candidate_finish < best_finish - 1e-12:
+                    best_finish = candidate_finish
+                    best_core = core
+            assert best_core is not None
+            pc = platform.get_class(best_core[0])
+            start = max(core_free[best_core], arrival(tid, best_core))
+            end = start + pc.time_us(task.cycles) + task.spawn_overhead_us
+            core_free[best_core] = end
+            finish[tid] = end
+            where[tid] = best_core
+            heapq.heappush(running, (end, tid))
+        ready = []
+        if not running:
+            break
+        _now, done = heapq.heappop(running)
+        for edge in succs[done]:
+            remaining[edge.dst] -= 1
+            if remaining[edge.dst] == 0:
+                ready.append(edge.dst)
+        ready.sort()
+
+    return StaticMapping(
+        assignment=dict(where),
+        predicted_makespan_us=max(finish.values()) if finish else 0.0,
+    )

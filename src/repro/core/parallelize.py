@@ -1,0 +1,230 @@
+"""Algorithm 1: the global bottom-up parallelization.
+
+``PARALLELIZE`` walks the AHTG bottom-up. Every node first receives its
+*sequential* solution candidates (one per processor class — the paper's
+``getSequentialSolutions``). For hierarchical nodes the ILP is then
+invoked repeatedly: once per processor class hosting the main task and,
+within a class, with a decreasing processor budget ``i`` (paper lines
+14-20), so the parallel set offers the parent level a spectrum of
+time/processor trade-offs. The most efficient root candidate (for the
+platform's main class) is the implemented solution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.homogeneous import homogeneous_parallelize_node
+from repro.core.ilppar import IlpParOptions, ilp_parallelize_node
+from repro.core.solution import SolutionCandidate, SolutionSet
+from repro.htg.graph import HTG
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.ilp.stats import StatsCollector
+from repro.platforms.description import Platform
+
+
+@dataclass
+class ParallelizeOptions:
+    """Knobs of the global algorithm."""
+
+    backend: str = "scipy"
+    time_limit_s: Optional[float] = 30.0
+    mip_rel_gap: float = 0.0
+    #: Skip the ILP for hierarchical nodes whose whole-run cost on the
+    #: fastest class is below this (µs): spawning tasks there can never
+    #: amortize the task-creation overhead.
+    min_parallelize_us: float = 0.0
+    #: "time" (paper objective) or "energy" (future-work extension).
+    objective: str = "time"
+    energy_deadline_factor: float = 1.0
+
+    def ilp_options(self) -> IlpParOptions:
+        return IlpParOptions(
+            backend=self.backend,
+            time_limit_s=self.time_limit_s,
+            mip_rel_gap=self.mip_rel_gap,
+            objective=self.objective,
+            energy_deadline_factor=self.energy_deadline_factor,
+        )
+
+
+@dataclass
+class ParallelizeResult:
+    """Outcome of one global parallelization run."""
+
+    best: SolutionCandidate
+    solution_sets: Dict[int, SolutionSet]
+    stats: StatsCollector
+    wall_seconds: float
+    htg: HTG
+    platform: Platform
+    approach: str
+
+    @property
+    def estimated_exec_time_us(self) -> float:
+        return self.best.exec_time_us
+
+    def sequential_time_us(self) -> float:
+        """Sequential execution on one core of the platform's main class."""
+        return self.platform.main_class.time_us(self.htg.root.total_cycles())
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Model-estimated speedup vs. sequential on the main core."""
+        parallel = self.estimated_exec_time_us
+        return self.sequential_time_us() / parallel if parallel > 0 else float("inf")
+
+
+class _BaseParallelizer:
+    def __init__(self, platform: Platform, options: Optional[ParallelizeOptions] = None):
+        self.platform = platform
+        self.options = options or ParallelizeOptions()
+
+    def parallelize(self, htg: HTG) -> ParallelizeResult:
+        start = time.perf_counter()
+        stats = StatsCollector()
+        solution_sets: Dict[int, SolutionSet] = {}
+        self._parallelize_node(htg.get_root_node(), solution_sets, stats)
+        best = self._select_best(htg, solution_sets)
+        wall = time.perf_counter() - start
+        return ParallelizeResult(
+            best=best,
+            solution_sets=solution_sets,
+            stats=stats,
+            wall_seconds=wall,
+            htg=htg,
+            platform=self.platform,
+            approach=self.approach,
+        )
+
+    # -- template methods ---------------------------------------------------
+
+    approach = "base"
+
+    def _seed_sequential(self, node: HTGNode, sset: SolutionSet) -> None:
+        raise NotImplementedError
+
+    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+        raise NotImplementedError
+
+    def _select_best(self, htg, solution_sets) -> SolutionCandidate:
+        raise NotImplementedError
+
+    # -- recursion ------------------------------------------------------------
+
+    def _parallelize_node(
+        self,
+        node: HTGNode,
+        solution_sets: Dict[int, SolutionSet],
+        stats: StatsCollector,
+    ) -> None:
+        if isinstance(node, HierarchicalNode):
+            for child in node.children:
+                self._parallelize_node(child, solution_sets, stats)
+        sset = SolutionSet()
+        self._seed_sequential(node, sset)
+        if isinstance(node, HierarchicalNode) and node.children:
+            if self._worth_parallelizing(node):
+                self._run_ilps(node, solution_sets, sset, stats)
+        solution_sets[node.uid] = sset
+
+    def _worth_parallelizing(self, node: HierarchicalNode) -> bool:
+        fastest = max(
+            self.platform.processor_classes, key=lambda pc: pc.effective_mhz
+        )
+        return (
+            fastest.time_us(node.total_cycles()) >= self.options.min_parallelize_us
+        )
+
+
+class HeterogeneousParallelizer(_BaseParallelizer):
+    """The paper's new approach: per-class candidates + class mapping."""
+
+    approach = "heterogeneous"
+
+    def _seed_sequential(self, node: HTGNode, sset: SolutionSet) -> None:
+        for pc in self.platform.processor_classes:
+            sset.add(
+                SolutionCandidate(
+                    node=node,
+                    main_class=pc.name,
+                    exec_time_us=pc.time_us(node.total_cycles()),
+                    is_sequential=True,
+                    energy_nj=node.total_cycles() * pc.energy_per_cycle_nj,
+                )
+            )
+
+    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+        for pc in self.platform.processor_classes:
+            budget = self.platform.total_cores
+            while budget > 1:
+                candidate = ilp_parallelize_node(
+                    node,
+                    pc.name,
+                    budget,
+                    self.platform,
+                    solution_sets,
+                    collector=stats,
+                    options=self.options.ilp_options(),
+                )
+                if candidate is None:
+                    break
+                sset.add(candidate)
+                budget = min(budget - 1, candidate.num_tasks - 1)
+
+    def _select_best(self, htg, solution_sets) -> SolutionCandidate:
+        main = self.platform.main_class.name
+        best = solution_sets[htg.root.uid].best_for_class(main)
+        assert best is not None, "sequential seeding guarantees a candidate"
+        return best
+
+
+class HomogeneousParallelizer(_BaseParallelizer):
+    """The baseline [6]: class-blind partitioning on the main class's timing."""
+
+    approach = "homogeneous"
+
+    def __init__(
+        self,
+        platform: Platform,
+        options: Optional[ParallelizeOptions] = None,
+        ref_class: Optional[str] = None,
+    ):
+        super().__init__(platform, options)
+        self.ref_class = ref_class or platform.main_class.name
+
+    def _seed_sequential(self, node: HTGNode, sset: SolutionSet) -> None:
+        pc = self.platform.get_class(self.ref_class)
+        sset.add(
+            SolutionCandidate(
+                node=node,
+                main_class=pc.name,
+                exec_time_us=pc.time_us(node.total_cycles()),
+                is_sequential=True,
+                energy_nj=node.total_cycles() * pc.energy_per_cycle_nj,
+            )
+        )
+
+    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+        budget = self.platform.total_cores
+        while budget > 1:
+            candidate = homogeneous_parallelize_node(
+                node,
+                budget,
+                self.platform,
+                solution_sets,
+                collector=stats,
+                options=self.options.ilp_options(),
+                ref_class=self.ref_class,
+            )
+            if candidate is None:
+                break
+            sset.add(candidate)
+            budget = min(budget - 1, candidate.num_tasks - 1)
+
+    def _select_best(self, htg, solution_sets) -> SolutionCandidate:
+        best = solution_sets[htg.root.uid].best_for_class(self.ref_class)
+        assert best is not None, "sequential seeding guarantees a candidate"
+        return best

@@ -1,0 +1,300 @@
+"""Pipeline-parallelism extension (the paper's future work, Section VII).
+
+The paper notes that communication-heavy benchmarks (latnrm, spectral)
+"profit more from other parallelism types, like, e.g., pipeline
+parallelism" and defers that to future work, citing DSWP-style approaches
+[Raman et al., CGO 2008; Tournavitis & Franke, PACT 2010]. This module
+implements the natural extension: splitting a *serial* loop's body
+statements into pipeline stages executed by concurrent tasks coupled with
+per-iteration FIFOs.
+
+Stage formation constraints:
+
+* stages are contiguous runs of the loop body's statements (FIFO flow
+  only goes forward);
+* statements connected by a *backward* (loop-carried) dependence edge
+  must share a stage — the recurrence cannot cross a pipeline boundary.
+
+Given the stages, throughput is set by the slowest stage, so the stage
+partition minimizes the bottleneck (classic linear-partitioning DP) and
+stages are greedily mapped to the fastest available processor classes,
+heaviest stage first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.platforms.description import Platform, ProcessorClass
+
+
+@dataclass
+class PipelineStage:
+    """One pipeline stage: a contiguous run of loop-body nodes."""
+
+    index: int
+    nodes: Tuple[HTGNode, ...]
+    proc_class: str
+    time_us: float  # whole-run execution time of the stage on its class
+
+
+@dataclass
+class PipelineSolution:
+    """A pipelined execution plan for a serial loop node."""
+
+    node: HierarchicalNode
+    stages: Tuple[PipelineStage, ...]
+    exec_time_us: float
+    sequential_time_us: float
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.exec_time_us <= 0:
+            return float("inf")
+        return self.sequential_time_us / self.exec_time_us
+
+
+def extract_pipeline(
+    node: HierarchicalNode,
+    platform: Platform,
+    max_stages: Optional[int] = None,
+) -> Optional[PipelineSolution]:
+    """Try to pipeline a serial loop node.
+
+    Returns ``None`` when the node is not a loop, has fewer than two
+    fusable statement groups, or pipelining cannot beat sequential
+    execution on the main class.
+    """
+    if node.construct not in ("loop",):
+        return None
+    children = node.topological_children()
+    if len(children) < 2:
+        return None
+
+    groups = _fuse_recurrences(node, children)
+    if len(groups) < 2:
+        return None
+
+    max_stages = max_stages or platform.total_cores
+    max_stages = min(max_stages, len(groups), platform.total_cores)
+
+    # Group costs in reference cycles (whole-run totals).
+    group_cycles = [sum(c.total_cycles() for c in group) for group in groups]
+
+    best: Optional[PipelineSolution] = None
+    seq_time = platform.main_class.time_us(node.total_cycles())
+    for k in range(2, max_stages + 1):
+        partition = _min_bottleneck_partition(group_cycles, k)
+        stages = _assign_classes(groups, group_cycles, partition, platform)
+        if stages is None:
+            continue
+        exec_time = _pipeline_time(stages, node, platform)
+        if best is None or exec_time < best.exec_time_us:
+            best = PipelineSolution(
+                node=node,
+                stages=tuple(stages),
+                exec_time_us=exec_time,
+                sequential_time_us=seq_time,
+            )
+    if best is None or best.exec_time_us >= seq_time:
+        return None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# stage formation
+# ---------------------------------------------------------------------------
+
+
+def _fuse_recurrences(
+    node: HierarchicalNode, children: Sequence[HTGNode]
+) -> List[List[HTGNode]]:
+    """Fuse children linked by backward edges into indivisible groups.
+
+    Because a backward edge always points from a later to an earlier
+    child, fusing the whole inclusive range keeps groups contiguous.
+    """
+    order = {c.uid: i for i, c in enumerate(children)}
+    # union-find over contiguous ranges: group id = leftmost index
+    group_start = list(range(len(children)))
+
+    def find(i: int) -> int:
+        while group_start[i] != i:
+            group_start[i] = group_start[group_start[i]]
+            i = group_start[i]
+        return i
+
+    def fuse_range(lo: int, hi: int) -> None:
+        root = find(lo)
+        for i in range(lo, hi + 1):
+            group_start[find(i)] = root
+
+    for edge in node.edges_between_children():
+        if not edge.backward:
+            continue
+        src_i = order[edge.src.uid]
+        dst_i = order[edge.dst.uid]
+        lo, hi = min(src_i, dst_i), max(src_i, dst_i)
+        fuse_range(lo, hi)
+
+    groups: List[List[HTGNode]] = []
+    current_root = None
+    for i, child in enumerate(children):
+        root = find(i)
+        if root != current_root:
+            groups.append([])
+            current_root = root
+        groups[-1].append(child)
+    return groups
+
+
+def _min_bottleneck_partition(costs: List[int], k: int) -> List[int]:
+    """Split ``costs`` into ``k`` contiguous parts minimizing the largest
+    part sum. Returns the part boundaries (start index of each part).
+
+    Standard O(n^2 k) linear-partition dynamic program — n is tiny here.
+    """
+    n = len(costs)
+    k = min(k, n)
+    prefix = [0.0]
+    for c in costs:
+        prefix.append(prefix[-1] + c)
+
+    def range_sum(i: int, j: int) -> float:
+        return prefix[j] - prefix[i]
+
+    inf = math.inf
+    dp = [[inf] * (k + 1) for _ in range(n + 1)]
+    cut = [[0] * (k + 1) for _ in range(n + 1)]
+    dp[0][0] = 0.0
+    for j in range(1, k + 1):
+        for i in range(1, n + 1):
+            for m in range(j - 1, i):
+                candidate = max(dp[m][j - 1], range_sum(m, i))
+                if candidate < dp[i][j]:
+                    dp[i][j] = candidate
+                    cut[i][j] = m
+    # reconstruct boundaries
+    bounds: List[int] = []
+    i, j = n, k
+    while j > 0:
+        m = cut[i][j]
+        bounds.append(m)
+        i, j = m, j - 1
+    bounds.reverse()
+    return bounds
+
+
+def _assign_classes(
+    groups: List[List[HTGNode]],
+    group_cycles: List[int],
+    bounds: List[int],
+    platform: Platform,
+) -> Optional[List[PipelineStage]]:
+    """Map stages to processor classes: heaviest stage → fastest free core."""
+    stage_ranges: List[Tuple[int, int]] = []
+    for si, start in enumerate(bounds):
+        end = bounds[si + 1] if si + 1 < len(bounds) else len(groups)
+        if start >= end:
+            return None
+        stage_ranges.append((start, end))
+
+    free: Dict[str, int] = {
+        pc.name: pc.count for pc in platform.processor_classes
+    }
+    classes_by_speed = sorted(
+        platform.processor_classes, key=lambda pc: -pc.effective_mhz
+    )
+    stage_cycles = [
+        sum(group_cycles[g] for g in range(start, end))
+        for start, end in stage_ranges
+    ]
+    assignment: Dict[int, ProcessorClass] = {}
+    for si in sorted(range(len(stage_ranges)), key=lambda s: -stage_cycles[s]):
+        chosen = None
+        for pc in classes_by_speed:
+            if free[pc.name] > 0:
+                chosen = pc
+                break
+        if chosen is None:
+            return None
+        free[chosen.name] -= 1
+        assignment[si] = chosen
+
+    stages: List[PipelineStage] = []
+    for si, (start, end) in enumerate(stage_ranges):
+        nodes: List[HTGNode] = []
+        for g in range(start, end):
+            nodes.extend(groups[g])
+        pc = assignment[si]
+        stages.append(
+            PipelineStage(
+                index=si,
+                nodes=tuple(nodes),
+                proc_class=pc.name,
+                time_us=pc.time_us(stage_cycles[si]),
+            )
+        )
+    return stages
+
+
+def _pipeline_time(
+    stages: List[PipelineStage],
+    node: HierarchicalNode,
+    platform: Platform,
+) -> float:
+    """Makespan of the pipelined loop.
+
+    Steady state is set by the slowest stage; every other stage adds one
+    per-iteration fill/drain contribution, and each stage boundary pays
+    the FIFO communication for the values crossing it.
+    """
+    iterations = max(1.0, _loop_iterations(node))
+    bottleneck = max(stage.time_us for stage in stages)
+    fill = 0.0
+    for stage in stages:
+        if stage.time_us != bottleneck:
+            fill += stage.time_us / iterations
+    comm = _boundary_comm_us(stages, node, platform)
+    spawn = len(stages) * max(1.0, node.exec_count) * (
+        platform.task_creation_overhead_us
+    )
+    return bottleneck + fill + comm + spawn
+
+
+def _loop_iterations(node: HierarchicalNode) -> float:
+    if node.children:
+        return max(c.exec_count for c in node.children) / max(1.0, node.exec_count)
+    return 1.0
+
+
+def _boundary_comm_us(
+    stages: List[PipelineStage],
+    node: HierarchicalNode,
+    platform: Platform,
+) -> float:
+    stage_of: Dict[int, int] = {}
+    for stage in stages:
+        for child in stage.nodes:
+            stage_of[child.uid] = stage.index
+    total = 0.0
+    ic = platform.interconnect
+    for edge in node.edges_between_children():
+        src_stage = stage_of.get(edge.src.uid)
+        dst_stage = stage_of.get(edge.dst.uid)
+        if src_stage is None or dst_stage is None or src_stage == dst_stage:
+            continue
+        transfers = max(1.0, edge.src.exec_count)
+        # FIFO transfers overlap with compute; charge latency once per
+        # boundary plus the volume at bus bandwidth.
+        total += ic.latency_us * math.log2(transfers + 1) + (
+            edge.bytes_volume / ic.bandwidth_bytes_per_us
+        )
+    return total

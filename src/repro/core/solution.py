@@ -1,0 +1,160 @@
+"""Parallel solution candidates.
+
+Each candidate describes one way to execute an AHTG node: the node→task
+mapping of its direct children, the task→processor-class mapping, the
+chosen sub-solution per child, the estimated whole-run execution time and
+the processors consumed. Candidates are *tagged by the processor class
+executing the main task* (Section III-B) — the sequential context around
+the node runs on that class.
+
+Task structure of a parallel candidate (see DESIGN.md):
+
+* the **fork segment** and **join segment** are the main task's two
+  halves (the master thread before spawning and after joining); they
+  share the main processor;
+* **extra segments** are newly spawned tasks, each occupying one
+  processor of its mapped class for the node's duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.htg.nodes import HTGNode
+
+
+@dataclass
+class TaskSegment:
+    """One task of a parallel solution: an ordered run of child nodes."""
+
+    index: int
+    role: str  # 'fork' | 'extra' | 'join'
+    proc_class: str
+    children: Tuple[HTGNode, ...] = ()
+
+    @property
+    def is_main(self) -> bool:
+        return self.role in ("fork", "join")
+
+
+@dataclass
+class SolutionCandidate:
+    """One (possibly parallel) execution plan for an AHTG node."""
+
+    node: HTGNode
+    main_class: str
+    exec_time_us: float
+    segments: Tuple[TaskSegment, ...] = ()
+    child_choice: Dict[int, "SolutionCandidate"] = field(default_factory=dict)
+    used_procs: Dict[str, int] = field(default_factory=dict)
+    is_sequential: bool = True
+    #: total energy (nJ) under the per-class energy-per-cycle model; used
+    #: by the energy objective extension (paper future work).
+    energy_nj: float = 0.0
+
+    @property
+    def num_tasks(self) -> int:
+        """Used tasks, counting the fork+join pair as the single main task."""
+        if self.is_sequential:
+            return 1
+        extra = sum(
+            1 for s in self.segments if s.role == "extra" and s.children
+        )
+        return 1 + extra
+
+    @property
+    def total_procs(self) -> int:
+        """Processors used including the main one."""
+        return 1 + sum(self.used_procs.values())
+
+    def used_procs_of(self, class_name: str) -> int:
+        return self.used_procs.get(class_name, 0)
+
+    def task_of_child(self, child: HTGNode) -> Optional[int]:
+        for segment in self.segments:
+            if any(c.uid == child.uid for c in segment.children):
+                return segment.index
+        return None
+
+    def describe(self) -> str:
+        if self.is_sequential:
+            return (
+                f"sequential on {self.main_class} "
+                f"({self.exec_time_us:,.1f} µs)"
+            )
+        parts = []
+        for segment in self.segments:
+            if not segment.children and segment.role == "extra":
+                continue
+            names = ", ".join(c.label for c in segment.children) or "-"
+            parts.append(f"T{segment.index}[{segment.role}@{segment.proc_class}]: {names}")
+        return (
+            f"{self.num_tasks} tasks on main {self.main_class} "
+            f"({self.exec_time_us:,.1f} µs; +procs {self.used_procs}) :: "
+            + " | ".join(parts)
+        )
+
+
+def dominates(a: SolutionCandidate, b: SolutionCandidate) -> bool:
+    """True if ``a`` is at least as good as ``b`` in time and in every
+    per-class processor usage, and strictly better somewhere."""
+    if a.main_class != b.main_class:
+        return False
+    classes = set(a.used_procs) | set(b.used_procs)
+    not_worse = a.exec_time_us <= b.exec_time_us + 1e-9 and all(
+        a.used_procs_of(c) <= b.used_procs_of(c) for c in classes
+    )
+    strictly_better = a.exec_time_us < b.exec_time_us - 1e-9 or any(
+        a.used_procs_of(c) < b.used_procs_of(c) for c in classes
+    )
+    return not_worse and strictly_better
+
+
+class SolutionSet:
+    """The per-node *parallel set*: candidates grouped by main-task class.
+
+    Guarantees at least one sequential candidate per processor class
+    (the paper's feasibility note at the end of Section IV-K) and keeps
+    the per-class Pareto frontier over (time, per-class processor usage).
+    """
+
+    def __init__(self) -> None:
+        self._by_class: Dict[str, List[SolutionCandidate]] = {}
+
+    def add(self, candidate: SolutionCandidate) -> bool:
+        """Insert unless dominated; evict candidates it dominates."""
+        bucket = self._by_class.setdefault(candidate.main_class, [])
+        for existing in bucket:
+            if dominates(existing, candidate) or (
+                abs(existing.exec_time_us - candidate.exec_time_us) <= 1e-9
+                and existing.used_procs == candidate.used_procs
+            ):
+                return False
+        bucket[:] = [c for c in bucket if not dominates(candidate, c)]
+        bucket.append(candidate)
+        return True
+
+    def for_class(self, class_name: str) -> List[SolutionCandidate]:
+        return list(self._by_class.get(class_name, []))
+
+    def classes(self) -> List[str]:
+        return sorted(self._by_class)
+
+    def all(self) -> List[SolutionCandidate]:
+        return [c for bucket in self._by_class.values() for c in bucket]
+
+    def best_for_class(self, class_name: str) -> Optional[SolutionCandidate]:
+        bucket = self._by_class.get(class_name)
+        if not bucket:
+            return None
+        return min(bucket, key=lambda c: c.exec_time_us)
+
+    def sequential_for_class(self, class_name: str) -> Optional[SolutionCandidate]:
+        for candidate in self._by_class.get(class_name, []):
+            if candidate.is_sequential:
+                return candidate
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._by_class.values())

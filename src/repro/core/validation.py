@@ -1,0 +1,210 @@
+"""Solution validation: independent checking of ILP outputs.
+
+The ILP solvers are trusted to optimize, but the *model* could be wrong;
+this module re-checks every extracted candidate against the AHTG and the
+platform description, independently of the ILP formulation:
+
+* every child of the node appears in exactly one segment;
+* chosen per-child candidates are tagged with their segment's class;
+* main segments carry the candidate's tagged class;
+* per-class and total processor budgets hold;
+* precedence feasibility: no dependence cycle between distinct tasks
+  (backward loop-carried edges must be intra-task);
+* the reported execution time is at least the critical-path lower bound.
+
+``validate_candidate`` returns a list of violation strings (empty = ok);
+``validate_result`` walks a whole parallelization result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.parallelize import ParallelizeResult
+from repro.core.solution import SolutionCandidate
+from repro.htg.nodes import HierarchicalNode
+from repro.platforms.description import Platform
+
+
+def validate_candidate(
+    candidate: SolutionCandidate,
+    platform: Platform,
+    node: Optional[HierarchicalNode] = None,
+    class_blind: bool = False,
+) -> List[str]:
+    """Check one candidate; returns human-readable violations.
+
+    ``class_blind=True`` validates a homogeneous-baseline candidate: its
+    tasks carry only the reference class, and the paper's point is
+    precisely that such partitions ignore the real per-class capacities —
+    so the per-class budget check is replaced by a total-core check.
+    """
+    problems: List[str] = []
+    if candidate.is_sequential:
+        if candidate.segments:
+            problems.append("sequential candidate must not carry segments")
+        return problems
+
+    target = node or candidate.node
+    if not isinstance(target, HierarchicalNode):
+        return ["parallel candidate on a non-hierarchical node"]
+
+    problems.extend(_check_coverage(candidate, target))
+    problems.extend(_check_classes(candidate))
+    if class_blind:
+        if candidate.total_procs > platform.total_cores:
+            problems.append(
+                f"uses {candidate.total_procs} of {platform.total_cores} cores"
+            )
+    else:
+        problems.extend(_check_budgets(candidate, platform))
+    problems.extend(_check_precedence(candidate, target))
+    problems.extend(_check_time_lower_bound(candidate, platform))
+    return problems
+
+
+def validate_result(result: ParallelizeResult) -> List[str]:
+    """Validate the chosen best candidate and every nested choice."""
+    problems: List[str] = []
+    class_blind = result.approach == "homogeneous"
+
+    def visit(candidate: SolutionCandidate, path: str) -> None:
+        for problem in validate_candidate(
+            candidate, result.platform, class_blind=class_blind
+        ):
+            problems.append(f"{path}: {problem}")
+        for uid, chosen in candidate.child_choice.items():
+            visit(chosen, f"{path}/{uid}")
+
+    visit(result.best, "root")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+
+
+def _check_coverage(candidate: SolutionCandidate, node: HierarchicalNode) -> List[str]:
+    problems = []
+    placed: Dict[int, int] = {}
+    for segment in candidate.segments:
+        for child in segment.children:
+            placed[child.uid] = placed.get(child.uid, 0) + 1
+    for child in node.children:
+        count = placed.get(child.uid, 0)
+        if count != 1:
+            problems.append(
+                f"child {child.label!r} appears in {count} segments (expected 1)"
+            )
+    extras = set(placed) - {c.uid for c in node.children}
+    for uid in extras:
+        problems.append(f"segment contains unknown child uid {uid}")
+    for child in node.children:
+        if child.uid not in candidate.child_choice:
+            problems.append(f"child {child.label!r} has no chosen sub-solution")
+    return problems
+
+
+def _check_classes(candidate: SolutionCandidate) -> List[str]:
+    problems = []
+    for segment in candidate.segments:
+        if segment.is_main and segment.proc_class != candidate.main_class:
+            problems.append(
+                f"main segment {segment.index} on {segment.proc_class!r}, "
+                f"candidate tagged {candidate.main_class!r}"
+            )
+        for child in segment.children:
+            chosen = candidate.child_choice.get(child.uid)
+            if chosen is not None and chosen.main_class != segment.proc_class:
+                problems.append(
+                    f"child {child.label!r} uses a {chosen.main_class!r} "
+                    f"candidate inside a {segment.proc_class!r} task"
+                )
+    return problems
+
+
+def _check_budgets(candidate: SolutionCandidate, platform: Platform) -> List[str]:
+    problems = []
+    # recompute per-class usage from the segments, independently
+    usage: Dict[str, int] = {}
+    for segment in candidate.segments:
+        if segment.role == "extra" and segment.children:
+            usage[segment.proc_class] = usage.get(segment.proc_class, 0) + 1
+        inner: Dict[str, int] = {}
+        for child in segment.children:
+            chosen = candidate.child_choice[child.uid]
+            for cname, k in chosen.used_procs.items():
+                inner[cname] = max(inner.get(cname, 0), k)
+        for cname, k in inner.items():
+            usage[cname] = usage.get(cname, 0) + k
+    for pc in platform.processor_classes:
+        own = 1 if candidate.main_class == pc.name else 0
+        if usage.get(pc.name, 0) + own > pc.count:
+            problems.append(
+                f"class {pc.name!r}: uses {usage.get(pc.name, 0)} + {own} (main) "
+                f"of {pc.count} processors"
+            )
+    if usage != candidate.used_procs and any(
+        usage.get(c, 0) != candidate.used_procs.get(c, 0)
+        for c in set(usage) | set(candidate.used_procs)
+    ):
+        problems.append(
+            f"reported used_procs {candidate.used_procs} != recomputed {usage}"
+        )
+    return problems
+
+
+def _check_precedence(candidate: SolutionCandidate, node: HierarchicalNode) -> List[str]:
+    problems = []
+    segment_of: Dict[int, int] = {}
+    for segment in candidate.segments:
+        for child in segment.children:
+            segment_of[child.uid] = segment.index
+    # task-level dependence graph must be acyclic
+    succ: Dict[int, Set[int]] = {}
+    for edge in node.edges_between_children():
+        src_seg = segment_of.get(edge.src.uid)
+        dst_seg = segment_of.get(edge.dst.uid)
+        if src_seg is None or dst_seg is None or src_seg == dst_seg:
+            continue
+        if edge.backward:
+            problems.append(
+                f"backward edge {edge.src.label!r}->{edge.dst.label!r} "
+                f"crosses tasks {src_seg}->{dst_seg}"
+            )
+        succ.setdefault(src_seg, set()).add(dst_seg)
+    if _has_cycle(succ):
+        problems.append("task precedence graph contains a cycle")
+    return problems
+
+
+def _has_cycle(succ: Dict[int, Set[int]]) -> bool:
+    color: Dict[int, int] = {}
+
+    def dfs(v: int) -> bool:
+        color[v] = 1
+        for w in succ.get(v, ()):  # noqa: B023
+            if color.get(w, 0) == 1:
+                return True
+            if color.get(w, 0) == 0 and dfs(w):
+                return True
+        color[v] = 2
+        return False
+
+    return any(color.get(v, 0) == 0 and dfs(v) for v in list(succ))
+
+
+def _check_time_lower_bound(
+    candidate: SolutionCandidate, platform: Platform
+) -> List[str]:
+    problems = []
+    # the candidate can never claim to finish before its most expensive task
+    for segment in candidate.segments:
+        total = sum(
+            candidate.child_choice[c.uid].exec_time_us for c in segment.children
+        )
+        if total > candidate.exec_time_us + 1e-6:
+            problems.append(
+                f"task {segment.index} alone takes {total:.1f}us, candidate "
+                f"claims {candidate.exec_time_us:.1f}us"
+            )
+    return problems

@@ -1,0 +1,39 @@
+"""Augmented Hierarchical Task Graph (AHTG).
+
+The paper's central data structure (Section III-A): a hierarchy mirroring
+the source structure, with *Simple Nodes* for plain statements,
+*Hierarchical Nodes* for constructs containing other statements, and a
+*Communication-In* / *Communication-Out* node pair per hierarchical node
+encapsulating data crossing the node boundary. Data-flow edges between
+sibling nodes carry the communicated byte volume; every node is annotated
+with whole-run execution counts and reference cycle costs (converted to
+per-class times through the platform description).
+
+:mod:`repro.htg.chunking` adds the paper's "loop iterations" granularity
+level by splitting provably-parallel counted loops into iteration-range
+chunk nodes, which is what lets the ILP balance work *unequally* across
+processor classes of different speeds.
+"""
+
+from repro.htg.nodes import (
+    ChunkNode,
+    CommNode,
+    HierarchicalNode,
+    HTGEdge,
+    HTGNode,
+    SimpleNode,
+)
+from repro.htg.builder import BuildOptions, build_htg
+from repro.htg.graph import HTG
+
+__all__ = [
+    "BuildOptions",
+    "ChunkNode",
+    "CommNode",
+    "HTG",
+    "HTGEdge",
+    "HTGNode",
+    "HierarchicalNode",
+    "SimpleNode",
+    "build_htg",
+]

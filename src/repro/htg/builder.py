@@ -1,0 +1,617 @@
+"""AHTG construction from the statement IR.
+
+Follows Section III-A of the paper: the hierarchy mirrors the source
+structure; every hierarchical node gets Communication-In/-Out nodes and
+data-flow edges between its children annotated with communicated byte
+volumes; leaves carry whole-run execution counts and cycle costs.
+
+Granularity levels realized here:
+
+* **statements** — every simple statement is a node;
+* **loop iterations** — provably parallel counted loops become chunk
+  nodes (:mod:`repro.htg.chunking`);
+* **functions** — single-call-site functions are expanded inline as
+  hierarchical nodes, letting the parallelizer descend into them.
+
+Loop-carried flow dependences inside serial loops appear as *backward*
+edges; together with the ILP's precedence and path-cost constraints they
+force the endpoints into the same task (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.cfront import ir
+from repro.cfront.defuse import (
+    CallSummary,
+    DefUse,
+    compute_call_summaries,
+    compute_defuse,
+)
+from repro.cfront.deps import DepKind, classify_loop, private_scalars
+from repro.cfront.loops import trip_count
+from repro.htg.chunking import make_chunk_nodes
+from repro.htg.graph import HTG, SymbolInfo
+from repro.htg.nodes import (
+    ChunkNode,
+    HierarchicalNode,
+    HTGEdge,
+    HTGNode,
+    SimpleNode,
+)
+from repro.timing.costmodel import CostModel
+from repro.timing.estimator import CostDatabase, annotate_costs
+
+
+@dataclass
+class BuildOptions:
+    """Knobs of the AHTG construction."""
+
+    enable_chunking: bool = True
+    chunk_factor: float = 2.0      # chunks ≈ chunk_factor * total_cores
+    max_chunks: int = 16
+    min_chunk_cycles: float = 2000.0
+    inline_calls: bool = True
+
+
+def build_htg(
+    program: ir.Program,
+    function: Union[str, ir.Function] = "main",
+    cost_db: Optional[CostDatabase] = None,
+    options: Optional[BuildOptions] = None,
+    total_cores: int = 4,
+    summaries: Optional[Dict[str, CallSummary]] = None,
+) -> HTG:
+    """Extract the AHTG of one function (paper's ``ExtractGraph``)."""
+    func = program.entry(function) if isinstance(function, str) else function
+    options = options or BuildOptions()
+    summaries = summaries if summaries is not None else compute_call_summaries(program)
+    if cost_db is None:
+        cost_db = annotate_costs(program, func)
+    builder = _Builder(program, func, cost_db, options, total_cores, summaries)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(
+        self,
+        program: ir.Program,
+        func: ir.Function,
+        cost_db: CostDatabase,
+        options: BuildOptions,
+        total_cores: int,
+        summaries: Dict[str, CallSummary],
+    ):
+        self.program = program
+        self.func = func
+        self.cost_db = cost_db
+        self.options = options
+        self.total_cores = total_cores
+        self.summaries = summaries
+        self.symbols = self._collect_symbols()
+        self.call_site_counts = self._count_call_sites()
+        self._inline_stack: List[str] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def _collect_symbols(self) -> Dict[str, SymbolInfo]:
+        symbols: Dict[str, SymbolInfo] = {}
+        for decl in self.program.globals.values():
+            symbols[decl.name] = SymbolInfo(decl.name, decl.ctype, decl.dims)
+        for func in self.program.functions.values():
+            for stmt in func.body.walk():
+                if isinstance(stmt, ir.Decl) and stmt.name not in symbols:
+                    symbols[stmt.name] = SymbolInfo(stmt.name, stmt.ctype, stmt.dims)
+            for param in func.params:
+                if param.name not in symbols:
+                    dims = (1024,) if param.is_pointer else ()
+                    symbols[param.name] = SymbolInfo(param.name, param.ctype, dims)
+        return symbols
+
+    def _count_call_sites(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for func in self.program.functions.values():
+            for stmt in func.body.walk():
+                for expr in stmt.expressions():
+                    if expr is None:
+                        continue
+                    for node in expr.walk():
+                        if isinstance(node, ir.CallExpr):
+                            counts[node.name] = counts.get(node.name, 0) + 1
+        return counts
+
+    # -- entry ----------------------------------------------------------------
+
+    def build(self) -> HTG:
+        root = self._hierarchical_from_stmts(
+            label=f"function {self.func.name}",
+            construct="function",
+            stmt=self.func.body,
+            stmts=self.func.body.stmts,
+            exec_count=max(1.0, self.cost_db.exec_count(self.func.body)),
+            loop_carried=False,
+        )
+        return HTG(root, self.func.name, self.symbols)
+
+    # -- statement conversion ----------------------------------------------------
+
+    def _convert(self, stmt: ir.Stmt) -> Optional[HTGNode]:
+        count = self.cost_db.exec_count(stmt)
+        if isinstance(stmt, ir.Block):
+            if not stmt.stmts:
+                return None
+            return self._hierarchical_from_stmts(
+                label="block",
+                construct="block",
+                stmt=stmt,
+                stmts=stmt.stmts,
+                exec_count=count,
+                loop_carried=False,
+            )
+        if isinstance(stmt, ir.Decl):
+            if stmt.init is None:
+                return None  # pure allocation: free in the model
+            return self._simple(stmt, f"decl {stmt.name}")
+        if isinstance(stmt, ir.Assign):
+            return self._simple(stmt, f"{stmt.lhs} = ...")
+        if isinstance(stmt, ir.CallStmt):
+            return self._call_node(stmt)
+        if isinstance(stmt, ir.ExprStmt):
+            return self._simple(stmt, f"expr {stmt.expr}")
+        if isinstance(stmt, ir.Return):
+            return self._simple(stmt, "return")
+        if isinstance(stmt, ir.ForLoop):
+            return self._for_node(stmt)
+        if isinstance(stmt, ir.WhileLoop):
+            return self._hierarchical_from_stmts(
+                label=f"while {stmt.cond}",
+                construct="loop",
+                stmt=stmt,
+                stmts=stmt.body.stmts,
+                exec_count=count,
+                loop_carried=True,
+                control_overhead=self.cost_db.own_cycles(stmt),
+            )
+        if isinstance(stmt, ir.If):
+            return self._if_node(stmt)
+        raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+    def _simple(self, stmt: ir.Stmt, label: str) -> SimpleNode:
+        return SimpleNode(
+            label=label,
+            exec_count=self.cost_db.exec_count(stmt),
+            defuse=compute_defuse(stmt, self.summaries),
+            cycles=self.cost_db.subtree_cycles(stmt),
+            stmt=stmt,
+        )
+
+    def _call_node(self, stmt: ir.CallStmt) -> HTGNode:
+        callee_name = stmt.call.name
+        callee = self.program.functions.get(callee_name)
+        inlinable = (
+            self.options.inline_calls
+            and callee is not None
+            and self.call_site_counts.get(callee_name, 0) == 1
+            and callee_name not in self._inline_stack
+            and callee_name != self.func.name
+        )
+        if not inlinable:
+            return self._simple(stmt, f"call {callee_name}")
+        # Alias the callee's array parameters to the caller's arrays so
+        # footprint estimation sees real sizes.
+        for param, arg in zip(callee.params, stmt.call.args):
+            if param.is_pointer and isinstance(arg, ir.VarRef):
+                info = self.symbols.get(arg.name)
+                if info is not None:
+                    self.symbols[param.name] = SymbolInfo(
+                        param.name, info.ctype, info.dims
+                    )
+        self._inline_stack.append(callee_name)
+        try:
+            node = self._hierarchical_from_stmts(
+                label=f"call {callee_name}",
+                construct="call",
+                stmt=callee.body,
+                stmts=callee.body.stmts,
+                exec_count=self.cost_db.exec_count(stmt),
+                loop_carried=False,
+            )
+        finally:
+            self._inline_stack.pop()
+        # The node's boundary def/use is the call's own (argument-level).
+        node.defuse = self._strip_private(
+            compute_defuse(stmt, self.summaries), callee.body
+        )
+        node.control_overhead_cycles += self.cost_db.own_cycles(stmt)
+        return node
+
+    def _if_node(self, stmt: ir.If) -> HTGNode:
+        children: List[HTGNode] = []
+        then_node = self._convert(stmt.then_block)
+        if then_node is not None:
+            then_node.label = f"then({stmt.cond})"
+            children.append(then_node)
+        if stmt.else_block is not None:
+            else_node = self._convert(stmt.else_block)
+            if else_node is not None:
+                else_node.label = f"else({stmt.cond})"
+                children.append(else_node)
+        node = self._hierarchical_from_children(
+            label=f"if {stmt.cond}",
+            construct="if",
+            stmt=stmt,
+            children=children,
+            exec_count=self.cost_db.exec_count(stmt),
+            loop_carried=False,
+            control_overhead=self.cost_db.own_cycles(stmt),
+        )
+        return node
+
+    # -- loops --------------------------------------------------------------------
+
+    def _for_node(self, loop: ir.ForLoop) -> HTGNode:
+        count = self.cost_db.exec_count(loop)
+        classification = classify_loop(loop, self.summaries)
+        trips = trip_count(loop, self.program.constants)
+        if trips is None:
+            body_count = self.cost_db.exec_count(loop.body)
+            trips = int(body_count / count) if count else 0
+        total_cycles = self.cost_db.subtree_cycles(loop)
+        chunkable = (
+            self.options.enable_chunking
+            and classification.chunkable
+            and trips is not None
+            and trips >= 2
+            and total_cycles >= self.options.min_chunk_cycles
+            and count > 0
+        )
+        if chunkable:
+            return self._chunked_loop(loop, classification, trips, count)
+        return self._hierarchical_from_stmts(
+            label=f"for {loop.var} [{classification.parallelism.value}]",
+            construct="loop",
+            stmt=loop,
+            stmts=loop.body.stmts,
+            exec_count=count,
+            loop_carried=True,
+            control_overhead=self.cost_db.own_cycles(loop),
+        )
+
+    def _chunked_loop(self, loop, classification, trips, count) -> HierarchicalNode:
+        num_chunks = min(
+            trips,
+            max(2, math.ceil(self.options.chunk_factor * self.total_cores)),
+            self.options.max_chunks,
+        )
+        chunks, in_bytes, out_bytes = make_chunk_nodes(
+            loop,
+            classification,
+            trips,
+            self.cost_db,
+            self.symbols,
+            num_chunks,
+            loop_exec_count=count,
+        )
+        node = HierarchicalNode(
+            label=f"for {loop.var} [chunked x{len(chunks)}]",
+            construct="loop-chunked",
+            exec_count=count,
+            defuse=self._strip_private(compute_defuse(loop, self.summaries), loop),
+            children=list(chunks),
+            edges=[],
+            control_overhead_cycles=0.0,
+            stmt=loop,
+        )
+        for chunk, ib, ob in zip(chunks, in_bytes, out_bytes):
+            node.edges.append(
+                HTGEdge(node.comm_in, chunk, DepKind.FLOW,
+                        frozenset(chunk.defuse.array_uses), ib)
+            )
+            node.edges.append(
+                HTGEdge(chunk, node.comm_out, DepKind.FLOW,
+                        frozenset(chunk.defuse.array_defs), ob)
+            )
+        return node
+
+    # -- hierarchical assembly -------------------------------------------------------
+
+    def _hierarchical_from_stmts(
+        self,
+        label: str,
+        construct: str,
+        stmt: Optional[ir.Stmt],
+        stmts: Sequence[ir.Stmt],
+        exec_count: float,
+        loop_carried: bool,
+        control_overhead: float = 0.0,
+    ) -> HierarchicalNode:
+        children: List[HTGNode] = []
+        for child_stmt in stmts:
+            child = self._convert(child_stmt)
+            if child is not None:
+                children.append(child)
+        return self._hierarchical_from_children(
+            label, construct, stmt, children, exec_count, loop_carried, control_overhead
+        )
+
+    def _hierarchical_from_children(
+        self,
+        label: str,
+        construct: str,
+        stmt: Optional[ir.Stmt],
+        children: List[HTGNode],
+        exec_count: float,
+        loop_carried: bool,
+        control_overhead: float = 0.0,
+    ) -> HierarchicalNode:
+        defuse = DefUse()
+        for child in children:
+            merged = DefUse(
+                scalar_defs=set(child.defuse.scalar_defs),
+                scalar_uses=set(child.defuse.scalar_uses),
+                array_defs=set(child.defuse.array_defs),
+                array_uses=set(child.defuse.array_uses),
+            )
+            defuse.merge(merged)
+        if stmt is not None:
+            defuse = compute_defuse(stmt, self.summaries)
+            defuse = self._strip_private(defuse, stmt)
+        node = HierarchicalNode(
+            label=label,
+            construct=construct,
+            exec_count=exec_count,
+            defuse=defuse,
+            children=children,
+            edges=[],
+            control_overhead_cycles=control_overhead,
+            stmt=stmt,
+        )
+        node.edges = self._build_edges(node, loop_carried, cross_branch=construct == "if")
+        return node
+
+    def _strip_private(self, defuse: DefUse, stmt: ir.Stmt) -> DefUse:
+        """Remove block-private scalars from a node's boundary def/use sets.
+
+        Private scalars (loop counters, declared-inside temporaries,
+        written-before-read accumulators) neither consume external values
+        nor publish results, so keeping them would manufacture spurious
+        dependences between sibling nodes that merely reuse a counter name.
+        """
+        if isinstance(stmt, (ir.ForLoop, ir.WhileLoop)):
+            scope: ir.Block = stmt.body
+            extra = {stmt.var} if isinstance(stmt, ir.ForLoop) else set()
+        elif isinstance(stmt, ir.Block):
+            scope = stmt
+            extra = set()
+        else:
+            return defuse
+        private = private_scalars(scope, self.summaries) | extra
+        return DefUse(
+            scalar_defs=defuse.scalar_defs - private,
+            scalar_uses=defuse.scalar_uses - private,
+            array_defs=set(defuse.array_defs),
+            array_uses=set(defuse.array_uses),
+            accesses=list(defuse.accesses),
+            has_unknown_call=defuse.has_unknown_call,
+            has_return=defuse.has_return,
+        )
+
+    # -- edges -----------------------------------------------------------------------
+
+    def _build_edges(
+        self, node: HierarchicalNode, loop_carried: bool, cross_branch: bool
+    ) -> List[HTGEdge]:
+        children = node.children
+        edges: List[HTGEdge] = []
+        n = len(children)
+
+        def defs(c: HTGNode) -> Set[str]:
+            return c.defuse.all_defs
+
+        def uses(c: HTGNode) -> Set[str]:
+            return c.defuse.all_uses
+
+        # Then/else branches are mutually exclusive: executing them in
+        # different tasks can never overlap their execution, so an ordering
+        # edge stops the ILP from modelling bogus overlap.
+        if cross_branch:
+            for i in range(n - 1):
+                edges.append(
+                    HTGEdge(children[i], children[i + 1], DepKind.ANTI, frozenset())
+                )
+
+        # forward dependences with kill filtering
+        for j in range(n):
+            for i in range(j):
+                if cross_branch:
+                    continue  # handled above
+                flow = self._surviving(children, i, j, defs(children[i]) & uses(children[j]))
+                anti = self._surviving(children, i, j, uses(children[i]) & defs(children[j]))
+                output = self._surviving(children, i, j, defs(children[i]) & defs(children[j]))
+                if flow:
+                    edges.append(
+                        HTGEdge(
+                            children[i],
+                            children[j],
+                            DepKind.FLOW,
+                            frozenset(flow),
+                            self._edge_bytes(children[i], children[j], flow),
+                        )
+                    )
+                if anti - flow:
+                    edges.append(
+                        HTGEdge(children[i], children[j], DepKind.ANTI, frozenset(anti - flow))
+                    )
+                if output - flow:
+                    edges.append(
+                        HTGEdge(
+                            children[i], children[j], DepKind.OUTPUT, frozenset(output - flow)
+                        )
+                    )
+
+        # loop-carried backward flow edges: a later child defines a value an
+        # earlier child consumes in the next iteration.
+        if loop_carried:
+            for j in range(n):
+                for i in range(j):
+                    carried = defs(children[j]) & uses(children[i])
+                    if carried:
+                        edges.append(
+                            HTGEdge(
+                                children[j],
+                                children[i],
+                                DepKind.FLOW,
+                                frozenset(carried),
+                                self._edge_bytes(children[j], children[i], carried),
+                                backward=True,
+                            )
+                        )
+
+        # communication-in edges: uses not produced by earlier siblings
+        produced: Set[str] = set()
+        for child in children:
+            external = uses(child) - produced
+            if loop_carried:
+                # In a loop, even values produced by earlier siblings arrive
+                # from outside on the first iteration; keep it simple and
+                # charge only genuinely external inputs.
+                pass
+            bytes_in = self._read_bytes(child, external) if external else 0.0
+            edges.append(
+                HTGEdge(node.comm_in, child, DepKind.FLOW, frozenset(external), bytes_in)
+            )
+            produced |= defs(child)
+
+        # communication-out edges: every child joins at comm-out (the paper:
+        # the out-node is a successor of all child nodes); escaping
+        # definitions carry bytes.
+        later_defs: Set[str] = set()
+        for child in reversed(children):
+            escaping = set()
+            for name in defs(child):
+                info = self.symbols.get(name)
+                is_array = info.is_array if info else False
+                if is_array or name not in later_defs:
+                    escaping.add(name)
+            bytes_out = self._write_bytes(child, escaping) if escaping else 0.0
+            edges.append(
+                HTGEdge(child, node.comm_out, DepKind.FLOW, frozenset(escaping), bytes_out)
+            )
+            later_defs |= {
+                name
+                for name in defs(child)
+                if not (self.symbols.get(name) and self.symbols[name].is_array)
+            }
+        edges.reverse()
+        return edges
+
+    @staticmethod
+    def _surviving(
+        children: Sequence[HTGNode], i: int, j: int, related: Set[str]
+    ) -> Set[str]:
+        survivors = set(related)
+        for k in range(i + 1, j):
+            # array definitions are partial writes: they do not kill
+            killer_scalars = children[k].defuse.scalar_defs
+            survivors -= killer_scalars
+            if not survivors:
+                break
+        return survivors
+
+    # -- byte volumes -------------------------------------------------------------------
+
+    def _edge_bytes(self, src: HTGNode, dst: HTGNode, variables: Set[str]) -> float:
+        total = 0.0
+        for name in variables:
+            total += min(
+                self._var_bytes(src, name, write=True),
+                self._var_bytes(dst, name, write=False),
+            )
+        return total
+
+    def _read_bytes(self, node: HTGNode, variables: Set[str]) -> float:
+        return sum(self._var_bytes(node, name, write=False) for name in variables)
+
+    def _write_bytes(self, node: HTGNode, variables: Set[str]) -> float:
+        return sum(self._var_bytes(node, name, write=True) for name in variables)
+
+    def _var_bytes(self, node: HTGNode, name: str, write: bool) -> float:
+        """Whole-run byte traffic of ``node`` on variable ``name``."""
+        if isinstance(node, ChunkNode):
+            # Chunks share the loop's footprint proportionally.
+            loop_bytes = self._stmt_var_bytes(node.loop, name, write)
+            share = node.trips / max(1, self._loop_trips(node.loop))
+            return loop_bytes * share
+        stmt = getattr(node, "stmt", None)
+        if stmt is not None:
+            return self._stmt_var_bytes(stmt, name, write)
+        if isinstance(node, HierarchicalNode):
+            return sum(self._var_bytes(c, name, write) for c in node.children)
+        return 0.0
+
+    def _loop_trips(self, loop: ir.ForLoop) -> int:
+        trips = trip_count(loop, self.program.constants)
+        if trips:
+            return trips
+        count = self.cost_db.exec_count(loop)
+        body = self.cost_db.exec_count(loop.body)
+        return int(body / count) if count else 1
+
+    def _stmt_var_bytes(self, stmt: ir.Stmt, name: str, write: bool) -> float:
+        info = self.symbols.get(name)
+        elem = info.element_bytes if info else 4
+        events = 0.0
+        for sub in stmt.walk():
+            count = self.cost_db.exec_count(sub)
+            if count <= 0:
+                continue
+            events += count * _own_var_events(sub, name, write)
+        total = events * elem
+        if info is not None and info.is_array:
+            total = min(total, float(info.total_bytes))
+        else:
+            total = min(total, events * elem)
+        return total
+
+
+def _own_var_events(stmt: ir.Stmt, name: str, write: bool) -> int:
+    """Accesses to ``name`` directly in one statement (not substatements)."""
+    events = 0
+
+    def visit(expr: ir.Expr) -> None:
+        nonlocal events
+        if isinstance(expr, (ir.VarRef, ir.ArrayRef)) and expr.name == name and not write:
+            events += 1
+        for child in expr.children():
+            visit(child)
+
+    if isinstance(stmt, ir.Assign):
+        if write:
+            if isinstance(stmt.lhs, (ir.VarRef, ir.ArrayRef)) and stmt.lhs.name == name:
+                events += 1
+        else:
+            visit(stmt.rhs)
+            if isinstance(stmt.lhs, ir.ArrayRef):
+                for index in stmt.lhs.indices:
+                    visit(index)
+        return events
+    if isinstance(stmt, ir.Decl):
+        if write and stmt.name == name and stmt.init is not None:
+            events += 1
+        elif not write and stmt.init is not None:
+            visit(stmt.init)
+        return events
+    if not write:
+        for expr in stmt.expressions():
+            if expr is not None:
+                visit(expr)
+    else:
+        # Writes through calls: approximate one event per call statement.
+        if isinstance(stmt, ir.CallStmt):
+            du = compute_defuse(stmt)
+            if name in du.all_defs:
+                events += 1
+    return events

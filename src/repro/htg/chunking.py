@@ -1,0 +1,175 @@
+"""Loop chunking: the "loop iterations" granularity level of the AHTG.
+
+A counted loop proven iteration-independent (PARALLEL) or independent up
+to associative reductions (REDUCTION) by :func:`repro.cfront.deps.classify_loop`
+is split into ``K`` iteration-range chunk nodes. Chunks carry
+proportionally scaled cost and communication footprints and have *no*
+edges among each other — the heterogeneous ILP is then free to assign
+*different numbers of chunks* to tasks on fast and slow processor
+classes, which is precisely how the approach balances work on
+heterogeneous platforms (paper Section VI-A: "the two processors with
+500 MHz are automatically allocated with heavier workloads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfront import ir
+from repro.cfront.defuse import DefUse, compute_defuse
+from repro.cfront.deps import LoopClassification
+from repro.htg.graph import SymbolInfo
+from repro.htg.nodes import ChunkNode
+from repro.timing.estimator import CostDatabase
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """How a parallel loop is split: per-chunk iteration ranges."""
+
+    num_chunks: int
+    ranges: Tuple[Tuple[int, int], ...]  # [lo, hi) per chunk, in iteration index space
+
+    @property
+    def total_trips(self) -> int:
+        return sum(hi - lo for lo, hi in self.ranges)
+
+
+def plan_chunks(trips: int, num_chunks: int) -> ChunkPlan:
+    """Split ``trips`` iterations into ``num_chunks`` near-equal ranges."""
+    num_chunks = max(1, min(num_chunks, trips))
+    base = trips // num_chunks
+    extra = trips % num_chunks
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        ranges.append((lo, lo + size))
+        lo += size
+    return ChunkPlan(num_chunks, tuple(ranges))
+
+
+def make_chunk_nodes(
+    loop: ir.ForLoop,
+    classification: LoopClassification,
+    trips: int,
+    cost_db: CostDatabase,
+    symbols: Dict[str, SymbolInfo],
+    num_chunks: int,
+    loop_exec_count: float,
+) -> Tuple[List[ChunkNode], List[float], List[float]]:
+    """Create chunk nodes and per-chunk communication footprints.
+
+    Returns ``(chunks, in_bytes, out_bytes)`` where the byte lists align
+    with the chunk list. ``in_bytes[k]`` is the whole-run volume the chunk
+    reads from outside the loop; ``out_bytes[k]`` is the volume it
+    produces for consumers after the loop (including partial reduction
+    values for REDUCTION loops).
+    """
+    plan = plan_chunks(trips, num_chunks)
+    total_cycles = cost_db.subtree_cycles(loop)
+    body_du = compute_defuse(loop.body)
+
+    read_total, write_total = _loop_footprints(loop, cost_db, symbols)
+
+    chunks: List[ChunkNode] = []
+    in_bytes: List[float] = []
+    out_bytes: List[float] = []
+    for index, (lo, hi) in enumerate(plan.ranges):
+        share = (hi - lo) / trips if trips else 0.0
+        chunk_du = DefUse(
+            scalar_defs=set(body_du.scalar_defs),
+            scalar_uses=set(body_du.scalar_uses) | {loop.var},
+            array_defs=set(body_du.array_defs),
+            array_uses=set(body_du.array_uses),
+            accesses=list(body_du.accesses),
+        )
+        chunk = ChunkNode(
+            label=f"chunk[{lo}:{hi}] of for-{loop.var}",
+            exec_count=loop_exec_count,
+            defuse=chunk_du,
+            cycles=total_cycles * share,
+            loop=loop,
+            chunk_index=index,
+            num_chunks=plan.num_chunks,
+            iter_lo=lo,
+            iter_hi=hi,
+            reduction_vars=classification.reduction_vars,
+        )
+        chunks.append(chunk)
+        in_bytes.append(read_total * share)
+        reduction_bytes = sum(
+            ir.sizeof(symbols[v].ctype) if v in symbols else 8
+            for v in classification.reduction_vars
+        )
+        out_bytes.append(write_total * share + reduction_bytes)
+    return chunks, in_bytes, out_bytes
+
+
+def _loop_footprints(
+    loop: ir.ForLoop,
+    cost_db: CostDatabase,
+    symbols: Dict[str, SymbolInfo],
+) -> Tuple[float, float]:
+    """Whole-run (read_bytes, write_bytes) footprints of a loop subtree.
+
+    Element-count estimates come from access sites weighted by their
+    statements' execution counts, capped at the full array size per
+    variable; scalars contribute their element size once.
+    """
+    read_elems: Dict[str, float] = {}
+    write_elems: Dict[str, float] = {}
+    for stmt in loop.walk():
+        count = cost_db.exec_count(stmt)
+        if count <= 0:
+            continue
+        for access in _own_accesses(stmt):
+            target = write_elems if access.is_write else read_elems
+            target[access.name] = target.get(access.name, 0.0) + count
+
+    def to_bytes(elems: Dict[str, float]) -> float:
+        total = 0.0
+        for name, count in elems.items():
+            info = symbols.get(name)
+            if info is None:
+                total += count * 4
+            else:
+                total += min(count * info.element_bytes, info.total_bytes)
+        return total
+
+    # Scalars read from outside (e.g. coefficients) are negligible next to
+    # arrays but still counted once each.
+    du = compute_defuse(loop.body)
+    scalar_read = sum(
+        ir.sizeof(symbols[v].ctype) if v in symbols else 4
+        for v in du.scalar_uses
+        if v not in du.scalar_defs
+    )
+    return to_bytes(read_elems) + scalar_read, to_bytes(write_elems)
+
+
+def _own_accesses(stmt: ir.Stmt):
+    """Array accesses appearing directly in one statement's expressions."""
+    from repro.cfront.defuse import Access
+
+    accesses: List[Access] = []
+
+    def visit_expr(expr: ir.Expr, as_write: bool = False) -> None:
+        if isinstance(expr, ir.ArrayRef):
+            accesses.append(Access(expr.name, expr.indices, is_write=as_write))
+            for index in expr.indices:
+                visit_expr(index)
+            return
+        for child in expr.children():
+            visit_expr(child)
+
+    if isinstance(stmt, ir.Assign):
+        if isinstance(stmt.lhs, ir.ArrayRef):
+            visit_expr(stmt.lhs, as_write=True)
+        visit_expr(stmt.rhs)
+    else:
+        for expr in stmt.expressions():
+            if expr is not None:
+                visit_expr(expr)
+    return accesses

@@ -1,0 +1,134 @@
+"""AHTG container with whole-graph queries and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cfront import ir
+from repro.htg.nodes import HierarchicalNode, HTGNode, SimpleNode
+
+
+@dataclass
+class SymbolInfo:
+    """Type/size information for one program variable."""
+
+    name: str
+    ctype: str
+    dims: Tuple[int, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def element_bytes(self) -> int:
+        return ir.sizeof(self.ctype)
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.element_bytes
+        for dim in self.dims:
+            total *= dim
+        return total
+
+
+class HTG:
+    """An Augmented Hierarchical Task Graph for one function.
+
+    ``root`` is the hierarchical node of the function body; ``symbols``
+    maps variable names to size information used for communication-volume
+    annotation.
+    """
+
+    def __init__(
+        self,
+        root: HierarchicalNode,
+        function_name: str,
+        symbols: Dict[str, SymbolInfo],
+    ):
+        self.root = root
+        self.function_name = function_name
+        self.symbols = symbols
+
+    def get_root_node(self) -> HierarchicalNode:
+        """Paper's ``htg.getRootNode()`` (Algorithm 1, line 3)."""
+        return self.root
+
+    def walk(self) -> Iterator[HTGNode]:
+        yield from self.root.walk()
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    @property
+    def num_simple_nodes(self) -> int:
+        return sum(1 for n in self.walk() if isinstance(n, SimpleNode))
+
+    @property
+    def num_hierarchical_nodes(self) -> int:
+        return sum(1 for n in self.walk() if isinstance(n, HierarchicalNode))
+
+    @property
+    def depth(self) -> int:
+        def node_depth(node: HTGNode) -> int:
+            if isinstance(node, HierarchicalNode) and node.children:
+                return 1 + max(node_depth(c) for c in node.children)
+            return 1
+
+        return node_depth(self.root)
+
+    def total_cycles(self) -> float:
+        return self.root.total_cycles()
+
+    def validate(self) -> List[str]:
+        """Structural sanity checks; returns a list of problems (empty = ok)."""
+        problems: List[str] = []
+        seen = set()
+        for node in self.walk():
+            if node.uid in seen:
+                problems.append(f"duplicate node uid {node.uid} ({node.label})")
+            seen.add(node.uid)
+        for node in self.walk():
+            if not isinstance(node, HierarchicalNode):
+                continue
+            child_set = set(id(c) for c in node.children)
+            child_set.add(id(node.comm_in))
+            child_set.add(id(node.comm_out))
+            for edge in node.edges:
+                if id(edge.src) not in child_set or id(edge.dst) not in child_set:
+                    problems.append(
+                        f"edge {edge} of {node.label} references a non-child node"
+                    )
+                if edge.bytes_volume < 0:
+                    problems.append(f"edge {edge} has negative byte volume")
+            order = {id(c): i for i, c in enumerate(node.children)}
+            for edge in node.edges_between_children():
+                forward = order[id(edge.src)] < order[id(edge.dst)]
+                if forward == edge.backward:
+                    problems.append(
+                        f"edge {edge} of {node.label}: backward flag does not "
+                        f"match child order"
+                    )
+        return problems
+
+    def pretty(self, max_depth: int = 6) -> str:
+        """Indented text rendering of the hierarchy."""
+        lines: List[str] = []
+
+        def visit(node: HTGNode, depth: int) -> None:
+            if depth > max_depth:
+                return
+            indent = "  " * depth
+            cost = node.total_cycles()
+            lines.append(
+                f"{indent}{type(node).__name__}#{node.uid} {node.label} "
+                f"[x{node.exec_count:g}, {cost:,.0f} cyc]"
+            )
+            if isinstance(node, HierarchicalNode):
+                for child in node.children:
+                    visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

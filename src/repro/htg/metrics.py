@@ -1,0 +1,126 @@
+"""AHTG metrics: critical paths, parallelism degrees, speedup bounds.
+
+Analytical bounds computed directly from the graph, before any ILP runs:
+
+* **critical path** — the longest dependence chain through a hierarchical
+  node's children (in reference cycles), recursively descending into the
+  children's own structure;
+* **available parallelism** — total work / critical path, the classic
+  DAG parallelism degree;
+* **speedup bounds** — per platform: the achievable speedup can exceed
+  neither the paper's aggregate-frequency limit nor the program's own
+  dependence structure (work / critical-path on the fastest composition).
+
+Tests use these bounds to sanity-check every ILP solution from the
+outside: no extracted candidate may claim a speedup above the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.htg.graph import HTG
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.platforms.description import Platform
+
+
+@dataclass(frozen=True)
+class ParallelismReport:
+    """Structural parallelism summary of one AHTG."""
+
+    total_cycles: float
+    critical_path_cycles: float
+    available_parallelism: float
+    num_leaves: int
+    chunked_loops: int
+    serial_loops: int
+
+    def bounded_speedup(self, platform: Platform) -> float:
+        """Upper bound on any speedup achievable on ``platform``.
+
+        The binding constraints are (a) the aggregate-frequency limit
+        (paper's dashed line) and (b) the dependence structure: even with
+        infinite cores of the fastest class, the critical path must run
+        somewhere, so speedup ≤ parallelism × (fastest/main clock ratio).
+        """
+        frequency_limit = platform.theoretical_speedup()
+        fastest = max(pc.effective_mhz for pc in platform.processor_classes)
+        clock_ratio = fastest / platform.main_class.effective_mhz
+        dependence_limit = self.available_parallelism * clock_ratio
+        return min(frequency_limit, dependence_limit)
+
+
+def critical_path_cycles(node: HTGNode) -> float:
+    """Longest dependence chain through the node's subtree, in cycles.
+
+    For hierarchical nodes: longest path over the children DAG where each
+    child weighs its own (recursive) critical path; control overhead is
+    serial and always added. Backward edges force their endpoints into one
+    task, i.e. they serialize — handled by treating the strongly-coupled
+    children as a chain (conservatively: their weights add along the
+    path anyway since a backward edge implies a forward path).
+    """
+    if not isinstance(node, HierarchicalNode) or not node.children:
+        return node.total_cycles()
+
+    children = node.topological_children()
+    index_of = {c.uid: i for i, c in enumerate(children)}
+    weights = [critical_path_cycles(c) for c in children]
+
+    # longest path over forward edges (program order is topological)
+    longest: List[float] = [w for w in weights]
+    preds: Dict[int, List[int]] = {i: [] for i in range(len(children))}
+    for edge in node.edges_between_children():
+        src = index_of.get(edge.src.uid)
+        dst = index_of.get(edge.dst.uid)
+        if src is None or dst is None:
+            continue
+        lo, hi = (src, dst) if src < dst else (dst, src)
+        preds[hi].append(lo)
+    for i in range(len(children)):
+        if preds[i]:
+            longest[i] = weights[i] + max(longest[p] for p in preds[i])
+    return node.control_overhead_cycles + (max(longest) if longest else 0.0)
+
+
+def analyze_parallelism(htg: HTG) -> ParallelismReport:
+    """Compute the structural parallelism report of an AHTG."""
+    total = htg.root.total_cycles()
+    critical = critical_path_cycles(htg.root)
+    chunked = sum(
+        1
+        for n in htg.walk()
+        if isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+    )
+    serial = sum(
+        1
+        for n in htg.walk()
+        if isinstance(n, HierarchicalNode) and n.construct == "loop"
+    )
+    leaves = sum(1 for n in htg.walk() if not isinstance(n, HierarchicalNode))
+    return ParallelismReport(
+        total_cycles=total,
+        critical_path_cycles=critical,
+        available_parallelism=total / critical if critical > 0 else 1.0,
+        num_leaves=leaves,
+        chunked_loops=chunked,
+        serial_loops=serial,
+    )
+
+
+def render_report(report: ParallelismReport, platform: Optional[Platform] = None) -> str:
+    """Human-readable parallelism summary."""
+    lines = [
+        f"total work          : {report.total_cycles:15,.0f} cycles",
+        f"critical path       : {report.critical_path_cycles:15,.0f} cycles",
+        f"available parallelism: {report.available_parallelism:14.2f}x",
+        f"leaves / chunked / serial loops: {report.num_leaves} / "
+        f"{report.chunked_loops} / {report.serial_loops}",
+    ]
+    if platform is not None:
+        lines.append(
+            f"speedup bound on {platform.name}: "
+            f"{report.bounded_speedup(platform):.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""AHTG node and edge types."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.cfront import ir
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+
+_node_ids = itertools.count()
+
+
+class HTGNode:
+    """Base class of AHTG nodes.
+
+    Attributes:
+        uid: unique node id (stable across the graph).
+        label: human-readable description.
+        exec_count: whole-run number of executions of this node.
+        defuse: aggregated def/use information of the node's subtree
+            (used to compute data-flow edges at the parent level).
+    """
+
+    def __init__(self, label: str, exec_count: float, defuse: DefUse):
+        self.uid: int = next(_node_ids)
+        self.label = label
+        self.exec_count = exec_count
+        self.defuse = defuse
+
+    # -- cost interface ------------------------------------------------------
+
+    def total_cycles(self) -> float:
+        """Whole-run reference cycles of this node's entire subtree."""
+        raise NotImplementedError
+
+    def is_hierarchical(self) -> bool:
+        return False
+
+    def walk(self) -> Iterator["HTGNode"]:
+        yield self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}#{self.uid}({self.label})"
+
+
+class SimpleNode(HTGNode):
+    """A leaf node: one statement (or an atomic statement subtree)."""
+
+    def __init__(
+        self,
+        label: str,
+        exec_count: float,
+        defuse: DefUse,
+        cycles: float,
+        stmt: Optional[ir.Stmt] = None,
+    ):
+        super().__init__(label, exec_count, defuse)
+        self.cycles = cycles
+        self.stmt = stmt
+
+    def total_cycles(self) -> float:
+        return self.cycles
+
+
+class ChunkNode(SimpleNode):
+    """An iteration-range chunk of a parallel (or reduction) counted loop.
+
+    Chunks of one loop are mutually independent; a reduction chunk
+    additionally ships its partial results (``reduction_vars``) to the
+    communication-out node for merging.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        exec_count: float,
+        defuse: DefUse,
+        cycles: float,
+        loop: ir.ForLoop,
+        chunk_index: int,
+        num_chunks: int,
+        iter_lo: int,
+        iter_hi: int,
+        reduction_vars: Tuple[str, ...] = (),
+    ):
+        super().__init__(label, exec_count, defuse, cycles, stmt=loop)
+        self.loop = loop
+        self.chunk_index = chunk_index
+        self.num_chunks = num_chunks
+        self.iter_lo = iter_lo
+        self.iter_hi = iter_hi
+        self.reduction_vars = reduction_vars
+
+    @property
+    def trips(self) -> int:
+        return max(0, self.iter_hi - self.iter_lo)
+
+
+class CommDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+class CommNode(HTGNode):
+    """Communication-In / Communication-Out boundary node (zero cost)."""
+
+    def __init__(self, direction: CommDirection, owner_label: str):
+        super().__init__(f"comm-{direction.value}({owner_label})", 0.0, DefUse())
+        self.direction = direction
+
+    def total_cycles(self) -> float:
+        return 0.0
+
+
+@dataclass
+class HTGEdge:
+    """A data-flow edge between sibling nodes of one hierarchical node.
+
+    ``bytes_volume`` is the whole-run communicated data volume charged
+    when ``src`` and ``dst`` end up in different tasks. ``kind`` records
+    the dependence type; only flow edges carry bytes, anti/output edges
+    impose ordering only. ``backward`` marks loop-carried edges pointing
+    against program order (the ILP's cycle handling forces the endpoints
+    into one task).
+    """
+
+    src: HTGNode
+    dst: HTGNode
+    kind: DepKind
+    variables: frozenset
+    bytes_volume: float = 0.0
+    backward: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"HTGEdge({self.src.uid}->{self.dst.uid}, {self.kind.value}, "
+            f"{self.bytes_volume:.0f}B)"
+        )
+
+
+class HierarchicalNode(HTGNode):
+    """A node containing other nodes (loop, block, if, function body).
+
+    ``children`` excludes the communication nodes, which are available as
+    ``comm_in`` / ``comm_out``. ``edges`` connect children and comm nodes.
+    ``control_overhead_cycles`` is the whole-run cost of the construct
+    itself (loop header arithmetic, branch evaluation).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        construct: str,
+        exec_count: float,
+        defuse: DefUse,
+        children: List[HTGNode],
+        edges: List[HTGEdge],
+        control_overhead_cycles: float = 0.0,
+        stmt: Optional[ir.Stmt] = None,
+    ):
+        super().__init__(label, exec_count, defuse)
+        self.construct = construct
+        self.children = children
+        self.edges = edges
+        self.control_overhead_cycles = control_overhead_cycles
+        self.stmt = stmt
+        self.comm_in = CommNode(CommDirection.IN, label)
+        self.comm_out = CommNode(CommDirection.OUT, label)
+
+    def is_hierarchical(self) -> bool:
+        return True
+
+    def total_cycles(self) -> float:
+        return self.control_overhead_cycles + sum(
+            child.total_cycles() for child in self.children
+        )
+
+    def walk(self) -> Iterator[HTGNode]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- edge queries -----------------------------------------------------------
+
+    def edges_between_children(self) -> List[HTGEdge]:
+        comm = (self.comm_in, self.comm_out)
+        return [e for e in self.edges if e.src not in comm and e.dst not in comm]
+
+    def in_edges(self) -> List[HTGEdge]:
+        return [e for e in self.edges if e.src is self.comm_in]
+
+    def out_edges(self) -> List[HTGEdge]:
+        return [e for e in self.edges if e.dst is self.comm_out]
+
+    def in_bytes(self, child: HTGNode) -> float:
+        return sum(e.bytes_volume for e in self.in_edges() if e.dst is child)
+
+    def out_bytes(self, child: HTGNode) -> float:
+        return sum(e.bytes_volume for e in self.out_edges() if e.src is child)
+
+    def topological_children(self) -> List[HTGNode]:
+        """Children in a dependence-respecting total order.
+
+        Children are created in program order and forward edges follow
+        that order by construction, so program order *is* a topological
+        order of the forward dependence edges. (Backward loop-carried
+        edges are excluded from the order by definition.)
+        """
+        return list(self.children)

@@ -1,0 +1,136 @@
+"""Graph exports: AHTG and flat task graphs as networkx / DOT.
+
+Useful for inspecting what the builder extracted and what the ILP chose;
+the DOT output renders with graphviz (not bundled), and the networkx
+graphs support programmatic analysis (the test suite uses them to verify
+structural invariants independently of the builder's own bookkeeping).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.core.flatten import FlatTaskGraph
+from repro.htg.graph import HTG
+from repro.htg.nodes import ChunkNode, CommNode, HierarchicalNode, HTGNode
+
+
+def htg_to_networkx(htg: HTG) -> nx.DiGraph:
+    """The AHTG as a directed graph.
+
+    Nodes carry ``label``, ``kind``, ``cycles`` and ``exec_count``
+    attributes. Hierarchy is encoded with ``contains`` edges, data flow
+    with ``dataflow`` edges carrying ``bytes`` and ``backward``.
+    """
+    graph = nx.DiGraph(function=htg.function_name)
+
+    def kind_of(node: HTGNode) -> str:
+        if isinstance(node, ChunkNode):
+            return "chunk"
+        if isinstance(node, CommNode):
+            return f"comm-{node.direction.value}"
+        if isinstance(node, HierarchicalNode):
+            return node.construct
+        return "simple"
+
+    def add_node(node: HTGNode) -> None:
+        graph.add_node(
+            node.uid,
+            label=node.label,
+            kind=kind_of(node),
+            cycles=node.total_cycles(),
+            exec_count=node.exec_count,
+        )
+
+    def visit(node: HTGNode) -> None:
+        add_node(node)
+        if not isinstance(node, HierarchicalNode):
+            return
+        add_node(node.comm_in)
+        add_node(node.comm_out)
+        graph.add_edge(node.uid, node.comm_in.uid, kind="contains")
+        graph.add_edge(node.uid, node.comm_out.uid, kind="contains")
+        for child in node.children:
+            visit(child)
+            graph.add_edge(node.uid, child.uid, kind="contains")
+        for edge in node.edges:
+            graph.add_edge(
+                edge.src.uid,
+                edge.dst.uid,
+                kind="dataflow",
+                dep=edge.kind.value,
+                bytes=edge.bytes_volume,
+                backward=edge.backward,
+            )
+
+    visit(htg.root)
+    return graph
+
+
+def flat_graph_to_networkx(graph: FlatTaskGraph) -> nx.DiGraph:
+    """The flattened task DAG as a directed graph."""
+    out = nx.DiGraph(entry=graph.entry, exit=graph.exit)
+    for task in graph.tasks:
+        out.add_node(
+            task.tid,
+            label=task.label,
+            cycles=task.cycles,
+            proc_class=task.proc_class or "",
+            spawn_overhead_us=task.spawn_overhead_us,
+        )
+    for edge in graph.edges:
+        out.add_edge(edge.src, edge.dst, bytes=edge.bytes_volume, transfers=edge.transfers)
+    return out
+
+
+_KIND_SHAPES = {
+    "simple": "box",
+    "chunk": "box",
+    "comm-in": "invtriangle",
+    "comm-out": "triangle",
+}
+
+
+def htg_to_dot(htg: HTG, max_label: int = 28) -> str:
+    """Graphviz DOT rendering of the AHTG."""
+    graph = htg_to_networkx(htg)
+    lines = [f'digraph "{htg.function_name}" {{', "  rankdir=TB;"]
+    for uid, data in graph.nodes(data=True):
+        label = data["label"][:max_label].replace('"', "'")
+        cycles = data["cycles"]
+        shape = _KIND_SHAPES.get(data["kind"], "ellipse")
+        lines.append(
+            f'  n{uid} [label="{label}\\n{cycles:,.0f} cyc", shape={shape}];'
+        )
+    for src, dst, data in graph.edges(data=True):
+        if data.get("kind") == "contains":
+            lines.append(f"  n{src} -> n{dst} [style=dotted, arrowhead=none];")
+        else:
+            style = "dashed" if data.get("backward") else "solid"
+            label = f'{data.get("bytes", 0):,.0f}B'
+            lines.append(f'  n{src} -> n{dst} [style={style}, label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def flat_graph_to_dot(graph: FlatTaskGraph, max_label: int = 28) -> str:
+    """Graphviz DOT rendering of a flattened task DAG (colored by class)."""
+    palette = {}
+    colors = ["lightblue", "lightgreen", "lightsalmon", "plum", "khaki"]
+    lines = ["digraph tasks {", "  rankdir=LR;"]
+    for task in graph.tasks:
+        cls = task.proc_class or "any"
+        if cls not in palette:
+            palette[cls] = colors[len(palette) % len(colors)]
+        label = task.label[:max_label].replace('"', "'")
+        lines.append(
+            f'  t{task.tid} [label="{label}\\n{task.cycles:,.0f} cyc ({cls})", '
+            f"style=filled, fillcolor={palette[cls]}];"
+        )
+    for edge in graph.edges:
+        label = f"{edge.bytes_volume:,.0f}B" if edge.bytes_volume else ""
+        lines.append(f'  t{edge.src} -> t{edge.dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

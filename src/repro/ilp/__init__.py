@@ -1,0 +1,45 @@
+"""Integer Linear Programming substrate.
+
+This subpackage is a self-contained ILP modelling layer (in the spirit of
+PuLP / lp_solve, which the paper uses) together with two exact solver
+backends:
+
+* :mod:`repro.ilp.scipy_backend` — wraps ``scipy.optimize.milp`` (HiGHS).
+* :mod:`repro.ilp.bnb` — a pure-Python branch-and-bound solver whose LP
+  relaxations are solved by the dense two-phase simplex implementation in
+  :mod:`repro.ilp.simplex`.
+
+Both backends return provably optimal solutions for feasible bounded
+models; they are cross-checked against each other in the test suite.
+:mod:`repro.ilp.stats` records per-solve statistics (variable, constraint
+and solve-time counts) which feed the reproduction of the paper's Table I.
+"""
+
+from repro.ilp.model import (
+    Constraint,
+    InfeasibleError,
+    LinExpr,
+    Model,
+    Sense,
+    SolveStatus,
+    Solution,
+    UnboundedError,
+    Variable,
+    lin_sum,
+)
+from repro.ilp.stats import SolveRecord, StatsCollector
+
+__all__ = [
+    "Constraint",
+    "InfeasibleError",
+    "LinExpr",
+    "Model",
+    "Sense",
+    "SolveStatus",
+    "Solution",
+    "SolveRecord",
+    "StatsCollector",
+    "UnboundedError",
+    "Variable",
+    "lin_sum",
+]

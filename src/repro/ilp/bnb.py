@@ -1,0 +1,203 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+Solves :class:`repro.ilp.model.Model` instances exactly using depth-first
+branch and bound over LP relaxations computed by the self-contained simplex
+in :mod:`repro.ilp.simplex`. Intended for small-to-medium models and as an
+independent cross-check of the HiGHS backend; the parallelizer's default
+backend remains :mod:`repro.ilp.scipy_backend`.
+
+Branching strategy: most-fractional integer variable; depth-first with the
+"floor" child first (good for 0-1 packing-style models where variables tend
+to 0), pruning by the incumbent objective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ilp.model import Model, Solution, SolveStatus
+from repro.ilp.simplex import solve_lp
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class _Node:
+    lb: np.ndarray
+    ub: np.ndarray
+    depth: int
+
+
+#: Above this variable count the dense tableau simplex becomes the
+#: bottleneck; the relaxation switches to scipy's LP while the search
+#: stays pure Python.
+_SIMPLEX_SIZE_LIMIT = 80
+
+
+def solve_bnb(
+    model: Model,
+    max_nodes: int = 200_000,
+    use_scipy_lp: Optional[bool] = None,
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+) -> Solution:
+    """Solve ``model`` by branch and bound.
+
+    ``use_scipy_lp`` switches the relaxation engine to
+    ``scipy.optimize.linprog`` (keeping the pure-Python search); the
+    default picks the built-in simplex for small models and scipy's LP
+    above :data:`_SIMPLEX_SIZE_LIMIT` variables. ``time_limit`` and
+    ``mip_rel_gap`` are accepted for backend-interface compatibility; the
+    B&B always proves optimality and ignores them.
+    """
+    del time_limit, mip_rel_gap
+    if use_scipy_lp is None:
+        use_scipy_lp = model.num_variables > _SIMPLEX_SIZE_LIMIT
+    form = model.to_matrix_form()
+    n = len(form.c)
+    if n == 0:
+        from repro.ilp.scipy_backend import solve_scipy
+
+        return solve_scipy(model)
+
+    a_ub, b_ub = _dense_rows(form.rows_ub, n)
+    a_eq, b_eq = _dense_rows(form.rows_eq, n)
+    c = np.asarray(form.c, dtype=float)
+    int_mask = np.asarray(form.integrality, dtype=bool)
+
+    if use_scipy_lp:
+        relax = _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq)
+    else:
+        relax = lambda lb, ub: solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+    # Root presolve: bound tightening over the inequality system (equality
+    # rows contribute both directions). Only shrinks the box, so optima
+    # are preserved; proven infeasibility short-circuits the search.
+    from repro.ilp.presolve import presolve
+
+    if a_eq.shape[0]:
+        pre_a = np.vstack([a_ub, a_eq, -a_eq])
+        pre_b = np.concatenate([b_ub, b_eq, -b_eq])
+    else:
+        pre_a, pre_b = a_ub, b_ub
+    pre = presolve(pre_a, pre_b, form.lb, form.ub, form.integrality)
+    if pre.status == "infeasible":
+        return Solution(SolveStatus.INFEASIBLE, float("nan"))
+    assert pre.lb is not None and pre.ub is not None
+
+    root = _Node(np.array(pre.lb, dtype=float), np.array(pre.ub, dtype=float), 0)
+    stack: List[_Node] = [root]
+    best_obj = math.inf
+    best_x: Optional[np.ndarray] = None
+    nodes_explored = 0
+    root_unbounded = False
+
+    while stack:
+        node = stack.pop()
+        nodes_explored += 1
+        if nodes_explored > max_nodes:
+            raise RuntimeError(f"branch-and-bound node limit exceeded on {model.name!r}")
+
+        result = relax(node.lb, node.ub)
+        if result.status == "infeasible":
+            continue
+        if result.status == "unbounded":
+            if node.depth == 0:
+                root_unbounded = True
+            # An unbounded relaxation deeper in the tree still means the
+            # MILP itself may be unbounded; treat conservatively.
+            root_unbounded = root_unbounded or best_x is None
+            continue
+        assert result.x is not None
+        if result.objective >= best_obj - 1e-9:
+            continue  # bound: cannot improve the incumbent
+
+        frac_j = _most_fractional(result.x, int_mask)
+        if frac_j < 0:
+            # Integral (for all integer vars): candidate incumbent.
+            x = result.x.copy()
+            x[int_mask] = np.round(x[int_mask])
+            obj = float(c @ x)
+            if obj < best_obj - 1e-9:
+                best_obj = obj
+                best_x = x
+            continue
+
+        xf = result.x[frac_j]
+        floor_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        floor_node.ub[frac_j] = math.floor(xf)
+        ceil_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        ceil_node.lb[frac_j] = math.ceil(xf)
+        # DFS, exploring the floor branch first.
+        stack.append(ceil_node)
+        stack.append(floor_node)
+
+    if best_x is None:
+        if root_unbounded:
+            return Solution(SolveStatus.UNBOUNDED, float("nan"))
+        return Solution(SolveStatus.INFEASIBLE, float("nan"))
+
+    values = {}
+    for var in model.variables:
+        x = float(best_x[var.index])
+        if var.integer:
+            x = float(round(x))
+        values[var] = x
+    objective = model.objective.value(values)
+    return Solution(SolveStatus.OPTIMAL, objective, values)
+
+
+def _dense_rows(rows: List[Tuple[dict, float]], n: int) -> Tuple[np.ndarray, np.ndarray]:
+    if not rows:
+        return np.zeros((0, n)), np.zeros(0)
+    a = np.zeros((len(rows), n))
+    b = np.zeros(len(rows))
+    for i, (row, rhs) in enumerate(rows):
+        b[i] = rhs
+        for j, coef in row.items():
+            a[i, j] = coef
+    return a, b
+
+
+def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> int:
+    """Index of the integer variable farthest from integrality, or -1."""
+    best_j = -1
+    best_dist = _INT_TOL
+    for j in np.flatnonzero(int_mask):
+        frac = x[j] - math.floor(x[j])
+        dist = min(frac, 1.0 - frac)
+        if dist > best_dist:
+            best_dist = dist
+            best_j = int(j)
+    return best_j
+
+
+def _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq):
+    from scipy.optimize import linprog
+
+    def relax(lb, ub):
+        bounds = list(zip(lb, ub))
+        res = linprog(
+            c,
+            A_ub=a_ub if a_ub.shape[0] else None,
+            b_ub=b_ub if a_ub.shape[0] else None,
+            A_eq=a_eq if a_eq.shape[0] else None,
+            b_eq=b_eq if a_eq.shape[0] else None,
+            bounds=bounds,
+            method="highs",
+        )
+        from repro.ilp.simplex import LPResult
+
+        if res.status == 2:
+            return LPResult("infeasible")
+        if res.status == 3:
+            return LPResult("unbounded")
+        if res.status != 0:
+            return LPResult("infeasible")
+        return LPResult("optimal", res.x, float(res.fun))
+
+    return relax

@@ -1,0 +1,522 @@
+"""ILP modelling layer: variables, linear expressions, constraints, models.
+
+The layer is deliberately small but complete enough to express the paper's
+partitioning-and-mapping model (Section IV, Eq. 1-18): binary and general
+integer variables, continuous variables, linear constraints in the three
+usual senses, a linear objective, and the common modelling gadgets the
+paper relies on (the ``z = x AND y`` linearization of Eq. 7 and big-M
+implications used for the path-cost constraint of Eq. 9).
+
+Expressions support natural operator syntax::
+
+    m = Model("demo")
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    m.add_constraint(x + 2 * y <= 2, name="cap")
+    m.minimize(-x - y)
+    sol = m.solve()
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+_INF = math.inf
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solver run."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class InfeasibleError(RuntimeError):
+    """Raised by :meth:`Model.solve` when the model admits no solution."""
+
+
+class UnboundedError(RuntimeError):
+    """Raised by :meth:`Model.solve` when the objective is unbounded."""
+
+
+class Variable:
+    """A decision variable owned by a :class:`Model`.
+
+    Variables are created through :meth:`Model.add_var` /
+    :meth:`Model.add_binary`; they compare by identity and carry a stable
+    column ``index`` into the model's matrix form.
+    """
+
+    __slots__ = ("name", "lb", "ub", "integer", "index")
+
+    def __init__(self, name: str, lb: float, ub: float, integer: bool, index: int):
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+        self.integer = integer
+        self.index = index
+
+    # -- expression building ------------------------------------------------
+
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self._as_expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self._as_expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-1.0) * self._as_expr() + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self._as_expr() * other
+
+    def __rmul__(self, other: Number) -> "LinExpr":
+        return self._as_expr() * other
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    def __le__(self, other: "ExprLike") -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other: "ExprLike") -> "Constraint":
+        return self._as_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name!r}, [{self.lb}, {self.ub}], {kind})"
+
+
+ExprLike = Union[Variable, "LinExpr", Number]
+
+
+class LinExpr:
+    """An affine expression ``sum(coef_i * var_i) + const``."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Optional[Mapping[Variable, float]] = None, const: float = 0.0):
+        self.terms: Dict[Variable, float] = dict(terms) if terms else {}
+        self.const = float(const)
+
+    @staticmethod
+    def _coerce(value: ExprLike) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._as_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise TypeError(f"cannot build a linear expression from {value!r}")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.const)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        rhs = self._coerce(other)
+        out = self.copy()
+        for var, coef in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coef
+        out.const += rhs.const
+        return out
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise TypeError("LinExpr may only be scaled by a constant")
+        return LinExpr({v: c * factor for v, c in self.terms.items()}, self.const * factor)
+
+    def __rmul__(self, factor: Number) -> "LinExpr":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints ----------------------------------------
+
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint(self - self._coerce(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.const + sum(coef * assignment[var] for var, coef in self.terms.items())
+
+    def variables(self) -> Iterator[Variable]:
+        return iter(self.terms)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*{v.name}" for v, c in self.terms.items()]
+        if self.const or not parts:
+            parts.append(f"{self.const:+g}")
+        return " ".join(parts)
+
+
+def lin_sum(items: Iterable[ExprLike]) -> LinExpr:
+    """Sum an iterable of variables/expressions into one :class:`LinExpr`.
+
+    Quadratic-blowup-free replacement for ``sum(...)`` over expressions.
+    """
+    out = LinExpr()
+    for item in items:
+        rhs = LinExpr._coerce(item)
+        for var, coef in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coef
+        out.const += rhs.const
+    return out
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (sense) 0`` in normalized form.
+
+    The right-hand side is folded into ``expr.const``; ``rhs`` exposes the
+    conventional form ``terms (sense) rhs``.
+    """
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+
+    @property
+    def rhs(self) -> float:
+        return -self.expr.const
+
+    def satisfied(self, assignment: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= tol
+        if self.sense is Sense.GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name or '?'}: {self.expr!r} {self.sense.value} 0)"
+
+
+@dataclass
+class Solution:
+    """Result of a model solve."""
+
+    status: SolveStatus
+    objective: float
+    values: Dict[Variable, float] = field(default_factory=dict)
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value(self, expr: ExprLike) -> float:
+        return LinExpr._coerce(expr).value(self.values)
+
+    def as_name_dict(self) -> Dict[str, float]:
+        return {v.name: x for v, x in self.values.items()}
+
+
+class Model:
+    """A mixed 0-1 / integer / continuous linear program.
+
+    The model records every variable and constraint, exposes modelling
+    gadgets used by the parallelizer, converts itself to matrix form for
+    the backends, and dispatches to a solver backend.
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.minimize_objective = True
+        self._names: Dict[str, Variable] = {}
+        self._aux_counter = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = _INF,
+        integer: bool = False,
+    ) -> Variable:
+        """Add a variable. Names must be unique within the model."""
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(name, float(lb), float(ub), integer, len(self.variables))
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        return self.add_var(name, 0.0, 1.0, integer=True)
+
+    def get_var(self, name: str) -> Variable:
+        return self._names[name]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (did the comparison "
+                "return a bool? use LinExpr operands)"
+            )
+        if name:
+            constraint.name = name
+        elif not constraint.name:
+            constraint.name = f"c{len(self.constraints)}"
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: ExprLike) -> None:
+        self.objective = LinExpr._coerce(expr)
+        self.minimize_objective = True
+
+    def maximize(self, expr: ExprLike) -> None:
+        self.objective = LinExpr._coerce(expr)
+        self.minimize_objective = False
+
+    # -- modelling gadgets ---------------------------------------------------------
+
+    def _aux_name(self, prefix: str) -> str:
+        self._aux_counter += 1
+        return f"__{prefix}_{self._aux_counter}"
+
+    def add_and(self, x: Variable, y: Variable, name: str = "") -> Variable:
+        """Return a binary ``z`` constrained to ``z = x AND y`` (paper Eq. 7).
+
+        Adds ``z >= x + y - 1``, ``z <= x`` and ``z <= y``.
+        """
+        z = self.add_binary(name or self._aux_name("and"))
+        self.add_constraint(z >= x + y - 1, name=f"{z.name}_ge")
+        self.add_constraint(z <= x, name=f"{z.name}_le_x")
+        self.add_constraint(z <= y, name=f"{z.name}_le_y")
+        return z
+
+    def add_implication_ge(
+        self,
+        guard: ExprLike,
+        lhs: ExprLike,
+        rhs: ExprLike,
+        big_m: float,
+        name: str = "",
+    ) -> Constraint:
+        """Add ``guard = 1  =>  lhs >= rhs`` via big-M relaxation.
+
+        Encoded as ``lhs >= rhs - M * (1 - guard)``; when the binary guard
+        expression evaluates to 0 the constraint is vacuous. This is the
+        encoding the paper references for the path-cost constraint (Eq. 9).
+        """
+        guard_expr = LinExpr._coerce(guard)
+        lhs_expr = LinExpr._coerce(lhs)
+        rhs_expr = LinExpr._coerce(rhs)
+        cons = lhs_expr >= rhs_expr - big_m * (1 - guard_expr)
+        return self.add_constraint(cons, name=name)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def to_matrix_form(self) -> "MatrixForm":
+        """Convert to the dense/sparse matrix form consumed by backends."""
+        import numpy as np
+
+        n = len(self.variables)
+        c = np.zeros(n)
+        for var, coef in self.objective.terms.items():
+            c[var.index] += coef
+        if not self.minimize_objective:
+            c = -c
+
+        rows_ub: List[Tuple[Dict[int, float], float]] = []
+        rows_eq: List[Tuple[Dict[int, float], float]] = []
+        for cons in self.constraints:
+            row = {var.index: coef for var, coef in cons.expr.terms.items()}
+            rhs = cons.rhs
+            if cons.sense is Sense.LE:
+                rows_ub.append((row, rhs))
+            elif cons.sense is Sense.GE:
+                rows_ub.append(({i: -a for i, a in row.items()}, -rhs))
+            else:
+                rows_eq.append((row, rhs))
+
+        lb = np.array([v.lb for v in self.variables])
+        ub = np.array([v.ub for v in self.variables])
+        integrality = np.array([1 if v.integer else 0 for v in self.variables])
+        return MatrixForm(
+            c=c,
+            rows_ub=rows_ub,
+            rows_eq=rows_eq,
+            lb=lb,
+            ub=ub,
+            integrality=integrality,
+            obj_const=self.objective.const,
+            minimize=self.minimize_objective,
+        )
+
+    # -- solving ---------------------------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "scipy",
+        collector: Optional["StatsCollectorProtocol"] = None,
+        **options,
+    ) -> Solution:
+        """Solve the model and return the optimal :class:`Solution`.
+
+        ``backend`` is ``"scipy"`` (HiGHS via ``scipy.optimize.milp``) or
+        ``"bnb"`` (pure-Python branch and bound). Raises
+        :class:`InfeasibleError` / :class:`UnboundedError` on those outcomes.
+        If ``collector`` is given, a :class:`repro.ilp.stats.SolveRecord`
+        is appended to it.
+        """
+        import time as _time
+
+        if backend == "scipy":
+            from repro.ilp.scipy_backend import solve_scipy as solver
+        elif backend == "bnb":
+            from repro.ilp.bnb import solve_bnb as solver
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+        start = _time.perf_counter()
+        solution = solver(self, **options)
+        elapsed = _time.perf_counter() - start
+
+        if collector is not None:
+            collector.record(
+                model_name=self.name,
+                num_variables=self.num_variables,
+                num_constraints=self.num_constraints,
+                solve_seconds=elapsed,
+                status=solution.status,
+            )
+
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"model {self.name!r} is infeasible")
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError(f"model {self.name!r} is unbounded")
+        if solution.status is not SolveStatus.OPTIMAL:
+            raise RuntimeError(f"solver failed on model {self.name!r}")
+        return solution
+
+    def check(self, solution: Solution, tol: float = 1e-6) -> List[Constraint]:
+        """Return the list of constraints violated by ``solution``."""
+        return [c for c in self.constraints if not c.satisfied(solution.values, tol)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, {self.num_variables} vars, "
+            f"{self.num_constraints} constraints)"
+        )
+
+
+@dataclass
+class MatrixForm:
+    """Matrix view of a model: ``min c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``."""
+
+    c: "object"
+    rows_ub: List[Tuple[Dict[int, float], float]]
+    rows_eq: List[Tuple[Dict[int, float], float]]
+    lb: "object"
+    ub: "object"
+    integrality: "object"
+    obj_const: float
+    minimize: bool
+
+    def sparse_ub(self):
+        import numpy as np
+        from scipy import sparse
+
+        n = len(self.c)
+        if not self.rows_ub:
+            return sparse.csr_matrix((0, n)), np.zeros(0)
+        data, rows, cols = [], [], []
+        b = np.zeros(len(self.rows_ub))
+        for i, (row, rhs) in enumerate(self.rows_ub):
+            b[i] = rhs
+            for j, a in row.items():
+                rows.append(i)
+                cols.append(j)
+                data.append(a)
+        return sparse.csr_matrix((data, (rows, cols)), shape=(len(self.rows_ub), n)), b
+
+    def sparse_eq(self):
+        import numpy as np
+        from scipy import sparse
+
+        n = len(self.c)
+        if not self.rows_eq:
+            return sparse.csr_matrix((0, n)), np.zeros(0)
+        data, rows, cols = [], [], []
+        b = np.zeros(len(self.rows_eq))
+        for i, (row, rhs) in enumerate(self.rows_eq):
+            b[i] = rhs
+            for j, a in row.items():
+                rows.append(i)
+                cols.append(j)
+                data.append(a)
+        return sparse.csr_matrix((data, (rows, cols)), shape=(len(self.rows_eq), n)), b
+
+
+class StatsCollectorProtocol:
+    """Structural protocol for solve-statistics collectors."""
+
+    def record(self, **kwargs) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError

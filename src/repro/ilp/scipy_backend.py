@@ -1,0 +1,87 @@
+"""HiGHS backend: solves :class:`repro.ilp.model.Model` via ``scipy.optimize.milp``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.ilp.model import Model, Solution, SolveStatus
+
+# scipy.optimize.milp status codes (see scipy docs).
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,  # iteration/time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_scipy(
+    model: Model,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
+) -> Solution:
+    """Solve ``model`` exactly with HiGHS and return a :class:`Solution`.
+
+    ``time_limit`` (seconds) and ``mip_rel_gap`` are passed through to
+    HiGHS; the defaults request a proven optimum.
+    """
+    form = model.to_matrix_form()
+    n = len(form.c)
+    if n == 0:
+        # Degenerate constant model: feasible iff constant constraints hold.
+        for row, rhs in form.rows_ub:
+            if 0.0 > rhs + 1e-9:
+                return Solution(SolveStatus.INFEASIBLE, float("nan"))
+        for row, rhs in form.rows_eq:
+            if abs(rhs) > 1e-9:
+                return Solution(SolveStatus.INFEASIBLE, float("nan"))
+        return Solution(SolveStatus.OPTIMAL, form.obj_const, {})
+
+    constraints = []
+    a_ub, b_ub = form.sparse_ub()
+    if a_ub.shape[0]:
+        constraints.append(LinearConstraint(a_ub, -np.inf, b_ub))
+    a_eq, b_eq = form.sparse_eq()
+    if a_eq.shape[0]:
+        constraints.append(LinearConstraint(a_eq, b_eq, b_eq))
+
+    options = {"mip_rel_gap": mip_rel_gap}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+
+    result = milp(
+        c=form.c,
+        constraints=constraints or None,
+        integrality=form.integrality,
+        bounds=Bounds(form.lb, form.ub),
+        options=options,
+    )
+    if result.status == 4:
+        # Some HiGHS builds mis-handle presolve on certain big-M models
+        # ("Solve error"); retrying without presolve is reliable.
+        result = milp(
+            c=form.c,
+            constraints=constraints or None,
+            integrality=form.integrality,
+            bounds=Bounds(form.lb, form.ub),
+            options={**options, "presolve": False},
+        )
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status is not SolveStatus.OPTIMAL or result.x is None:
+        return Solution(status, float("nan"))
+
+    values = {}
+    for var in model.variables:
+        x = float(result.x[var.index])
+        if var.integer:
+            x = float(round(x))
+        values[var] = x
+
+    objective = model.objective.value(values)
+    return Solution(SolveStatus.OPTIMAL, objective, values)

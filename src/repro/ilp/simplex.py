@@ -1,0 +1,285 @@
+"""Dense two-phase primal simplex for small LPs.
+
+This is the self-contained LP engine under the pure-Python branch-and-bound
+backend (:mod:`repro.ilp.bnb`). It is written for clarity and robustness on
+the small relaxations produced per B&B node, not for large-scale speed:
+
+* general variable bounds are normalized away (lower bounds are shifted
+  out, free variables are split, upper bounds become rows),
+* phase I drives artificial variables out of the basis,
+* Bland's anti-cycling rule guarantees termination.
+
+Numerical tolerances are deliberately loose (1e-9) because the
+parallelizer's models are integral and well-scaled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_TOL = 1e-9
+
+
+@dataclass
+class LPResult:
+    """Result of an LP solve: ``status`` in {'optimal', 'infeasible', 'unbounded'}."""
+
+    status: str
+    x: Optional[np.ndarray] = None
+    objective: float = math.nan
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> LPResult:
+    """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``,
+    ``lb <= x <= ub`` (entries may be ``±inf``).
+
+    Returns the optimum in the *original* variable space.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if np.size(a_ub) else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).ravel()
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if np.size(a_eq) else np.zeros((0, n))
+    b_eq = np.asarray(b_eq, dtype=float).ravel()
+    lb = np.asarray(lb, dtype=float).ravel()
+    ub = np.asarray(ub, dtype=float).ravel()
+
+    if np.any(lb > ub + _TOL):
+        return LPResult("infeasible")
+
+    # --- normalize variables to x' >= 0 -------------------------------------
+    # x_j = lb_j + x'_j            when lb_j finite
+    # x_j = x'_j - x''_j           when lb_j = -inf (free split)
+    # finite ub becomes a row      x'_j <= ub_j - lb_j
+    col_map: List[Tuple[int, int]] = []  # (pos_col, neg_col or -1) per original var
+    num_cols = 0
+    for j in range(n):
+        if math.isinf(lb[j]):
+            col_map.append((num_cols, num_cols + 1))
+            num_cols += 2
+        else:
+            col_map.append((num_cols, -1))
+            num_cols += 1
+
+    def expand_matrix(a: np.ndarray) -> np.ndarray:
+        out = np.zeros((a.shape[0], num_cols))
+        for j in range(n):
+            pos, neg = col_map[j]
+            out[:, pos] = a[:, j]
+            if neg >= 0:
+                out[:, neg] = -a[:, j]
+        return out
+
+    shift = np.where(np.isinf(lb), 0.0, lb)
+
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+    rows_sense: List[str] = []  # 'le' or 'eq'
+
+    if a_ub.shape[0]:
+        a_ub_x = expand_matrix(a_ub)
+        b_ub_x = b_ub - a_ub @ shift
+        for i in range(a_ub.shape[0]):
+            rows_a.append(a_ub_x[i])
+            rows_b.append(float(b_ub_x[i]))
+            rows_sense.append("le")
+    if a_eq.shape[0]:
+        a_eq_x = expand_matrix(a_eq)
+        b_eq_x = b_eq - a_eq @ shift
+        for i in range(a_eq.shape[0]):
+            rows_a.append(a_eq_x[i])
+            rows_b.append(float(b_eq_x[i]))
+            rows_sense.append("eq")
+    for j in range(n):
+        if not math.isinf(ub[j]):
+            pos, neg = col_map[j]
+            row = np.zeros(num_cols)
+            row[pos] = 1.0
+            if neg >= 0:
+                row[neg] = -1.0
+            rows_a.append(row)
+            rows_b.append(float(ub[j] - shift[j]))
+            rows_sense.append("le")
+
+    c_x = np.zeros(num_cols)
+    for j in range(n):
+        pos, neg = col_map[j]
+        c_x[pos] = c[j]
+        if neg >= 0:
+            c_x[neg] = -c[j]
+    obj_shift = float(c @ shift)
+
+    result = _simplex_standard(c_x, rows_a, rows_b, rows_sense)
+    if result.status != "optimal":
+        return result
+
+    x = np.empty(n)
+    assert result.x is not None
+    for j in range(n):
+        pos, neg = col_map[j]
+        val = result.x[pos] - (result.x[neg] if neg >= 0 else 0.0)
+        x[j] = val + shift[j]
+    return LPResult("optimal", x, result.objective + obj_shift)
+
+
+def _simplex_standard(
+    c: np.ndarray,
+    rows_a: List[np.ndarray],
+    rows_b: List[float],
+    rows_sense: List[str],
+) -> LPResult:
+    """Two-phase simplex on ``min c@x, A x {<=,==} b, x >= 0``."""
+    n = c.shape[0]
+    m = len(rows_a)
+    if m == 0:
+        # Unconstrained nonnegative LP: optimum at 0 unless some c_j < 0.
+        if np.any(c < -_TOL):
+            return LPResult("unbounded")
+        return LPResult("optimal", np.zeros(n), 0.0)
+
+    # Build tableau with slacks for <= rows and artificials where needed.
+    num_slacks = sum(1 for s in rows_sense if s == "le")
+    a = np.zeros((m, n + num_slacks))
+    b = np.zeros(m)
+    slack_idx = 0
+    slack_col_of_row = [-1] * m
+    for i in range(m):
+        a[i, :n] = rows_a[i]
+        b[i] = rows_b[i]
+        if rows_sense[i] == "le":
+            col = n + slack_idx
+            a[i, col] = 1.0
+            slack_col_of_row[i] = col
+            slack_idx += 1
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+
+    total = a.shape[1]
+    # Artificial variables: one per row unless the row's slack can serve as
+    # the initial basic variable (slack coefficient +1 after sign fix).
+    basis = [-1] * m
+    art_cols: List[int] = []
+    art_data: List[np.ndarray] = []
+    for i in range(m):
+        sc = slack_col_of_row[i]
+        if sc >= 0 and a[i, sc] > 0.5:
+            basis[i] = sc
+        else:
+            col = total + len(art_cols)
+            art_cols.append(col)
+            column = np.zeros(m)
+            column[i] = 1.0
+            art_data.append(column)
+            basis[i] = col
+
+    if art_cols:
+        tab = np.hstack([a] + [col.reshape(m, 1) for col in art_data])
+    else:
+        tab = a
+    width = tab.shape[1]
+
+    # ---- phase I: minimize sum of artificials --------------------------------
+    if art_cols:
+        phase1_c = np.zeros(width)
+        for col in art_cols:
+            phase1_c[col] = 1.0
+        status, obj = _run_simplex(tab, b, phase1_c, basis)
+        if status == "unbounded":  # cannot happen for phase I, defensive
+            return LPResult("infeasible")
+        if obj > 1e-7:
+            return LPResult("infeasible")
+        # Drive any remaining artificial out of the basis.
+        for i in range(m):
+            if basis[i] in art_cols:
+                pivoted = False
+                for j in range(total):
+                    if abs(tab[i, j]) > _TOL:
+                        _pivot(tab, b, i, j, basis)
+                        pivoted = True
+                        break
+                if not pivoted:
+                    # Redundant row; harmless.
+                    basis[i] = basis[i]
+
+    # ---- phase II -----------------------------------------------------------
+    phase2_c = np.zeros(width)
+    phase2_c[: c.shape[0]] = c
+    # Forbid artificials from re-entering by giving them huge cost columns:
+    for col in art_cols:
+        tab[:, col] = 0.0
+    status, obj = _run_simplex(tab, b, phase2_c, basis, blocked=set(art_cols))
+    if status == "unbounded":
+        return LPResult("unbounded")
+
+    x = np.zeros(width)
+    for i in range(m):
+        x[basis[i]] = b[i]
+    return LPResult("optimal", x[:n], float(phase2_c @ x))
+
+
+def _pivot(tab: np.ndarray, b: np.ndarray, row: int, col: int, basis: List[int]) -> None:
+    pivot_val = tab[row, col]
+    tab[row] /= pivot_val
+    b[row] /= pivot_val
+    for i in range(tab.shape[0]):
+        if i != row and abs(tab[i, col]) > _TOL:
+            factor = tab[i, col]
+            tab[i] -= factor * tab[row]
+            b[i] -= factor * b[row]
+    basis[row] = col
+
+
+def _run_simplex(
+    tab: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    basis: List[int],
+    blocked: Optional[set] = None,
+    max_iter: int = 100_000,
+) -> Tuple[str, float]:
+    """Run primal simplex iterations in place; returns (status, objective)."""
+    m, width = tab.shape
+    blocked = blocked or set()
+    for _ in range(max_iter):
+        # Reduced costs: c_j - c_B @ B^-1 A_j  (tab already holds B^-1 A).
+        cb = c[basis]
+        reduced = c - cb @ tab
+        entering = -1
+        for j in range(width):  # Bland's rule: first negative reduced cost
+            if j in blocked:
+                continue
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            obj = float(cb @ b)
+            return "optimal", obj
+        # Ratio test (Bland: smallest basis index among ties).
+        leaving = -1
+        best_ratio = math.inf
+        for i in range(m):
+            if tab[i, entering] > _TOL:
+                ratio = b[i] / tab[i, entering]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded", -math.inf
+        _pivot(tab, b, leaving, entering, basis)
+    raise RuntimeError("simplex iteration limit exceeded")

@@ -1,0 +1,107 @@
+"""Per-solve statistics collection.
+
+The paper's Table I reports, per benchmark and per approach (homogeneous
+vs. heterogeneous), the parallelization wall time, the number of generated
+ILPs, and the total numbers of variables and constraints across all ILPs.
+:class:`StatsCollector` gathers exactly those quantities; the parallelizer
+threads one collector through every :meth:`repro.ilp.model.Model.solve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ilp.model import SolveStatus
+
+
+@dataclass(frozen=True)
+class SolveRecord:
+    """One ILP solve: model name, size, wall time and outcome."""
+
+    model_name: str
+    num_variables: int
+    num_constraints: int
+    solve_seconds: float
+    status: SolveStatus
+
+
+@dataclass
+class StatsCollector:
+    """Accumulates :class:`SolveRecord` entries across a parallelization run."""
+
+    records: List[SolveRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        model_name: str,
+        num_variables: int,
+        num_constraints: int,
+        solve_seconds: float,
+        status: SolveStatus,
+    ) -> None:
+        self.records.append(
+            SolveRecord(model_name, num_variables, num_constraints, solve_seconds, status)
+        )
+
+    # -- Table I quantities ---------------------------------------------------
+
+    @property
+    def num_ilps(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_variables(self) -> int:
+        return sum(r.num_variables for r in self.records)
+
+    @property
+    def total_constraints(self) -> int:
+        return sum(r.num_constraints for r in self.records)
+
+    @property
+    def total_solve_seconds(self) -> float:
+        return sum(r.solve_seconds for r in self.records)
+
+    def merge(self, other: "StatsCollector") -> None:
+        self.records.extend(other.records)
+
+    def summary(self) -> "StatsSummary":
+        return StatsSummary(
+            num_ilps=self.num_ilps,
+            total_variables=self.total_variables,
+            total_constraints=self.total_constraints,
+            total_solve_seconds=self.total_solve_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class StatsSummary:
+    """Aggregated Table-I row for one (benchmark, approach) pair."""
+
+    num_ilps: int
+    total_variables: int
+    total_constraints: int
+    total_solve_seconds: float
+
+    def ratio_to(self, baseline: "StatsSummary") -> "StatsRatios":
+        """Factors of this summary over ``baseline`` (paper's third block)."""
+
+        def safe(a: float, b: float) -> float:
+            return a / b if b else float("inf")
+
+        return StatsRatios(
+            time_factor=safe(self.total_solve_seconds, baseline.total_solve_seconds),
+            ilp_factor=safe(self.num_ilps, baseline.num_ilps),
+            variable_factor=safe(self.total_variables, baseline.total_variables),
+            constraint_factor=safe(self.total_constraints, baseline.total_constraints),
+        )
+
+
+@dataclass(frozen=True)
+class StatsRatios:
+    """Heterogeneous-over-homogeneous factors (Table I, "Factor" block)."""
+
+    time_factor: float
+    ilp_factor: float
+    variable_factor: float
+    constraint_factor: float

@@ -1,0 +1,26 @@
+"""Heterogeneous MPSoC platform descriptions.
+
+Plays the role of the platform-description files of [18] (Pyka et al.,
+LCTES 2010) in the paper's tool flow: processor classes with per-class
+clock frequencies and core counts, the shared interconnect, and the task
+creation overhead. Presets reproduce the paper's evaluation platforms
+(configuration (A): 100/250/500/500 MHz and (B): 200/200/500/500 MHz).
+"""
+
+from repro.platforms.description import Interconnect, Platform, ProcessorClass
+from repro.platforms.presets import (
+    big_little,
+    config_a,
+    config_b,
+    homogeneous,
+)
+
+__all__ = [
+    "Interconnect",
+    "Platform",
+    "ProcessorClass",
+    "big_little",
+    "config_a",
+    "config_b",
+    "homogeneous",
+]

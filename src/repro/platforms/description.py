@@ -1,0 +1,188 @@
+"""Platform model: processor classes, interconnect, derived quantities.
+
+Unit conventions used throughout the repository:
+
+* **cycles** — abstract processor cycles produced by the timing model
+  (:mod:`repro.timing`); identical across classes of a same-ISA platform
+  up to the per-class ``cpi_scale`` factor.
+* **time** — microseconds. A statement costing ``k`` cycles takes
+  ``k * cpi_scale / frequency_mhz`` µs on a class (cycles / MHz = µs).
+* **communication** — bytes, converted to µs by the
+  :class:`Interconnect` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ProcessorClass:
+    """A group of identical processing units of a heterogeneous MPSoC.
+
+    The paper maps *tasks to processor classes* (Section IV-H); a class
+    stands for all cores of one type (e.g. the two 500 MHz Cortex-A cores
+    of platform configuration (A)).
+
+    Attributes:
+        name: unique class identifier (e.g. ``"arm500"``).
+        frequency_mhz: core clock of every unit in the class.
+        count: number of processing units in the class.
+        cpi_scale: multiplier on the cycle counts of the common timing
+            model; models micro-architectural differences beyond clock
+            speed (pipeline depth etc.). 1.0 = reference pipeline.
+        energy_per_cycle_nj: energy per cycle, used only by the optional
+            energy objective (paper future work).
+    """
+
+    name: str
+    frequency_mhz: float
+    count: int
+    cpi_scale: float = 1.0
+    energy_per_cycle_nj: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"class {self.name!r}: frequency must be positive")
+        if self.count < 1:
+            raise ValueError(f"class {self.name!r}: need at least one core")
+        if self.cpi_scale <= 0:
+            raise ValueError(f"class {self.name!r}: cpi_scale must be positive")
+
+    def time_us(self, cycles: float) -> float:
+        """Execution time in µs of ``cycles`` reference cycles on this class."""
+        return cycles * self.cpi_scale / self.frequency_mhz
+
+    @property
+    def effective_mhz(self) -> float:
+        """Clock corrected by CPI scale — the class's real throughput rate."""
+        return self.frequency_mhz / self.cpi_scale
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Shared-bus model connecting all cores (and the L2 in the paper).
+
+    Transfer time of ``n`` bytes = ``latency_us + n / bandwidth_bytes_per_us``.
+    """
+
+    name: str = "shared-bus"
+    bandwidth_bytes_per_us: float = 400.0
+    latency_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("bus latency cannot be negative")
+
+    def transfer_time_us(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` between two tasks on different cores."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.latency_us + num_bytes / self.bandwidth_bytes_per_us
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A heterogeneous MPSoC: processor classes + interconnect + overheads.
+
+    Attributes:
+        name: platform identifier.
+        processor_classes: the classes, in a stable order.
+        interconnect: shared bus model.
+        task_creation_overhead_us: time charged per task spawn (the
+            paper's configurable ``TCO``).
+        main_class_name: class hosting the sequential "main" task; the
+            measurement baseline is sequential execution on one core of
+            this class (paper Section VI-A).
+    """
+
+    name: str
+    processor_classes: Tuple[ProcessorClass, ...]
+    interconnect: Interconnect = field(default_factory=Interconnect)
+    task_creation_overhead_us: float = 25.0
+    main_class_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.processor_classes:
+            raise ValueError("platform needs at least one processor class")
+        names = [pc.name for pc in self.processor_classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate processor class names: {names}")
+        if self.main_class_name is not None and self.main_class_name not in names:
+            raise ValueError(f"unknown main class {self.main_class_name!r}")
+        if self.task_creation_overhead_us < 0:
+            raise ValueError("task creation overhead cannot be negative")
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get_class(self, name: str) -> ProcessorClass:
+        for pc in self.processor_classes:
+            if pc.name == name:
+                return pc
+        raise KeyError(f"no processor class named {name!r} in platform {self.name!r}")
+
+    @property
+    def main_class(self) -> ProcessorClass:
+        """Class of the main processor (defaults to the slowest class)."""
+        if self.main_class_name is not None:
+            return self.get_class(self.main_class_name)
+        return min(self.processor_classes, key=lambda pc: pc.effective_mhz)
+
+    def with_main_class(self, name: str) -> "Platform":
+        """Copy of this platform with a different main-processor class."""
+        self.get_class(name)  # validate
+        return replace(self, main_class_name=name)
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return sum(pc.count for pc in self.processor_classes)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        rates = {pc.effective_mhz for pc in self.processor_classes}
+        return len(rates) == 1
+
+    def num_procs(self, class_name: str) -> int:
+        """``NUMPROCS_c`` of the ILP model (Eq. 15)."""
+        return self.get_class(class_name).count
+
+    def theoretical_speedup(self, main_class_name: Optional[str] = None) -> float:
+        """The paper's dashed-line limit: ``sum(count_c * f_c) / f_main``.
+
+        For configuration (A) with a 100 MHz main core this yields
+        ``(100 + 250 + 2*500)/100 = 13.5``; with the 500 MHz main core,
+        ``2.7`` — exactly the footnoted values of Section VI.
+        """
+        main = (
+            self.get_class(main_class_name) if main_class_name else self.main_class
+        )
+        aggregate = sum(pc.count * pc.effective_mhz for pc in self.processor_classes)
+        return aggregate / main.effective_mhz
+
+    def class_names(self) -> List[str]:
+        return [pc.name for pc in self.processor_classes]
+
+    def cores(self) -> Iterator[Tuple[str, int]]:
+        """Iterate concrete cores as ``(class_name, local_index)`` pairs."""
+        for pc in self.processor_classes:
+            for i in range(pc.count):
+                yield pc.name, i
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description."""
+        parts = [
+            f"{pc.count}x {pc.frequency_mhz:g} MHz ({pc.name})"
+            for pc in self.processor_classes
+        ]
+        return (
+            f"Platform {self.name!r}: {', '.join(parts)}; "
+            f"bus {self.interconnect.bandwidth_bytes_per_us:g} B/µs "
+            f"(+{self.interconnect.latency_us:g} µs latency); "
+            f"TCO {self.task_creation_overhead_us:g} µs; "
+            f"main class {self.main_class.name!r}"
+        )

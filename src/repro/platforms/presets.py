@@ -1,0 +1,114 @@
+"""Preset platforms matching the paper's evaluation section.
+
+Both evaluation platforms are 4-core same-ISA ARM MPSoCs connected by a
+high-performance bus with a shared L2 (Section VI):
+
+* **Configuration (A)** — 1x 100 MHz, 1x 250 MHz, 2x 500 MHz. Large
+  performance variance; theoretical speedup limits 13.5x (scenario I,
+  100 MHz main core) and 2.7x (scenario II, 500 MHz main core).
+* **Configuration (B)** — 2x 200 MHz, 2x 500 MHz. Approximates ARM
+  big.LITTLE's ~2.5x performance discrepancy; limits 7x / 2.8x.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platforms.description import Interconnect, Platform, ProcessorClass
+
+#: Default bus: 400 bytes/µs with 1 µs setup latency — fast relative to the
+#: benchmark kernels' compute so that data-parallel kernels can approach the
+#: theoretical limit, yet costly enough to penalize communication-heavy
+#: solutions (latnrm, spectral), as in the paper.
+_DEFAULT_BUS = Interconnect()
+
+
+def config_a(
+    scenario: str = "accelerator",
+    task_creation_overhead_us: float = 25.0,
+) -> Platform:
+    """Paper platform configuration (A): 100/250/500/500 MHz.
+
+    ``scenario`` selects the main processor per Section VI-A:
+    ``"accelerator"`` (I) uses the slow 100 MHz core as main processor;
+    ``"slower-cores"`` (II) uses a fast 500 MHz core.
+    """
+    main = _main_for_scenario(scenario, slow="arm100", fast="arm500")
+    return Platform(
+        name=f"config-a-{scenario}",
+        processor_classes=(
+            ProcessorClass("arm100", 100.0, 1),
+            ProcessorClass("arm250", 250.0, 1),
+            ProcessorClass("arm500", 500.0, 2),
+        ),
+        interconnect=_DEFAULT_BUS,
+        task_creation_overhead_us=task_creation_overhead_us,
+        main_class_name=main,
+    )
+
+
+def config_b(
+    scenario: str = "accelerator",
+    task_creation_overhead_us: float = 25.0,
+) -> Platform:
+    """Paper platform configuration (B): 200/200/500/500 MHz (big.LITTLE-like)."""
+    main = _main_for_scenario(scenario, slow="arm200", fast="arm500")
+    return Platform(
+        name=f"config-b-{scenario}",
+        processor_classes=(
+            ProcessorClass("arm200", 200.0, 2),
+            ProcessorClass("arm500", 500.0, 2),
+        ),
+        interconnect=_DEFAULT_BUS,
+        task_creation_overhead_us=task_creation_overhead_us,
+        main_class_name=main,
+    )
+
+
+def homogeneous(
+    num_cores: int = 4,
+    frequency_mhz: float = 500.0,
+    task_creation_overhead_us: float = 25.0,
+) -> Platform:
+    """A uniform platform, as targeted by the baseline approach [6]."""
+    return Platform(
+        name=f"homogeneous-{num_cores}x{frequency_mhz:g}",
+        processor_classes=(
+            ProcessorClass("core", frequency_mhz, num_cores),
+        ),
+        interconnect=_DEFAULT_BUS,
+        task_creation_overhead_us=task_creation_overhead_us,
+    )
+
+
+def big_little(
+    big_cores: int = 2,
+    little_cores: int = 2,
+    big_mhz: float = 1500.0,
+    little_mhz: float = 600.0,
+    task_creation_overhead_us: float = 25.0,
+    scenario: str = "accelerator",
+) -> Platform:
+    """An ARM big.LITTLE-style platform (Cortex-A15 + Cortex-A7 flavour)."""
+    main = _main_for_scenario(scenario, slow="little", fast="big")
+    return Platform(
+        name="big-little",
+        processor_classes=(
+            ProcessorClass("little", little_mhz, little_cores),
+            ProcessorClass("big", big_mhz, big_cores),
+        ),
+        interconnect=_DEFAULT_BUS,
+        task_creation_overhead_us=task_creation_overhead_us,
+        main_class_name=main,
+    )
+
+
+def _main_for_scenario(scenario: str, slow: str, fast: str) -> str:
+    if scenario in ("accelerator", "I", "i", "1"):
+        return slow
+    if scenario in ("slower-cores", "II", "ii", "2"):
+        return fast
+    raise ValueError(
+        f"unknown scenario {scenario!r}; expected 'accelerator' (I) or "
+        f"'slower-cores' (II)"
+    )

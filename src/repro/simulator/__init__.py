@@ -1,0 +1,26 @@
+"""Discrete-event MPSoC simulator (substitute for CoMET/MPARM).
+
+Executes a flattened task DAG on a modelled heterogeneous MPSoC:
+frequency-scaled cores grouped in processor classes, a shared bus with
+per-transfer latency and finite bandwidth (optionally with contention),
+and per-spawn task-creation overhead. Produces cycle-level makespans used
+for all speedup measurements, mirroring the role the cycle-accurate CoMET
+simulator plays in the paper's evaluation.
+"""
+
+from repro.simulator.engine import CoreState, SimOptions, SimResult, simulate_graph
+from repro.simulator.run import evaluate_solution, simulate_candidate, speedup_of
+from repro.simulator.trace import render_gantt, render_utilization, schedule_table
+
+__all__ = [
+    "CoreState",
+    "SimOptions",
+    "SimResult",
+    "evaluate_solution",
+    "render_gantt",
+    "render_utilization",
+    "schedule_table",
+    "simulate_candidate",
+    "simulate_graph",
+    "speedup_of",
+]

@@ -1,0 +1,79 @@
+"""High-level simulation API: evaluate parallelization solutions.
+
+The measurement methodology mirrors the paper's Section VI-A: the
+baseline is the sequential execution on one core of the platform's main
+class; a solution's speedup is ``sequential_time / simulated_makespan``.
+Homogeneous-baseline solutions are simulated *class-blind*: their tasks
+carry no class requirement and land on whichever core frees up first —
+reproducing the mis-balancing the paper observes on heterogeneous
+platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.flatten import FlatTaskGraph, flatten_solution
+from repro.core.parallelize import ParallelizeResult
+from repro.core.solution import SolutionCandidate
+from repro.htg.graph import HTG
+from repro.platforms.description import Platform
+from repro.simulator.engine import SimOptions, SimResult, simulate_graph
+
+
+@dataclass
+class SolutionEvaluation:
+    """Simulated performance of one parallelization result."""
+
+    sequential_us: float
+    parallel_us: float
+    speedup: float
+    sim: SimResult
+    graph: FlatTaskGraph
+    theoretical_limit: float
+
+
+def sequential_time_us(htg: HTG, platform: Platform) -> float:
+    """Whole-run time of the unparallelized program on the main core."""
+    return platform.main_class.time_us(htg.root.total_cycles())
+
+
+def simulate_candidate(
+    candidate: SolutionCandidate,
+    platform: Platform,
+    class_blind: bool = False,
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Flatten and simulate one solution candidate."""
+    graph = flatten_solution(candidate, platform, class_blind=class_blind)
+    return simulate_graph(graph, platform, options)
+
+
+def evaluate_solution(
+    result: ParallelizeResult,
+    options: Optional[SimOptions] = None,
+) -> SolutionEvaluation:
+    """Simulate a :class:`ParallelizeResult` and compute its speedup."""
+    platform = result.platform
+    class_blind = result.approach == "homogeneous"
+    graph = flatten_solution(result.best, platform, class_blind=class_blind)
+    sim = simulate_graph(graph, platform, options)
+    seq = sequential_time_us(result.htg, platform)
+    speedup = seq / sim.makespan_us if sim.makespan_us > 0 else float("inf")
+    return SolutionEvaluation(
+        sequential_us=seq,
+        parallel_us=sim.makespan_us,
+        speedup=speedup,
+        sim=sim,
+        graph=graph,
+        theoretical_limit=platform.theoretical_speedup(),
+    )
+
+
+def speedup_of(
+    result: ParallelizeResult,
+    options: Optional[SimOptions] = None,
+) -> float:
+    """Convenience: simulated speedup of a parallelization result."""
+    return evaluate_solution(result, options).speedup

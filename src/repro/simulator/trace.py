@@ -1,0 +1,116 @@
+"""Schedule traces: Gantt-style ASCII timelines and utilization reports.
+
+CoMET gives the paper's authors waveform-level visibility; this module
+provides the equivalent insight for the discrete-event simulator —
+per-core timelines of the simulated schedule and utilization summaries,
+rendered as plain text (terminal friendly, diffable in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.flatten import FlatTaskGraph
+from repro.platforms.description import Platform
+from repro.simulator.engine import SimResult
+
+
+@dataclass(frozen=True)
+class CoreTimeline:
+    """Occupancy intervals of one core: (start, finish, task label)."""
+
+    core: Tuple[str, int]
+    intervals: Tuple[Tuple[float, float, str], ...]
+
+    @property
+    def busy_us(self) -> float:
+        return sum(finish - start for start, finish, _ in self.intervals)
+
+
+def build_timelines(
+    result: SimResult, graph: Optional[FlatTaskGraph] = None
+) -> List[CoreTimeline]:
+    """Group the schedule into per-core interval lists, sorted by start."""
+    labels: Dict[int, str] = {}
+    if graph is not None:
+        labels = {t.tid: t.label for t in graph.tasks}
+    per_core: Dict[Tuple[str, int], List[Tuple[float, float, str]]] = {}
+    for scheduled in result.schedule.values():
+        if scheduled.finish_us - scheduled.start_us <= 0:
+            continue  # zero-length markers clutter the timeline
+        label = labels.get(scheduled.tid, f"task{scheduled.tid}")
+        per_core.setdefault(scheduled.core, []).append(
+            (scheduled.start_us, scheduled.finish_us, label)
+        )
+    timelines = []
+    cores = sorted({c for c in per_core} | {(c.class_name, c.index) for c in result.cores})
+    for core in cores:
+        intervals = tuple(sorted(per_core.get(core, []), key=lambda iv: iv[0]))
+        timelines.append(CoreTimeline(core, intervals))
+    return timelines
+
+
+def render_gantt(
+    result: SimResult,
+    graph: Optional[FlatTaskGraph] = None,
+    width: int = 72,
+) -> str:
+    """ASCII Gantt chart of the simulated schedule.
+
+    One row per core; ``#`` marks busy time, ``.`` idle. The chart scales
+    the whole makespan to ``width`` characters.
+    """
+    timelines = build_timelines(result, graph)
+    makespan = max(result.makespan_us, 1e-9)
+    scale = width / makespan
+    lines = [f"simulated makespan: {result.makespan_us:,.1f} us"]
+    for timeline in timelines:
+        row = ["."] * width
+        for start, finish, _label in timeline.intervals:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(finish * scale + 0.5)))
+            for i in range(lo, hi):
+                row[i] = "#"
+        core_name = f"{timeline.core[0]}[{timeline.core[1]}]"
+        busy_pct = 100.0 * timeline.busy_us / makespan
+        lines.append(f"{core_name:>12} |{''.join(row)}| {busy_pct:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_utilization(result: SimResult) -> str:
+    """Tabular core-utilization summary."""
+    lines = [f"{'core':>12} {'busy (us)':>12} {'utilization':>12}"]
+    for core in result.cores:
+        share = core.busy_us / result.makespan_us if result.makespan_us else 0.0
+        lines.append(
+            f"{core.class_name + '[' + str(core.index) + ']':>12} "
+            f"{core.busy_us:>12,.1f} {share:>11.1%}"
+        )
+    return "\n".join(lines)
+
+
+def schedule_table(
+    result: SimResult, graph: Optional[FlatTaskGraph] = None, limit: int = 50
+) -> str:
+    """Chronological table of scheduled tasks (markers skipped)."""
+    labels: Dict[int, str] = {}
+    if graph is not None:
+        labels = {t.tid: t.label for t in graph.tasks}
+    rows = sorted(result.schedule.values(), key=lambda s: (s.start_us, s.tid))
+    lines = [f"{'start':>10} {'finish':>10} {'core':>12}  task"]
+    shown = 0
+    for scheduled in rows:
+        if scheduled.finish_us - scheduled.start_us <= 0:
+            continue
+        if shown >= limit:
+            lines.append(f"... ({len(rows) - shown} more)")
+            break
+        label = labels.get(scheduled.tid, f"task{scheduled.tid}")
+        core = f"{scheduled.core[0]}[{scheduled.core[1]}]"
+        lines.append(
+            f"{scheduled.start_us:>10,.1f} {scheduled.finish_us:>10,.1f} "
+            f"{core:>12}  {label}"
+        )
+        shown += 1
+    return "\n".join(lines)

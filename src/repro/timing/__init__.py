@@ -1,0 +1,29 @@
+"""High-level timing models.
+
+The paper annotates AHTG leaves with execution costs "automatically
+extracted by target platform simulation", once per processor class
+(Section III-A). This subpackage substitutes that step with:
+
+* :mod:`repro.timing.costmodel` — per-operation reference cycle tables
+  (same-ISA platforms share one table; classes differ by clock and an
+  optional CPI scale),
+* :mod:`repro.timing.interp` — a concrete interpreter executing the IR to
+  obtain exact per-statement execution counts (the profiling substitute),
+* :mod:`repro.timing.estimator` — combines both into per-statement,
+  per-class cost annotations consumed by the AHTG builder.
+"""
+
+from repro.timing.costmodel import CostModel, OperationCosts
+from repro.timing.interp import InterpreterError, InterpreterLimitExceeded, run_function
+from repro.timing.estimator import CostAnnotation, CostDatabase, annotate_costs
+
+__all__ = [
+    "CostAnnotation",
+    "CostDatabase",
+    "CostModel",
+    "InterpreterError",
+    "InterpreterLimitExceeded",
+    "OperationCosts",
+    "annotate_costs",
+    "run_function",
+]

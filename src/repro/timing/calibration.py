@@ -1,0 +1,214 @@
+"""Timing-model calibration from measured samples.
+
+The paper extracts statement costs "by target platform simulation"; when
+such measurements exist (per-statement cycle counts from a cycle-accurate
+simulator or hardware counters), this module fits the per-operation cycle
+table of :class:`repro.timing.costmodel.OperationCosts` to them by
+non-negative least squares, so the high-level model can be recalibrated
+per processor class instead of relying on the shipped ARM9-like defaults.
+
+Each sample pairs a statement with a measured per-execution cycle count;
+the statement's cost is linear in the operation-cost parameters, so the
+fit is a small linear regression whose features are *operation counts*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cfront import ir
+from repro.cfront.defuse import PURE_BUILTINS
+from repro.timing.costmodel import CostModel, OperationCosts
+
+#: Calibratable parameters, in a stable order.
+PARAMETERS: Tuple[str, ...] = tuple(
+    f.name for f in fields(OperationCosts)
+)
+
+_FLOAT_TYPES = ("float", "double", "long double")
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measurement: a statement and its per-execution cycles.
+
+    ``counts`` may carry precomputed feature counts (operation counts per
+    parameter); when absent they are derived from the statement with the
+    ``type_env`` passed to :func:`calibrate` — supplying them avoids
+    type-environment mismatches between measurement and fit.
+    """
+
+    stmt: ir.Stmt
+    measured_cycles: float
+    counts: Optional[Tuple[float, ...]] = None
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted operation costs and fit quality."""
+
+    costs: OperationCosts
+    residual_rms: float
+    samples: int
+
+    def relative_error(self, model_cycles: float, measured: float) -> float:
+        return abs(model_cycles - measured) / max(measured, 1e-9)
+
+
+def operation_counts(
+    stmt: ir.Stmt, type_env: Optional[Dict[str, str]] = None
+) -> Dict[str, float]:
+    """How many times each :class:`OperationCosts` parameter applies to
+    one execution of ``stmt`` (the feature vector of the regression)."""
+    model = CostModel(type_env=type_env)
+    counts: Dict[str, float] = {name: 0.0 for name in PARAMETERS}
+
+    def is_float(expr: ir.Expr) -> bool:
+        return model.expr_type(expr) in _FLOAT_TYPES
+
+    def visit_expr(expr: ir.Expr) -> None:
+        if isinstance(expr, ir.Const):
+            return
+        if isinstance(expr, ir.VarRef):
+            counts["load"] += 1
+            return
+        if isinstance(expr, ir.ArrayRef):
+            counts["load"] += 1
+            counts["address"] += len(expr.indices)
+            for index in expr.indices:
+                visit_expr(index)
+            return
+        if isinstance(expr, ir.UnOp):
+            counts["float_alu" if is_float(expr.operand) else "int_alu"] += 1
+            visit_expr(expr.operand)
+            return
+        if isinstance(expr, ir.Cast):
+            counts["int_alu"] += 1
+            visit_expr(expr.operand)
+            return
+        if isinstance(expr, ir.BinOp):
+            flt = is_float(expr.left) or is_float(expr.right)
+            if expr.op == "*":
+                counts["float_mul" if flt else "int_mul"] += 1
+            elif expr.op in ("/", "%"):
+                counts["float_div" if flt else "int_div"] += 1
+            else:
+                counts["float_alu" if flt else "int_alu"] += 1
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+            return
+        if isinstance(expr, ir.CallExpr):
+            if expr.name in PURE_BUILTINS:
+                counts["builtin_math"] += 1
+            else:
+                counts["call_overhead"] += 1
+            for arg in expr.args:
+                visit_expr(arg)
+            return
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    if isinstance(stmt, ir.Assign):
+        visit_expr(stmt.rhs)
+        if isinstance(stmt.lhs, ir.ArrayRef):
+            counts["address"] += len(stmt.lhs.indices)
+            for index in stmt.lhs.indices:
+                visit_expr(index)
+        counts["store"] += 1
+    elif isinstance(stmt, ir.Decl) and stmt.init is not None:
+        visit_expr(stmt.init)
+        counts["store"] += 1
+    elif isinstance(stmt, (ir.CallStmt, ir.ExprStmt, ir.Return)):
+        for expr in stmt.expressions():
+            if expr is not None:
+                visit_expr(expr)
+    elif isinstance(stmt, ir.ForLoop):
+        counts["loop_overhead"] += 1
+    elif isinstance(stmt, (ir.WhileLoop, ir.If)):
+        for expr in stmt.expressions():
+            visit_expr(expr)
+        counts["branch"] += 1
+    return counts
+
+
+def calibrate(
+    samples: Sequence[CalibrationSample],
+    type_env: Optional[Dict[str, str]] = None,
+    ridge: float = 1e-6,
+) -> CalibrationResult:
+    """Fit :class:`OperationCosts` to measured per-execution cycles.
+
+    Uses ridge-regularized least squares clipped at zero (costs cannot be
+    negative); parameters that never occur in the samples keep the default
+    values.
+    """
+    if not samples:
+        raise ValueError("calibration needs at least one sample")
+    features = np.zeros((len(samples), len(PARAMETERS)))
+    target = np.zeros(len(samples))
+    for row, sample in enumerate(samples):
+        if sample.counts is not None:
+            features[row, :] = sample.counts
+        else:
+            counts = operation_counts(sample.stmt, type_env)
+            for col, name in enumerate(PARAMETERS):
+                features[row, col] = counts[name]
+        target[row] = sample.measured_cycles
+
+    defaults = OperationCosts()
+    present = features.any(axis=0)
+    x = features[:, present]
+    # non-negative least squares: exact on consistent measurements and
+    # well-behaved on noisy ones (costs can never be negative)
+    from scipy.optimize import nnls
+
+    weights, _residual = nnls(x, target)
+    del ridge  # kept in the signature for API stability
+
+    values = {name: getattr(defaults, name) for name in PARAMETERS}
+    fitted = iter(weights)
+    for name, used in zip(PARAMETERS, present):
+        if used:
+            values[name] = float(next(fitted))
+    costs = OperationCosts(**values)
+
+    predicted = features[:, present] @ weights
+    residual_rms = float(np.sqrt(np.mean((predicted - target) ** 2)))
+    return CalibrationResult(costs=costs, residual_rms=residual_rms, samples=len(samples))
+
+
+def samples_from_profile(
+    program: ir.Program,
+    function: str,
+    reference_costs: OperationCosts,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> List[CalibrationSample]:
+    """Synthesize calibration samples from a program using a reference
+    cost table (optionally with multiplicative noise) — the stand-in for
+    a cycle-accurate measurement run."""
+    func = program.entry(function)
+    type_env: Dict[str, str] = {}
+    for decl in program.globals.values():
+        type_env[decl.name] = decl.ctype
+    for stmt in func.body.walk():
+        if isinstance(stmt, ir.Decl):
+            type_env[stmt.name] = stmt.ctype
+    model = CostModel(costs=reference_costs, type_env=type_env)
+    rng = np.random.default_rng(seed)
+    samples: List[CalibrationSample] = []
+    for stmt in func.body.walk():
+        if isinstance(stmt, ir.Block):
+            continue
+        cycles = model.stmt_cycles(stmt)
+        if cycles <= 0:
+            continue
+        factor = 1.0 + noise * rng.standard_normal() if noise else 1.0
+        counts = operation_counts(stmt, type_env)
+        feature_row = tuple(counts[name] for name in PARAMETERS)
+        samples.append(
+            CalibrationSample(stmt, cycles * max(0.1, factor), feature_row)
+        )
+    return samples

@@ -1,0 +1,196 @@
+"""Per-operation reference cycle costs.
+
+A deliberately high-level model in the spirit of the paper's "adequate
+high-level timing models": each C-level operation has a fixed reference
+cycle cost on the common ISA; a processor class's execution time follows
+from its clock (and optional CPI scale) via
+:meth:`repro.platforms.description.ProcessorClass.time_us`.
+
+The default numbers approximate an in-order ARM9-class pipeline (the
+MPARM / CoMET targets of the paper): single-cycle ALU, few-cycle
+multiplies, expensive divides, two-cycle memory accesses through the
+shared L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.cfront import ir
+
+_FLOAT_TYPES = ("float", "double", "long double")
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Reference cycles per operation kind."""
+
+    int_alu: float = 1.0          # +, -, bitwise, shifts, compares
+    int_mul: float = 3.0
+    int_div: float = 24.0         # also %
+    float_alu: float = 4.0        # software-assisted FP add/sub/compare
+    float_mul: float = 6.0
+    float_div: float = 30.0
+    load: float = 2.0             # memory read (shared L2)
+    store: float = 2.0
+    address: float = 1.0          # per-dimension address arithmetic
+    branch: float = 2.0           # taken-branch penalty (if / loop back-edge)
+    loop_overhead: float = 3.0    # per-iteration counter update + compare + branch
+    call_overhead: float = 30.0   # call/return + register save/restore
+    builtin_math: float = 60.0    # sin/cos/sqrt/... library routine
+
+    def scaled(self, factor: float) -> "OperationCosts":
+        """A copy with every cost multiplied by ``factor``."""
+        return OperationCosts(
+            **{name: getattr(self, name) * factor for name in self.__dataclass_fields__}
+        )
+
+
+class CostModel:
+    """Computes reference cycle costs of expressions and statements.
+
+    ``type_env`` maps variable names to C types so the model can pick
+    integer vs. floating-point operation costs; unknown operands default
+    to ``default_type``.
+    """
+
+    def __init__(
+        self,
+        costs: Optional[OperationCosts] = None,
+        type_env: Optional[Dict[str, str]] = None,
+        default_type: str = "int",
+    ):
+        self.costs = costs or OperationCosts()
+        self.type_env = dict(type_env or {})
+        self.default_type = default_type
+
+    # -- type inference ---------------------------------------------------------
+
+    def expr_type(self, expr: ir.Expr) -> str:
+        if isinstance(expr, ir.Const):
+            return expr.ctype
+        if isinstance(expr, ir.VarRef):
+            return self.type_env.get(expr.name, self.default_type)
+        if isinstance(expr, ir.ArrayRef):
+            return self.type_env.get(expr.name, self.default_type)
+        if isinstance(expr, ir.Cast):
+            return expr.ctype
+        if isinstance(expr, ir.UnOp):
+            return self.expr_type(expr.operand)
+        if isinstance(expr, ir.BinOp):
+            left = self.expr_type(expr.left)
+            right = self.expr_type(expr.right)
+            if left in _FLOAT_TYPES or right in _FLOAT_TYPES:
+                return "double" if "double" in (left, right) else "float"
+            return left
+        if isinstance(expr, ir.CallExpr):
+            return "double"
+        return self.default_type
+
+    def _is_float(self, expr: ir.Expr) -> bool:
+        return self.expr_type(expr) in _FLOAT_TYPES
+
+    # -- expression costs ----------------------------------------------------------
+
+    def expr_cycles(self, expr: ir.Expr) -> float:
+        """Cycles to evaluate ``expr`` once."""
+        c = self.costs
+        if isinstance(expr, ir.Const):
+            return 0.0
+        if isinstance(expr, ir.VarRef):
+            return c.load
+        if isinstance(expr, ir.ArrayRef):
+            index_cost = sum(self.expr_cycles(i) for i in expr.indices)
+            return index_cost + c.address * len(expr.indices) + c.load
+        if isinstance(expr, ir.UnOp):
+            return self._op_cost("+", self._is_float(expr.operand)) + self.expr_cycles(
+                expr.operand
+            )
+        if isinstance(expr, ir.Cast):
+            return c.int_alu + self.expr_cycles(expr.operand)
+        if isinstance(expr, ir.BinOp):
+            is_float = self._is_float(expr.left) or self._is_float(expr.right)
+            return (
+                self._op_cost(expr.op, is_float)
+                + self.expr_cycles(expr.left)
+                + self.expr_cycles(expr.right)
+            )
+        if isinstance(expr, ir.CallExpr):
+            args = sum(self.expr_cycles(a) for a in expr.args)
+            from repro.cfront.defuse import PURE_BUILTINS
+
+            if expr.name in PURE_BUILTINS:
+                return args + c.builtin_math
+            return args + c.call_overhead
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    def _op_cost(self, op: str, is_float: bool) -> float:
+        c = self.costs
+        if op == "*":
+            return c.float_mul if is_float else c.int_mul
+        if op in ("/", "%"):
+            return c.float_div if is_float else c.int_div
+        if is_float:
+            return c.float_alu
+        return c.int_alu
+
+    # -- statement costs ------------------------------------------------------------
+
+    def stmt_cycles(self, stmt: ir.Stmt) -> float:
+        """Cycles for *one* execution of the statement itself.
+
+        For hierarchical statements this is the per-execution control
+        overhead only (loop header, branch evaluation); the children's
+        costs are accumulated separately by the estimator using their own
+        execution counts.
+        """
+        c = self.costs
+        if isinstance(stmt, ir.Block):
+            return 0.0
+        if isinstance(stmt, ir.Decl):
+            if stmt.init is not None:
+                return self.expr_cycles(stmt.init) + c.store
+            return 0.0
+        if isinstance(stmt, ir.Assign):
+            lhs_cost = 0.0
+            if isinstance(stmt.lhs, ir.ArrayRef):
+                lhs_cost = (
+                    sum(self.expr_cycles(i) for i in stmt.lhs.indices)
+                    + c.address * len(stmt.lhs.indices)
+                )
+            return self.expr_cycles(stmt.rhs) + lhs_cost + c.store
+        if isinstance(stmt, ir.CallStmt):
+            return self.expr_cycles(stmt.call)
+        if isinstance(stmt, ir.ExprStmt):
+            return self.expr_cycles(stmt.expr)
+        if isinstance(stmt, ir.ForLoop):
+            # charged once per iteration via the estimator
+            return c.loop_overhead
+        if isinstance(stmt, ir.WhileLoop):
+            return self.expr_cycles(stmt.cond) + c.branch
+        if isinstance(stmt, ir.If):
+            return self.expr_cycles(stmt.cond) + c.branch
+        if isinstance(stmt, ir.Return):
+            if stmt.expr is not None:
+                return self.expr_cycles(stmt.expr)
+            return 0.0
+        raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+    @classmethod
+    def for_function(
+        cls,
+        program: ir.Program,
+        function: ir.Function,
+        costs: Optional[OperationCosts] = None,
+    ) -> "CostModel":
+        """Cost model with a type environment from the function's scope."""
+        type_env: Dict[str, str] = {}
+        for decl in program.globals.values():
+            type_env[decl.name] = decl.ctype
+        for param in function.params:
+            type_env[param.name] = param.ctype
+        for stmt in function.body.walk():
+            if isinstance(stmt, ir.Decl):
+                type_env[stmt.name] = stmt.ctype
+        return cls(costs=costs, type_env=type_env)

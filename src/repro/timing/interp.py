@@ -1,0 +1,397 @@
+"""Concrete IR interpreter — the profiling substitute.
+
+Runs a parsed program function to completion, recording how often every
+statement executes. This replaces the paper's "execution costs ...
+automatically extracted by target platform simulation": combined with the
+static per-operation cycle model it yields exact whole-run cost totals per
+statement and processor class.
+
+The interpreter implements enough C semantics for the benchmark kernels:
+integer/float scalars with C-style truncation, multi-dimensional arrays
+(numpy-backed, passed by reference), calls to program functions and math
+builtins, and all IR control flow. A step limit guards against runaway
+loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cfront import ir
+
+Value = Union[int, float, np.ndarray]
+
+
+class InterpreterError(Exception):
+    """Semantic error while interpreting (unknown name, bad call, ...)."""
+
+
+class InterpreterLimitExceeded(InterpreterError):
+    """The step budget was exhausted."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[Value]):
+        self.value = value
+
+
+_BUILTINS = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "atan2": math.atan2, "sqrt": math.sqrt, "fabs": abs, "abs": abs,
+    "exp": math.exp, "log": math.log, "log2": math.log2,
+    "log10": math.log10, "pow": math.pow, "floor": math.floor,
+    "ceil": math.ceil, "fmod": math.fmod, "hypot": math.hypot,
+    "sinf": math.sin, "cosf": math.cos, "tanf": math.tan,
+    "sqrtf": math.sqrt, "fabsf": abs, "expf": math.exp, "logf": math.log,
+}
+
+_INT_TYPES = {
+    "char", "signed char", "unsigned char", "short", "unsigned short",
+    "int", "unsigned int", "unsigned", "long", "unsigned long", "long long",
+}
+
+_NP_DTYPE = {
+    "float": np.float32,
+    "double": np.float64,
+    "long double": np.float64,
+}
+
+
+def _np_dtype(ctype: str):
+    if ctype in _NP_DTYPE:
+        return _NP_DTYPE[ctype]
+    return np.int64
+
+
+@dataclass
+class ExecutionProfile:
+    """Per-statement execution counts gathered by one interpreter run."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    return_value: Optional[Value] = None
+    steps: int = 0
+
+    def count(self, sid: int) -> int:
+        return self.counts.get(sid, 0)
+
+
+class Interpreter:
+    """Executes one program; reusable across function invocations."""
+
+    def __init__(self, program: ir.Program, max_steps: int = 20_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.globals: Dict[str, Value] = {}
+        self.profile = ExecutionProfile()
+        self._steps = 0
+        self._init_globals()
+
+    def _init_globals(self) -> None:
+        for name, decl in self.program.globals.items():
+            if decl.is_array:
+                self.globals[name] = np.zeros(decl.dims, dtype=_np_dtype(decl.ctype))
+            elif decl.init is not None:
+                value = self._eval(decl.init, {})
+                self.globals[name] = self._coerce(value, decl.ctype)
+            else:
+                self.globals[name] = 0 if decl.ctype in _INT_TYPES else 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, function_name: str, args: Sequence[Value] = ()) -> ExecutionProfile:
+        """Run a function to completion; returns the accumulated profile."""
+        func = self.program.entry(function_name)
+        try:
+            result = self._call_function(func, list(args))
+        except _ReturnSignal as signal:  # pragma: no cover - top-level return
+            result = signal.value
+        self.profile.return_value = result
+        self.profile.steps = self._steps
+        return self.profile
+
+    # -- execution ---------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpreterLimitExceeded(
+                f"interpreter exceeded {self.max_steps} steps"
+            )
+
+    def _call_function(self, func: ir.Function, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"{func.name}: expected {len(func.params)} arguments, got {len(args)}"
+            )
+        frame: Dict[str, Value] = {}
+        types: Dict[str, str] = {}
+        for param, arg in zip(func.params, args):
+            if param.is_pointer:
+                if not isinstance(arg, np.ndarray):
+                    raise InterpreterError(
+                        f"{func.name}: parameter {param.name!r} expects an array"
+                    )
+                frame[param.name] = arg
+            else:
+                frame[param.name] = self._coerce(arg, param.ctype)
+            types[param.name] = param.ctype
+        try:
+            self._exec_block(func.body, frame, types)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def _exec_block(self, block: ir.Block, frame: Dict[str, Value], types: Dict[str, str]) -> None:
+        self._record(block)
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, frame, types)
+
+    def _exec_stmt(self, stmt: ir.Stmt, frame: Dict[str, Value], types: Dict[str, str]) -> None:
+        self._tick()
+        if isinstance(stmt, ir.Block):
+            self._exec_block(stmt, frame, types)
+            return
+        self._record(stmt)
+        if isinstance(stmt, ir.Decl):
+            types[stmt.name] = stmt.ctype
+            if stmt.is_array:
+                frame[stmt.name] = np.zeros(stmt.dims, dtype=_np_dtype(stmt.ctype))
+            elif stmt.init is not None:
+                frame[stmt.name] = self._coerce(self._eval(stmt.init, frame), stmt.ctype)
+            else:
+                frame[stmt.name] = 0 if stmt.ctype in _INT_TYPES else 0.0
+        elif isinstance(stmt, ir.Assign):
+            value = self._eval(stmt.rhs, frame)
+            self._store(stmt.lhs, value, frame, types)
+        elif isinstance(stmt, ir.CallStmt):
+            self._eval(stmt.call, frame)
+        elif isinstance(stmt, ir.ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, ir.ForLoop):
+            lower = self._eval(stmt.lower, frame)
+            upper = self._eval(stmt.upper, frame)
+            types.setdefault(stmt.var, "int")
+            i = int(lower)
+            while i < upper:
+                self._tick()
+                frame[stmt.var] = i
+                self._exec_block(stmt.body, frame, types)
+                i += stmt.step
+            frame[stmt.var] = i
+        elif isinstance(stmt, ir.WhileLoop):
+            while self._truthy(self._eval(stmt.cond, frame)):
+                self._tick()
+                self._exec_block(stmt.body, frame, types)
+        elif isinstance(stmt, ir.If):
+            if self._truthy(self._eval(stmt.cond, frame)):
+                self._exec_block(stmt.then_block, frame, types)
+            elif stmt.else_block is not None:
+                self._exec_block(stmt.else_block, frame, types)
+        elif isinstance(stmt, ir.Return):
+            value = self._eval(stmt.expr, frame) if stmt.expr is not None else None
+            raise _ReturnSignal(value)
+        else:  # pragma: no cover
+            raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+    def _record(self, stmt: ir.Stmt) -> None:
+        self.profile.counts[stmt.sid] = self.profile.counts.get(stmt.sid, 0) + 1
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _eval(self, expr: ir.Expr, frame: Dict[str, Value]) -> Value:
+        if isinstance(expr, ir.Const):
+            return expr.value
+        if isinstance(expr, ir.VarRef):
+            return self._lookup(expr.name, frame)
+        if isinstance(expr, ir.ArrayRef):
+            array = self._lookup(expr.name, frame)
+            if not isinstance(array, np.ndarray):
+                raise InterpreterError(f"{expr.name!r} is not an array")
+            idx = tuple(int(self._eval(i, frame)) for i in expr.indices)
+            self._check_bounds(expr.name, array, idx)
+            return array[idx].item()
+        if isinstance(expr, ir.UnOp):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -value
+            if expr.op == "!":
+                return int(not self._truthy(value))
+            if expr.op == "~":
+                return ~int(value)
+            raise InterpreterError(f"unknown unary {expr.op!r}")
+        if isinstance(expr, ir.Cast):
+            value = self._eval(expr.operand, frame)
+            return self._coerce(value, expr.ctype)
+        if isinstance(expr, ir.BinOp):
+            return self._binop(expr, frame)
+        if isinstance(expr, ir.CallExpr):
+            return self._call(expr, frame)
+        raise InterpreterError(f"unknown expression {type(expr).__name__}")
+
+    def _binop(self, expr: ir.BinOp, frame: Dict[str, Value]) -> Value:
+        op = expr.op
+        if op == "&&":
+            return int(
+                self._truthy(self._eval(expr.left, frame))
+                and self._truthy(self._eval(expr.right, frame))
+            )
+        if op == "||":
+            return int(
+                self._truthy(self._eval(expr.left, frame))
+                or self._truthy(self._eval(expr.right, frame))
+            )
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        both_int = isinstance(left, int) and isinstance(right, int)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise InterpreterError("division by zero")
+            if both_int:
+                return _c_div(left, right)
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise InterpreterError("modulo by zero")
+            return _c_mod(int(left), int(right))
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<<":
+            return int(left) << int(right)
+        if op == ">>":
+            return int(left) >> int(right)
+        if op == "&":
+            return int(left) & int(right)
+        if op == "|":
+            return int(left) | int(right)
+        if op == "^":
+            return int(left) ^ int(right)
+        raise InterpreterError(f"unknown operator {op!r}")
+
+    def _call(self, call: ir.CallExpr, frame: Dict[str, Value]) -> Optional[Value]:
+        if call.name in _BUILTINS:
+            args = [self._eval(a, frame) for a in call.args]
+            return _BUILTINS[call.name](*args)
+        if call.name in self.program.functions:
+            func = self.program.functions[call.name]
+            args: List[Value] = []
+            for arg, param in zip(call.args, func.params):
+                if param.is_pointer:
+                    if not isinstance(arg, ir.VarRef):
+                        raise InterpreterError(
+                            f"array argument to {call.name} must be a name"
+                        )
+                    value = self._lookup(arg.name, frame)
+                else:
+                    value = self._eval(arg, frame)
+                args.append(value)
+            return self._call_function(func, args)
+        raise InterpreterError(f"call to undefined function {call.name!r}")
+
+    # -- storage --------------------------------------------------------------------------
+
+    def _lookup(self, name: str, frame: Dict[str, Value]) -> Value:
+        if name in frame:
+            return frame[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise InterpreterError(f"undefined variable {name!r}")
+
+    def _store(
+        self,
+        lhs: ir.Expr,
+        value: Value,
+        frame: Dict[str, Value],
+        types: Dict[str, str],
+    ) -> None:
+        if isinstance(lhs, ir.VarRef):
+            ctype = types.get(lhs.name)
+            if lhs.name in frame:
+                frame[lhs.name] = self._coerce(value, ctype)
+            elif lhs.name in self.globals:
+                decl = self.program.globals.get(lhs.name)
+                gtype = decl.ctype if decl is not None else ctype
+                self.globals[lhs.name] = self._coerce(value, gtype)
+            else:
+                # Implicit definition (benchmark kernels always declare, but
+                # be forgiving for tests).
+                frame[lhs.name] = self._coerce(value, ctype)
+        elif isinstance(lhs, ir.ArrayRef):
+            array = self._lookup(lhs.name, frame)
+            if not isinstance(array, np.ndarray):
+                raise InterpreterError(f"{lhs.name!r} is not an array")
+            idx = tuple(int(self._eval(i, frame)) for i in lhs.indices)
+            self._check_bounds(lhs.name, array, idx)
+            array[idx] = value
+        else:  # pragma: no cover
+            raise InterpreterError(f"invalid assignment target {lhs!r}")
+
+    def _check_bounds(self, name: str, array: np.ndarray, idx: Tuple[int, ...]) -> None:
+        if len(idx) != array.ndim:
+            raise InterpreterError(
+                f"{name}: {len(idx)} subscripts on {array.ndim}-D array"
+            )
+        for axis, (i, dim) in enumerate(zip(idx, array.shape)):
+            if i < 0 or i >= dim:
+                raise InterpreterError(
+                    f"{name}: index {i} out of bounds for axis {axis} (size {dim})"
+                )
+
+    @staticmethod
+    def _coerce(value: Value, ctype: Optional[str]) -> Value:
+        if value is None:
+            raise InterpreterError("void value used in assignment")
+        if isinstance(value, np.generic):
+            value = value.item()
+        if ctype is None:
+            return value
+        if ctype in _INT_TYPES:
+            return int(value)
+        if ctype in ("float", "double", "long double"):
+            return float(value)
+        return value
+
+    @staticmethod
+    def _truthy(value: Value) -> bool:
+        return bool(value)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C99 integer division (truncation toward zero)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C99 remainder: ``a == (a/b)*b + a%b``."""
+    return a - _c_div(a, b) * b
+
+
+def run_function(
+    program: ir.Program,
+    function_name: str,
+    args: Sequence[Value] = (),
+    max_steps: int = 20_000_000,
+) -> ExecutionProfile:
+    """Convenience wrapper: fresh interpreter, run one function."""
+    return Interpreter(program, max_steps=max_steps).run(function_name, args)

@@ -1,0 +1,12 @@
+"""End-to-end tool flow and paper-experiment harness.
+
+Mirrors the paper's Figure 6 tool flow: sequential ANSI-C + platform
+description in; AHTG extraction; ILP-based parallelization; annotated
+source + pre-mapping specification out; evaluation on the MPSoC
+simulator. :mod:`repro.toolflow.experiments` regenerates every table and
+figure of the paper's evaluation section.
+"""
+
+from repro.toolflow.flow import FlowResult, ToolFlow, parallelize_source
+
+__all__ = ["FlowResult", "ToolFlow", "parallelize_source"]

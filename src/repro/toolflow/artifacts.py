@@ -1,0 +1,99 @@
+"""Artifact bundles: write every tool-flow output to a directory.
+
+One call produces the full set of files a user of the paper's tool flow
+would keep from a run:
+
+```
+outdir/
+  annotated.c        transformed source with #pragma repro task regions
+  openmp.c           OpenMP-sections rendering of the same solution
+  premapping.json    task -> processor-class pre-mapping specification
+  htg.dot            the AHTG (graphviz)
+  taskgraph.dot      the flattened task DAG, colored by class
+  schedule.txt       simulated schedule: Gantt + utilization + task table
+  report.txt         summary: platform, times, speedups, ILP statistics
+  parallelism.txt    structural parallelism metrics and bounds
+```
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.codegen.annotate import annotate_solution
+from repro.codegen.mapping_spec import mapping_spec_json
+from repro.codegen.openmp import emit_openmp
+from repro.core.flatten import flatten_solution
+from repro.htg.metrics import analyze_parallelism, render_report
+from repro.htg.visualize import flat_graph_to_dot, htg_to_dot
+from repro.simulator.engine import SimOptions, simulate_graph
+from repro.simulator.trace import render_gantt, render_utilization, schedule_table
+from repro.toolflow.flow import FlowResult
+
+
+def write_artifacts(
+    outcome: FlowResult,
+    outdir: Union[str, pathlib.Path],
+    sim_options: Optional[SimOptions] = None,
+) -> Dict[str, pathlib.Path]:
+    """Write the artifact bundle for a completed tool-flow run.
+
+    Returns a mapping of artifact name to written path.
+    """
+    outdir = pathlib.Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    result = outcome.result
+    platform = result.platform
+
+    graph = flatten_solution(
+        result.best, platform, class_blind=result.approach == "homogeneous"
+    )
+    sim = simulate_graph(graph, platform, sim_options)
+
+    written: Dict[str, pathlib.Path] = {}
+
+    def emit(name: str, text: str) -> None:
+        path = outdir / name
+        path.write_text(text + "\n", encoding="utf-8")
+        written[name] = path
+
+    emit("annotated.c", annotate_solution(result, program=outcome.program))
+    emit("openmp.c", emit_openmp(result, program=outcome.program))
+    emit("premapping.json", mapping_spec_json(result))
+    emit("htg.dot", htg_to_dot(outcome.htg))
+    emit("taskgraph.dot", flat_graph_to_dot(graph))
+    emit(
+        "schedule.txt",
+        "\n\n".join(
+            [
+                render_gantt(sim, graph),
+                render_utilization(sim),
+                schedule_table(sim, graph),
+            ]
+        ),
+    )
+    emit(
+        "parallelism.txt",
+        render_report(analyze_parallelism(outcome.htg), platform),
+    )
+
+    stats = result.stats
+    report_lines = [
+        f"approach            : {result.approach}",
+        f"platform            : {platform.describe()}",
+        f"sequential          : {outcome.evaluation.sequential_us:,.1f} us",
+        f"parallel (simulated): {sim.makespan_us:,.1f} us",
+        f"speedup             : {outcome.evaluation.sequential_us / sim.makespan_us:.2f}x "
+        f"(limit {platform.theoretical_speedup():.2f}x)",
+        f"model estimate      : {result.best.exec_time_us:,.1f} us "
+        f"({result.estimated_speedup:.2f}x)",
+        f"energy (simulated)  : {sim.energy_nj / 1e3:,.1f} uJ",
+        f"tasks               : {result.best.num_tasks} "
+        f"(+procs {result.best.used_procs})",
+        f"ILPs solved         : {stats.num_ilps} "
+        f"({stats.total_variables:,} vars, {stats.total_constraints:,} constraints, "
+        f"{stats.total_solve_seconds:.1f}s)",
+    ]
+    emit("report.txt", "\n".join(report_lines))
+    return written

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``parallelize FILE.c`` — run the full tool flow on a C file and print
+  the solution, speedup, and optionally the annotated source, the
+  pre-mapping spec and a Gantt chart of the simulated schedule.
+* ``inspect FILE.c`` — show the extracted AHTG and loop classifications.
+* ``figure {7a,7b,8a,8b}`` / ``table1`` — regenerate paper experiments.
+* ``benchmarks`` — list the bundled benchmark kernels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.platforms import big_little, config_a, config_b, homogeneous
+from repro.platforms.description import Platform
+
+_PLATFORMS = {
+    "config-a": config_a,
+    "config-b": config_b,
+    "big-little": lambda scenario: big_little(scenario=scenario),
+}
+
+
+def _resolve_platform(name: str, scenario: str) -> Platform:
+    if name in _PLATFORMS:
+        return _PLATFORMS[name](scenario)
+    if name.startswith("homogeneous"):
+        # homogeneous[:N[:MHZ]]
+        parts = name.split(":")
+        cores = int(parts[1]) if len(parts) > 1 else 4
+        mhz = float(parts[2]) if len(parts) > 2 else 500.0
+        return homogeneous(cores, mhz)
+    raise SystemExit(
+        f"unknown platform {name!r}; choose from {sorted(_PLATFORMS)} or "
+        f"homogeneous[:N[:MHZ]]"
+    )
+
+
+def _cmd_parallelize(args: argparse.Namespace) -> int:
+    from repro.codegen import annotate_solution
+    from repro.codegen.mapping_spec import mapping_spec_json
+    from repro.simulator.trace import render_gantt
+    from repro.toolflow.flow import ToolFlow
+
+    platform = _resolve_platform(args.platform, args.scenario)
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    flow = ToolFlow(platform, approach=args.approach)
+    outcome = flow.run(source, entry=args.entry)
+
+    print(platform.describe())
+    print(f"sequential: {outcome.evaluation.sequential_us:12,.1f} us")
+    print(f"parallel  : {outcome.evaluation.parallel_us:12,.1f} us")
+    print(
+        f"speedup   : {outcome.speedup:12.2f}x "
+        f"(limit {outcome.evaluation.theoretical_limit:.2f}x, "
+        f"model estimate {outcome.estimated_speedup:.2f}x)"
+    )
+    print(f"solution  : {outcome.result.best.describe()}")
+    print(
+        f"ILPs      : {outcome.result.stats.num_ilps} "
+        f"({outcome.result.stats.total_variables:,} vars, "
+        f"{outcome.result.stats.total_constraints:,} constraints, "
+        f"{outcome.result.stats.total_solve_seconds:.1f}s solve time)"
+    )
+
+    if args.annotate:
+        text = annotate_solution(outcome.result, program=outcome.program)
+        with open(args.annotate, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"annotated source written to {args.annotate}")
+    if args.mapping:
+        with open(args.mapping, "w", encoding="utf-8") as handle:
+            handle.write(mapping_spec_json(outcome.result) + "\n")
+        print(f"pre-mapping spec written to {args.mapping}")
+    if args.gantt:
+        print()
+        print(render_gantt(outcome.evaluation.sim, outcome.evaluation.graph))
+    if args.artifacts:
+        from repro.toolflow.artifacts import write_artifacts
+
+        written = write_artifacts(outcome, args.artifacts)
+        print(f"artifact bundle ({len(written)} files) written to {args.artifacts}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.cfront import ir, parse_c_program
+    from repro.cfront.defuse import compute_call_summaries
+    from repro.cfront.deps import classify_loop
+    from repro.htg.builder import build_htg
+    from repro.timing.estimator import annotate_costs
+
+    program = parse_c_program(args.source)
+    func = program.entry(args.entry)
+    summaries = compute_call_summaries(program)
+    cost_db = annotate_costs(program, func)
+    htg = build_htg(program, func, cost_db=cost_db, summaries=summaries)
+
+    print(f"function {func.name!r}: {htg.num_nodes} AHTG nodes, depth {htg.depth}")
+    print()
+    print(htg.pretty())
+    print()
+    print("loop classifications:")
+    for stmt in func.body.walk():
+        if isinstance(stmt, ir.ForLoop):
+            cls = classify_loop(stmt, summaries)
+            print(
+                f"  for {stmt.var} @ {stmt.coord or '?'}: "
+                f"{cls.parallelism.value} ({cls.reason})"
+            )
+    if args.dot:
+        from repro.htg.visualize import htg_to_dot
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(htg_to_dot(htg) + "\n")
+        print(f"DOT graph written to {args.dot}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.toolflow.experiments import run_figure
+    from repro.toolflow.report import render_figure
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+    print(render_figure(run_figure(args.figure, benchmarks=names)))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.toolflow.experiments import run_table1
+    from repro.toolflow.report import render_table1
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+    print(render_table1(run_table1(benchmarks=names)))
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    from repro.bench_suite import BENCHMARKS, benchmark_names
+
+    for name in benchmark_names():
+        bench = BENCHMARKS[name]
+        print(f"{name:<14} [{bench.character:<14}] {bench.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    par = sub.add_parser("parallelize", help="parallelize a C file")
+    par.add_argument("source")
+    par.add_argument("--platform", default="config-a")
+    par.add_argument(
+        "--scenario", default="accelerator", choices=["accelerator", "slower-cores"]
+    )
+    par.add_argument(
+        "--approach", default="heterogeneous",
+        choices=["heterogeneous", "homogeneous"],
+    )
+    par.add_argument("--entry", default="main")
+    par.add_argument("--annotate", metavar="OUT.c")
+    par.add_argument("--mapping", metavar="OUT.json")
+    par.add_argument("--gantt", action="store_true")
+    par.add_argument(
+        "--artifacts", metavar="DIR",
+        help="write the full artifact bundle (annotated/OpenMP source, "
+        "pre-mapping, DOT graphs, schedule, report) to DIR",
+    )
+    par.set_defaults(func=_cmd_parallelize)
+
+    ins = sub.add_parser("inspect", help="show the AHTG of a C file")
+    ins.add_argument("source")
+    ins.add_argument("--entry", default="main")
+    ins.add_argument("--dot", metavar="OUT.dot")
+    ins.set_defaults(func=_cmd_inspect)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure", choices=["7a", "7b", "8a", "8b"])
+    fig.add_argument("--benchmarks")
+    fig.set_defaults(func=_cmd_figure)
+
+    tab = sub.add_parser("table1", help="regenerate Table I")
+    tab.add_argument("--benchmarks")
+    tab.set_defaults(func=_cmd_table1)
+
+    lst = sub.add_parser("benchmarks", help="list bundled benchmarks")
+    lst.set_defaults(func=_cmd_benchmarks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

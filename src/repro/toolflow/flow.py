@@ -1,0 +1,108 @@
+"""The end-to-end parallelization tool flow (paper Figure 6).
+
+``ToolFlow`` chains every stage: parse C → profile (interpreter) → cost
+annotation → AHTG extraction → ILP parallelization (heterogeneous or the
+homogeneous baseline) → flattening → simulation → speedup, plus the
+source-annotation/pre-mapping outputs of :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.cfront import ir, parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+    ParallelizeOptions,
+    ParallelizeResult,
+)
+from repro.htg.builder import BuildOptions, build_htg
+from repro.htg.graph import HTG
+from repro.platforms.description import Platform
+from repro.simulator.engine import SimOptions
+from repro.simulator.run import SolutionEvaluation, evaluate_solution
+from repro.timing.estimator import CostDatabase, annotate_costs
+
+
+@dataclass
+class FlowResult:
+    """Everything the tool flow produced for one (program, platform) run."""
+
+    program: ir.Program
+    htg: HTG
+    cost_db: CostDatabase
+    result: ParallelizeResult
+    evaluation: SolutionEvaluation
+
+    @property
+    def speedup(self) -> float:
+        return self.evaluation.speedup
+
+    @property
+    def estimated_speedup(self) -> float:
+        return self.result.estimated_speedup
+
+
+class ToolFlow:
+    """Configured pipeline from C source to evaluated parallel solution."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        approach: str = "heterogeneous",
+        build_options: Optional[BuildOptions] = None,
+        parallelize_options: Optional[ParallelizeOptions] = None,
+        sim_options: Optional[SimOptions] = None,
+    ):
+        if approach not in ("heterogeneous", "homogeneous"):
+            raise ValueError(f"unknown approach {approach!r}")
+        self.platform = platform
+        self.approach = approach
+        self.build_options = build_options or BuildOptions()
+        self.parallelize_options = parallelize_options or ParallelizeOptions()
+        self.sim_options = sim_options or SimOptions()
+
+    def run(self, source: str, entry: str = "main") -> FlowResult:
+        """Parse, parallelize and evaluate a C program."""
+        program = parse_c_source(source)
+        return self.run_program(program, entry)
+
+    def run_program(self, program: ir.Program, entry: str = "main") -> FlowResult:
+        func = program.entry(entry)
+        summaries = compute_call_summaries(program)
+        cost_db = annotate_costs(program, func)
+        htg = build_htg(
+            program,
+            func,
+            cost_db=cost_db,
+            options=self.build_options,
+            total_cores=self.platform.total_cores,
+            summaries=summaries,
+        )
+        if self.approach == "heterogeneous":
+            parallelizer = HeterogeneousParallelizer(
+                self.platform, self.parallelize_options
+            )
+        else:
+            parallelizer = HomogeneousParallelizer(
+                self.platform, self.parallelize_options
+            )
+        result = parallelizer.parallelize(htg)
+        evaluation = evaluate_solution(result, self.sim_options)
+        return FlowResult(program, htg, cost_db, result, evaluation)
+
+
+def parallelize_source(
+    source: str,
+    platform: Platform,
+    entry: str = "main",
+    approach: str = "heterogeneous",
+    **kwargs,
+) -> Tuple[ParallelizeResult, SolutionEvaluation]:
+    """One-call convenience API: returns (parallelize result, evaluation)."""
+    flow = ToolFlow(platform, approach=approach, **kwargs)
+    outcome = flow.run(source, entry=entry)
+    return outcome.result, outcome.evaluation

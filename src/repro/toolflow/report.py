@@ -1,0 +1,83 @@
+"""Text rendering of experiment results (the repo's "figures")."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.toolflow.experiments import FigureResult, Table1Result
+
+_FIGURE_TITLES = {
+    "7a": "Fig. 7(a)  Platform (A) 100/250/500/500 MHz — Accelerator scenario (I)",
+    "7b": "Fig. 7(b)  Platform (A) 100/250/500/500 MHz — Slower-cores scenario (II)",
+    "8a": "Fig. 8(a)  Platform (B) 200/200/500/500 MHz — Accelerator scenario (I)",
+    "8b": "Fig. 8(b)  Platform (B) 200/200/500/500 MHz — Slower-cores scenario (II)",
+}
+
+
+def render_figure(result: FigureResult, bar_width: int = 40) -> str:
+    """Render a figure result as an aligned table with ASCII speedup bars."""
+    lines: List[str] = []
+    title = _FIGURE_TITLES.get(result.figure, f"Figure {result.figure}")
+    lines.append(title)
+    limit = result.theoretical_limit
+    lines.append(f"theoretical speedup limit: {limit:.2f}x (dashed line)")
+    lines.append("")
+    header = f"{'benchmark':<14} {'homogeneous':>12} {'heterogeneous':>14}   speedup bars (#homo, =hetero)"
+    lines.append(header)
+    lines.append("-" * len(header))
+    scale = bar_width / max(limit, 1e-9)
+    for name, by_approach in result.runs.items():
+        homo = by_approach.get("homogeneous")
+        hetero = by_approach.get("heterogeneous")
+        homo_s = f"{homo.speedup:.2f}x" if homo else "-"
+        hetero_s = f"{hetero.speedup:.2f}x" if hetero else "-"
+        bar = ""
+        if homo and hetero:
+            h_len = max(0, min(bar_width, round(homo.speedup * scale)))
+            x_len = max(0, min(bar_width, round(hetero.speedup * scale)))
+            bar = "#" * h_len + "\n" + " " * (14 + 12 + 14 + 5) + "=" * x_len
+        lines.append(f"{name:<14} {homo_s:>12} {hetero_s:>14}   {bar}")
+    lines.append("-" * len(header))
+    homo_avg = result.average_speedup("homogeneous")
+    hetero_avg = result.average_speedup("heterogeneous")
+    lines.append(
+        f"{'average':<14} {homo_avg:>11.2f}x {hetero_avg:>13.2f}x   (paper: see Section VI-A)"
+    )
+    return "\n".join(lines)
+
+
+def render_table1(table: Table1Result) -> str:
+    """Render Table I: per-benchmark ILP statistics and factors."""
+    lines: List[str] = []
+    lines.append("TABLE I. STATISTICS OF ILP-BASED PARALLELIZATION ALGORITHMS")
+    header = (
+        f"{'benchmark':<13}|{'Homogeneous approach [6]':^37}|"
+        f"{'New Heterogeneous approach':^37}|{'Factor':^27}"
+    )
+    sub = (
+        f"{'':<13}|{'time(s)':>8}{'#ILPs':>7}{'#Var':>10}{'#Constr':>11} |"
+        f"{'time(s)':>8}{'#ILPs':>7}{'#Var':>10}{'#Constr':>11} |"
+        f"{'time':>6}{'#ILPs':>7}{'#Var':>7}{'#Con':>6}"
+    )
+    lines.append(header)
+    lines.append(sub)
+    lines.append("-" * len(sub))
+
+    def render_row(row) -> str:
+        h = row.homogeneous
+        x = row.heterogeneous
+        f = row.factor
+        return (
+            f"{row.benchmark:<13}|"
+            f"{h.total_solve_seconds:>8.2f}{h.num_ilps:>7}{h.total_variables:>10,}{h.total_constraints:>11,} |"
+            f"{x.total_solve_seconds:>8.2f}{x.num_ilps:>7}{x.total_variables:>10,}{x.total_constraints:>11,} |"
+            f"{f.time_factor:>5.1f}x{f.ilp_factor:>6.1f}x{f.variable_factor:>6.1f}x{f.constraint_factor:>5.1f}x"
+        )
+
+    for row in table.rows:
+        lines.append(render_row(row))
+    avg = table.averages()
+    if avg is not None:
+        lines.append("-" * len(sub))
+        lines.append(render_row(avg))
+    return "\n".join(lines)

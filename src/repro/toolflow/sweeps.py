@@ -1,0 +1,177 @@
+"""Parameter sweeps: speedup as a function of platform parameters.
+
+The paper evaluates two fixed platforms; a natural follow-up question for
+a user adopting the tool is *where* heterogeneity-aware parallelization
+pays off. This module sweeps one platform parameter at a time and
+collects both approaches' speedups:
+
+* :func:`sweep_frequency_ratio` — fast/slow clock ratio at fixed total
+  compute (the big.LITTLE design space);
+* :func:`sweep_core_count` — number of fast helper cores;
+* :func:`sweep_tco` — task-creation overhead (granularity threshold);
+* :func:`sweep_bus_bandwidth` — interconnect bandwidth (communication
+  sensitivity).
+
+Each sweep returns a :class:`SweepResult` with aligned series, rendered
+by :func:`render_sweep` as a text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+    ParallelizeOptions,
+)
+from repro.htg.graph import HTG
+from repro.platforms.description import Interconnect, Platform, ProcessorClass
+from repro.simulator.run import evaluate_solution
+
+
+@dataclass
+class SweepPoint:
+    """One sweep sample."""
+
+    value: float
+    heterogeneous_speedup: float
+    homogeneous_speedup: float
+    theoretical_limit: float
+
+
+@dataclass
+class SweepResult:
+    """A completed sweep."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, approach: str) -> List[float]:
+        key = f"{approach}_speedup"
+        return [getattr(p, key) for p in self.points]
+
+    def values(self) -> List[float]:
+        return [p.value for p in self.points]
+
+
+def _measure(htg: HTG, platform: Platform,
+             options: Optional[ParallelizeOptions] = None) -> SweepPoint:
+    hetero = HeterogeneousParallelizer(platform, options).parallelize(htg)
+    homo = HomogeneousParallelizer(platform, options).parallelize(htg)
+    return SweepPoint(
+        value=0.0,
+        heterogeneous_speedup=evaluate_solution(hetero).speedup,
+        homogeneous_speedup=evaluate_solution(homo).speedup,
+        theoretical_limit=platform.theoretical_speedup(),
+    )
+
+
+def sweep_frequency_ratio(
+    htg: HTG,
+    ratios: Sequence[float] = (1.0, 1.5, 2.5, 4.0, 6.0),
+    slow_mhz: float = 200.0,
+    slow_count: int = 2,
+    fast_count: int = 2,
+    tco_us: float = 25.0,
+    options: Optional[ParallelizeOptions] = None,
+) -> SweepResult:
+    """Vary the fast/slow clock ratio (main core = slow)."""
+    result = SweepResult("frequency_ratio")
+    for ratio in ratios:
+        platform = Platform(
+            name=f"ratio-{ratio:g}",
+            processor_classes=(
+                ProcessorClass("slow", slow_mhz, slow_count),
+                ProcessorClass("fast", slow_mhz * ratio, fast_count),
+            ),
+            task_creation_overhead_us=tco_us,
+            main_class_name="slow",
+        )
+        point = _measure(htg, platform, options)
+        point.value = ratio
+        result.points.append(point)
+    return result
+
+
+def sweep_core_count(
+    htg: HTG,
+    counts: Sequence[int] = (1, 2, 3, 4, 6),
+    slow_mhz: float = 100.0,
+    fast_mhz: float = 500.0,
+    tco_us: float = 25.0,
+    options: Optional[ParallelizeOptions] = None,
+) -> SweepResult:
+    """Vary the number of fast helper cores next to one slow main core."""
+    result = SweepResult("fast_core_count")
+    for count in counts:
+        platform = Platform(
+            name=f"helpers-{count}",
+            processor_classes=(
+                ProcessorClass("slow", slow_mhz, 1),
+                ProcessorClass("fast", fast_mhz, count),
+            ),
+            task_creation_overhead_us=tco_us,
+            main_class_name="slow",
+        )
+        point = _measure(htg, platform, options)
+        point.value = float(count)
+        result.points.append(point)
+    return result
+
+
+def sweep_tco(
+    htg: HTG,
+    base_platform: Platform,
+    tcos_us: Sequence[float] = (0.0, 10.0, 25.0, 100.0, 400.0),
+    options: Optional[ParallelizeOptions] = None,
+) -> SweepResult:
+    """Vary the task-creation overhead on a fixed platform."""
+    from dataclasses import replace
+
+    result = SweepResult("task_creation_overhead_us")
+    for tco in tcos_us:
+        platform = replace(base_platform, task_creation_overhead_us=tco)
+        point = _measure(htg, platform, options)
+        point.value = tco
+        result.points.append(point)
+    return result
+
+
+def sweep_bus_bandwidth(
+    htg: HTG,
+    base_platform: Platform,
+    bandwidths: Sequence[float] = (25.0, 100.0, 400.0, 1600.0),
+    options: Optional[ParallelizeOptions] = None,
+) -> SweepResult:
+    """Vary the shared-bus bandwidth (bytes/µs) on a fixed platform."""
+    from dataclasses import replace
+
+    result = SweepResult("bus_bandwidth_bytes_per_us")
+    for bandwidth in bandwidths:
+        platform = replace(
+            base_platform,
+            interconnect=Interconnect(
+                bandwidth_bytes_per_us=bandwidth,
+                latency_us=base_platform.interconnect.latency_us,
+            ),
+        )
+        point = _measure(htg, platform, options)
+        point.value = bandwidth
+        result.points.append(point)
+    return result
+
+
+def render_sweep(result: SweepResult) -> str:
+    """Aligned text table of one sweep."""
+    lines = [
+        f"sweep over {result.parameter}",
+        f"{'value':>12} {'hetero':>9} {'homo':>9} {'limit':>9}",
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.value:>12g} {point.heterogeneous_speedup:>8.2f}x "
+            f"{point.homogeneous_speedup:>8.2f}x {point.theoretical_limit:>8.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Shared fixtures: platforms, small programs, cached parallelization runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+    ParallelizeOptions,
+)
+from repro.htg.builder import BuildOptions, build_htg
+from repro.platforms import config_a, config_b, homogeneous
+from repro.timing.estimator import annotate_costs
+
+#: A small FIR-like program exercising parallel loops, a reduction tail and
+#: inter-loop data flow; fast to parse/profile/parallelize.
+SMALL_FIR = """
+#define N 32
+#define T 64
+float x[N + T];
+float h[T];
+float y[N];
+float checksum;
+
+void main(void) {
+    int i;
+    int j;
+    float sum;
+    for (i = 0; i < N + T; i++) { x[i] = 0.01f * i; }
+    for (i = 0; i < T; i++) { h[i] = 1.0f / (i + 1); }
+    for (i = 0; i < N; i++) {
+        sum = 0.0f;
+        for (j = 0; j < T; j++) { sum = sum + x[i + j] * h[j]; }
+        y[i] = sum;
+    }
+    checksum = 0.0f;
+    for (i = 0; i < N; i++) { checksum = checksum + y[i]; }
+}
+"""
+
+#: A fully serial recurrence program (offload is the only option).
+SMALL_SERIAL = """
+float y[256];
+float checksum;
+
+void main(void) {
+    int i;
+    y[0] = 1.0f;
+    for (i = 1; i < 256; i++) {
+        y[i] = 0.9f * y[i - 1] + 0.1f;
+    }
+    checksum = y[255];
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def platform_a_acc():
+    return config_a("accelerator")
+
+
+@pytest.fixture(scope="session")
+def platform_a_slow():
+    return config_a("slower-cores")
+
+
+@pytest.fixture(scope="session")
+def platform_b_acc():
+    return config_b("accelerator")
+
+
+@pytest.fixture(scope="session")
+def platform_homo4():
+    return homogeneous(4, 500.0)
+
+
+def prepare(source: str, total_cores: int = 4, entry: str = "main",
+            build_options: BuildOptions | None = None):
+    """Parse + profile + build an AHTG for a source string."""
+    program = parse_c_source(source)
+    func = program.entry(entry)
+    summaries = compute_call_summaries(program)
+    cost_db = annotate_costs(program, func)
+    htg = build_htg(
+        program,
+        func,
+        cost_db=cost_db,
+        options=build_options or BuildOptions(),
+        total_cores=total_cores,
+        summaries=summaries,
+    )
+    return program, cost_db, htg
+
+
+@pytest.fixture(scope="session")
+def small_fir():
+    return prepare(SMALL_FIR)
+
+
+@pytest.fixture(scope="session")
+def small_serial():
+    return prepare(SMALL_SERIAL)
+
+
+@pytest.fixture(scope="session")
+def fir_hetero_result(small_fir, platform_a_acc):
+    _, _, htg = small_fir
+    return HeterogeneousParallelizer(platform_a_acc).parallelize(htg)
+
+
+@pytest.fixture(scope="session")
+def fir_homo_result(small_fir, platform_a_acc):
+    _, _, htg = small_fir
+    return HomogeneousParallelizer(platform_a_acc).parallelize(htg)

@@ -1,0 +1,83 @@
+"""Tests for the artifact bundle writer."""
+
+import json
+
+import pytest
+
+from repro.platforms import config_a
+from repro.toolflow.artifacts import write_artifacts
+from repro.toolflow.flow import ToolFlow
+
+from tests.conftest import SMALL_FIR
+
+EXPECTED = {
+    "annotated.c",
+    "openmp.c",
+    "premapping.json",
+    "htg.dot",
+    "taskgraph.dot",
+    "schedule.txt",
+    "parallelism.txt",
+    "report.txt",
+}
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("artifacts")
+    flow = ToolFlow(config_a("accelerator"))
+    outcome = flow.run(SMALL_FIR)
+    written = write_artifacts(outcome, outdir)
+    return outdir, written, outcome
+
+
+class TestBundle:
+    def test_all_artifacts_written(self, bundle):
+        outdir, written, _ = bundle
+        assert set(written) == EXPECTED
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_premapping_is_valid_json(self, bundle):
+        _outdir, written, _ = bundle
+        spec = json.loads(written["premapping.json"].read_text())
+        assert spec["format"] == "repro-premapping"
+
+    def test_dot_files_well_formed(self, bundle):
+        _outdir, written, _ = bundle
+        for name in ("htg.dot", "taskgraph.dot"):
+            text = written[name].read_text()
+            assert text.startswith("digraph")
+            assert text.rstrip().endswith("}")
+
+    def test_schedule_contains_gantt_and_table(self, bundle):
+        _outdir, written, _ = bundle
+        text = written["schedule.txt"].read_text()
+        assert "makespan" in text
+        assert "utilization" in text
+
+    def test_report_summary(self, bundle):
+        _outdir, written, outcome = bundle
+        text = written["report.txt"].read_text()
+        assert "speedup" in text
+        assert "ILPs solved" in text
+        assert f"{outcome.result.best.num_tasks} " in text
+
+    def test_annotated_source_reexecutes(self, bundle):
+        from tests.test_transform_semantics import (
+            assert_same_globals,
+            run_globals,
+            strip_pragmas,
+        )
+
+        _outdir, written, _ = bundle
+        transformed = strip_pragmas(written["annotated.c"].read_text())
+        assert_same_globals(run_globals(SMALL_FIR), run_globals(transformed))
+
+    def test_directory_created_if_missing(self, tmp_path):
+        flow = ToolFlow(config_a("accelerator"))
+        outcome = flow.run(SMALL_FIR)
+        nested = tmp_path / "a" / "b"
+        written = write_artifacts(outcome, nested)
+        assert nested.exists()
+        assert set(written) == EXPECTED

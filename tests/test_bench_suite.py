@@ -1,0 +1,167 @@
+"""Benchmark-suite validation: parsing, semantics vs. numpy, classification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench_suite import BENCHMARKS, benchmark_names, get_benchmark
+from repro.cfront import parse_c_source
+from repro.cfront import ir
+from repro.cfront.defuse import compute_call_summaries
+from repro.cfront.deps import LoopParallelism, classify_loop
+from repro.timing.interp import Interpreter
+
+
+@pytest.fixture(scope="module")
+def interpreted():
+    """Run every benchmark once; cache the interpreter states."""
+    out = {}
+    for name, bench in BENCHMARKS.items():
+        program = parse_c_source(bench.source)
+        interp = Interpreter(program)
+        interp.run("main")
+        out[name] = (program, interp)
+    return out
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARKS) == 10
+
+    def test_names_in_paper_order(self):
+        names = benchmark_names()
+        assert names[0] == "adpcm_enc"
+        assert names[-1] == "spectral"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+
+class TestAllBenchmarks:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_parses(self, name):
+        program = parse_c_source(BENCHMARKS[name].source)
+        assert "main" in program.functions
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_runs_and_produces_checksum(self, name, interpreted):
+        _program, interp = interpreted[name]
+        checksum = interp.globals["checksum"]
+        assert math.isfinite(checksum)
+        assert checksum != 0.0
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_character_classification(self, name, interpreted):
+        """The dominant loop's classification matches the metadata."""
+        program, _ = interpreted[name]
+        bench = BENCHMARKS[name]
+        func = program.entry("main")
+        summaries = compute_call_summaries(program)
+        top_loops = [s for s in func.body.stmts if isinstance(s, ir.ForLoop)]
+        classes = [classify_loop(l, summaries).parallelism for l in top_loops]
+        if bench.character in ("data-parallel", "block-parallel"):
+            assert LoopParallelism.PARALLEL in classes
+        else:  # serial: the compute loop must NOT be parallel
+            # serial kernels still have parallel init loops; the heaviest
+            # loop must be serial
+            from repro.timing.estimator import annotate_costs
+
+            db = annotate_costs(program, func)
+            heaviest = max(top_loops, key=db.subtree_cycles)
+            assert (
+                classify_loop(heaviest, summaries).parallelism
+                is LoopParallelism.SERIAL
+            )
+
+
+class TestSemanticsAgainstNumpy:
+    def test_fir_256(self, interpreted):
+        _, interp = interpreted["fir_256"]
+        x = (0.001 * np.arange(64 + 256, dtype=np.float64) - 0.05).astype(np.float32)
+        h = (1.0 / (np.arange(256, dtype=np.float64) + 1)).astype(np.float32)
+        y = np.array(
+            [np.dot(x[i : i + 256].astype(np.float64), h.astype(np.float64))
+             for i in range(64)]
+        )
+        np.testing.assert_allclose(interp.globals["y"], y, rtol=1e-3)
+
+    def test_mult_10(self, interpreted):
+        _, interp = interpreted["mult_10"]
+        a = interp.globals["a"].astype(np.float64)
+        b = interp.globals["b"].astype(np.float64)
+        c = interp.globals["c"].astype(np.float64)
+        expected = np.einsum("mik,mkj->mij", a, b)
+        np.testing.assert_allclose(c, expected, rtol=1e-3)
+
+    def test_bound_value_boundaries_fixed(self, interpreted):
+        _, interp = interpreted["bound_value"]
+        u = interp.globals["u"]
+        assert u[0] == pytest.approx(1.0)
+        assert u[-1] == pytest.approx(2.0)
+
+    def test_bound_value_sweep(self, interpreted):
+        _, interp = interpreted["bound_value"]
+        u = interp.globals["u"].astype(np.float64)
+        npts = len(u)
+        f = (0.0001 * np.arange(npts)).astype(np.float32).astype(np.float64)
+        ref = np.zeros(npts)
+        ref[0], ref[-1] = 1.0, 2.0
+        cur = ref.copy()
+        for _ in range(8):
+            new = cur.copy()
+            new[1:-1] = 0.5 * (cur[:-2] + cur[2:]) - 0.5 * f[1:-1]
+            cur = new
+        np.testing.assert_allclose(u, cur, atol=1e-3)
+
+    def test_edge_detect_binary_output(self, interpreted):
+        _, interp = interpreted["edge_detect"]
+        out = interp.globals["out"]
+        values = set(np.unique(out))
+        assert values <= {0.0, 255.0}
+
+    def test_filterbank_matches_numpy(self, interpreted):
+        _, interp = interpreted["filterbank"]
+        inp = interp.globals["input"].astype(np.float64)
+        coeff = interp.globals["coeff"].astype(np.float64)
+        bankout = interp.globals["bankout"].astype(np.float64)
+        for b in range(8):
+            expected = np.array(
+                [np.dot(inp[n : n + 32], coeff[b]) for n in range(256)]
+            )
+            np.testing.assert_allclose(bankout[b], expected, rtol=1e-3)
+
+    def test_iir_stability(self, interpreted):
+        _, interp = interpreted["iir_4"]
+        out = interp.globals["output"]
+        assert np.all(np.isfinite(out))
+        assert np.max(np.abs(out)) < 1e3
+
+    def test_spectral_peaks_at_signal_frequencies(self, interpreted):
+        _, interp = interpreted["spectral"]
+        p = interp.globals["p"].astype(np.float64)
+        # the signal has components at w = 0.07, 0.23, 0.41 rad/sample;
+        # frequency bin f corresponds to w = pi*f/NFREQ
+        for w in (0.07, 0.23, 0.41):
+            f_bin = int(round(w * 96 / math.pi))
+            window = p[max(0, f_bin - 2) : f_bin + 3]
+            assert window.max() > np.median(p) * 2
+
+    def test_adpcm_codes_in_range(self, interpreted):
+        _, interp = interpreted["adpcm_enc"]
+        code = interp.globals["code"]
+        assert np.all(np.abs(code) <= 7.0)
+
+    def test_latnrm_output_finite(self, interpreted):
+        _, interp = interpreted["latnrm_32"]
+        out = interp.globals["output"]
+        assert np.all(np.isfinite(out))
+
+    def test_compress_thresholding_applied(self, interpreted):
+        _, interp = interpreted["compress"]
+        coef = interp.globals["coef"].astype(np.float64)
+        nonzero = coef[coef != 0.0]
+        # thresholding zeroes small coefficients
+        assert np.all(np.abs(nonzero) >= 4.0 * 0.99)
+        assert (coef == 0.0).sum() > 0

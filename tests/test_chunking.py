@@ -1,0 +1,106 @@
+"""Property-based and unit tests for loop chunk planning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse_c_source
+from repro.cfront import ir
+from repro.cfront.defuse import compute_call_summaries
+from repro.cfront.deps import classify_loop
+from repro.htg.chunking import make_chunk_nodes, plan_chunks
+from repro.htg.graph import SymbolInfo
+from repro.timing.estimator import annotate_costs
+
+
+class TestPlanChunks:
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_ranges_partition_iteration_space(self, trips, num_chunks):
+        plan = plan_chunks(trips, num_chunks)
+        assert plan.total_trips == trips
+        assert plan.ranges[0][0] == 0
+        assert plan.ranges[-1][1] == trips
+        for (l0, h0), (l1, _h1) in zip(plan.ranges, plan.ranges[1:]):
+            assert h0 == l1
+            assert h0 > l0
+
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_near_equal_sizes(self, trips, num_chunks):
+        plan = plan_chunks(trips, num_chunks)
+        sizes = [hi - lo for lo, hi in plan.ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_trips_clamped(self):
+        plan = plan_chunks(3, 16)
+        assert plan.num_chunks == 3
+
+    def test_exact_division(self):
+        plan = plan_chunks(64, 8)
+        assert all(hi - lo == 8 for lo, hi in plan.ranges)
+
+
+class TestMakeChunkNodes:
+    SRC = """
+    float x[64]; float y[64];
+    float total;
+    void main(void) {
+        int i;
+        for (i = 0; i < 64; i++) { x[i] = i * 1.0f; }
+        total = 0.0f;
+        for (i = 0; i < 64; i++) { total = total + x[i]; }
+    }
+    """
+
+    def _setup(self, loop_index: int):
+        program = parse_c_source(self.SRC)
+        func = program.entry("main")
+        summaries = compute_call_summaries(program)
+        cost_db = annotate_costs(program, func)
+        loops = [s for s in func.body.stmts if isinstance(s, ir.ForLoop)]
+        loop = loops[loop_index]
+        cls = classify_loop(loop, summaries)
+        symbols = {
+            name: SymbolInfo(name, d.ctype, d.dims)
+            for name, d in program.globals.items()
+        }
+        return loop, cls, cost_db, symbols
+
+    def test_parallel_loop_chunks(self):
+        loop, cls, cost_db, symbols = self._setup(0)
+        chunks, in_b, out_b = make_chunk_nodes(
+            loop, cls, 64, cost_db, symbols, 8, loop_exec_count=1.0
+        )
+        assert len(chunks) == 8
+        assert sum(c.cycles for c in chunks) == pytest.approx(
+            cost_db.subtree_cycles(loop)
+        )
+        assert all(c.trips == 8 for c in chunks)
+        # x is written: out bytes must be positive and proportional
+        assert all(b > 0 for b in out_b)
+        assert out_b[0] == pytest.approx(out_b[-1])
+
+    def test_reduction_chunks_carry_partial_results(self):
+        loop, cls, cost_db, symbols = self._setup(1)
+        assert cls.reduction_vars == ("total",)
+        chunks, _in_b, out_b = make_chunk_nodes(
+            loop, cls, 64, cost_db, symbols, 4, loop_exec_count=1.0
+        )
+        assert all(c.reduction_vars == ("total",) for c in chunks)
+        # each chunk ships at least the partial scalar
+        assert all(b >= 4 for b in out_b)
+
+    def test_reads_show_in_in_bytes(self):
+        loop, cls, cost_db, symbols = self._setup(1)
+        chunks, in_b, _ = make_chunk_nodes(
+            loop, cls, 64, cost_db, symbols, 4, loop_exec_count=1.0
+        )
+        # the reduction loop reads x: in-bytes must cover a share of it
+        assert sum(in_b) >= 64 * 4 * 0.9
+
+    def test_chunk_defuse_includes_loop_var(self):
+        loop, cls, cost_db, symbols = self._setup(0)
+        chunks, _, _ = make_chunk_nodes(
+            loop, cls, 64, cost_db, symbols, 4, loop_exec_count=1.0
+        )
+        assert all("i" in c.defuse.scalar_uses for c in chunks)

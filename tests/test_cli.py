@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.toolflow.cli import main
+
+DEMO_SOURCE = """
+float x[1024];
+float y[1024];
+void main(void) {
+    int i;
+    for (i = 0; i < 1024; i++) { x[i] = i * 0.5f; }
+    for (i = 0; i < 1024; i++) { y[i] = x[i] * x[i] + 1.0f; }
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO_SOURCE, encoding="utf-8")
+    return path
+
+
+class TestParallelize:
+    def test_basic_run(self, demo_file, capsys):
+        assert main(["parallelize", str(demo_file)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "config-a-accelerator" in out
+
+    def test_outputs_written(self, demo_file, tmp_path, capsys):
+        annotated = tmp_path / "out.c"
+        mapping = tmp_path / "map.json"
+        assert (
+            main(
+                [
+                    "parallelize",
+                    str(demo_file),
+                    "--annotate",
+                    str(annotated),
+                    "--mapping",
+                    str(mapping),
+                ]
+            )
+            == 0
+        )
+        assert "#pragma repro" in annotated.read_text() or "sequential" in annotated.read_text()
+        spec = json.loads(mapping.read_text())
+        assert spec["format"] == "repro-premapping"
+
+    def test_gantt_flag(self, demo_file, capsys):
+        assert main(["parallelize", str(demo_file), "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_homogeneous_approach(self, demo_file, capsys):
+        assert (
+            main(["parallelize", str(demo_file), "--approach", "homogeneous"]) == 0
+        )
+        assert "speedup" in capsys.readouterr().out
+
+    def test_platform_b_slower_cores(self, demo_file, capsys):
+        assert (
+            main(
+                [
+                    "parallelize",
+                    str(demo_file),
+                    "--platform",
+                    "config-b",
+                    "--scenario",
+                    "slower-cores",
+                ]
+            )
+            == 0
+        )
+        assert "config-b" in capsys.readouterr().out
+
+    def test_homogeneous_platform_spec(self, demo_file, capsys):
+        assert (
+            main(["parallelize", str(demo_file), "--platform", "homogeneous:4:500"])
+            == 0
+        )
+
+    def test_unknown_platform(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["parallelize", str(demo_file), "--platform", "quantum"])
+
+
+class TestInspect:
+    def test_inspect_output(self, demo_file, capsys):
+        assert main(["inspect", str(demo_file)]) == 0
+        out = capsys.readouterr().out
+        assert "AHTG nodes" in out
+        assert "loop classifications" in out
+        assert "parallel" in out
+
+    def test_dot_export(self, demo_file, tmp_path, capsys):
+        dot = tmp_path / "g.dot"
+        assert main(["inspect", str(demo_file), "--dot", str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+
+class TestListing:
+    def test_benchmarks_listed(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fir_256", "latnrm_32", "spectral"):
+            assert name in out
+
+    def test_figure_subset(self, capsys):
+        assert main(["figure", "7a", "--benchmarks", "fir_256"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7(a)" in out and "fir_256" in out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--benchmarks", "fir_256"]) == 0
+        assert "TABLE I" in capsys.readouterr().out

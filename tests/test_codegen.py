@@ -1,0 +1,140 @@
+"""Tests for the unparser, annotator and pre-mapping specification."""
+
+import json
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.codegen import annotate_solution, mapping_spec, unparse_program
+from repro.codegen.mapping_spec import mapping_spec_json
+from repro.codegen.unparse import unparse_expr, unparse_stmt
+from repro.timing.interp import Interpreter
+
+from tests.conftest import SMALL_FIR
+
+
+class TestUnparseRoundtrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            SMALL_FIR,
+            """
+            float m[4][4];
+            float r;
+            void main(void) {
+                int i; int j;
+                for (i = 0; i < 4; i++) {
+                    for (j = 0; j < 4; j++) {
+                        if (i == j) { m[i][j] = 1.0f; } else { m[i][j] = 0.0f; }
+                    }
+                }
+                r = 0.0f;
+                i = 0;
+                while (i < 4) { r = r + m[i][i]; i = i + 1; }
+            }
+            """,
+            """
+            float out;
+            float helper(float v) { return v * v + 1.0f; }
+            void main(void) { out = helper(3.0f) - sqrt(4.0); }
+            """,
+        ],
+    )
+    def test_roundtrip_preserves_semantics(self, source):
+        program1 = parse_c_source(source)
+        regenerated = unparse_program(program1)
+        program2 = parse_c_source(regenerated)
+
+        interp1 = Interpreter(program1)
+        interp1.run("main")
+        interp2 = Interpreter(program2)
+        interp2.run("main")
+        for name, value in interp1.globals.items():
+            import numpy as np
+
+            if isinstance(value, np.ndarray):
+                np.testing.assert_allclose(value, interp2.globals[name], rtol=1e-6)
+            else:
+                assert interp2.globals[name] == pytest.approx(value)
+
+    def test_operator_precedence_preserved(self):
+        program = parse_c_source(
+            "int g(void) { return (1 + 2) * 3 - 8 / (2 + 2); }"
+        )
+        regenerated = unparse_program(program)
+        program2 = parse_c_source(regenerated)
+        from repro.timing.interp import run_function
+
+        assert run_function(program2, "g").return_value == 7
+
+    def test_unary_and_cast(self):
+        program = parse_c_source("int g(void) { int a; a = -3; return (int)(-a * 2); }")
+        regenerated = unparse_program(program)
+        from repro.timing.interp import run_function
+
+        assert run_function(parse_c_source(regenerated), "g").return_value == 6
+
+    def test_pointer_parameter_signature(self):
+        program = parse_c_source("void f(float *x, int n) { x[0] = n; }")
+        text = unparse_program(program)
+        assert "float *x" in text
+
+
+class TestAnnotator:
+    def test_annotated_source_structure(self, fir_hetero_result):
+        text = annotate_solution(fir_hetero_result)
+        assert "#pragma repro parallel" in text
+        assert "#pragma repro task" in text
+        assert "chunk" in text
+        assert "main_class(arm100)" in text
+
+    def test_chunk_loops_have_adjusted_bounds(self, fir_hetero_result):
+        text = annotate_solution(fir_hetero_result)
+        # at least one non-zero chunk start must appear
+        assert "/* chunk" in text
+
+    def test_header_mentions_speedup(self, fir_hetero_result):
+        text = annotate_solution(fir_hetero_result)
+        assert "speedup" in text
+
+
+class TestMappingSpec:
+    def test_structure(self, fir_hetero_result):
+        spec = mapping_spec(fir_hetero_result)
+        assert spec["format"] == "repro-premapping"
+        assert spec["platform"]["main_class"] == "arm100"
+        assert spec["tasks"]
+        classes = {pc["name"] for pc in spec["platform"]["classes"]}
+        assert classes == {"arm100", "arm250", "arm500"}
+
+    def test_tasks_have_classes(self, fir_hetero_result):
+        spec = mapping_spec(fir_hetero_result)
+
+        def check(tasks):
+            for task in tasks:
+                assert task["class"] in ("arm100", "arm250", "arm500")
+                for sub in task.get("subtasks", []):
+                    check([sub])
+
+        check(spec["tasks"])
+
+    def test_chunk_ranges_recorded(self, fir_hetero_result):
+        text = mapping_spec_json(fir_hetero_result)
+        spec = json.loads(text)
+
+        def iter_statements(tasks):
+            for task in tasks:
+                yield from task.get("statements", [])
+                yield from iter_statements(task.get("subtasks", []))
+
+        ranges = [
+            s["iteration_range"]
+            for s in iter_statements(spec["tasks"])
+            if "iteration_range" in s
+        ]
+        assert ranges, "chunked statements must record their iteration ranges"
+        for lo, hi in ranges:
+            assert 0 <= lo < hi
+
+    def test_json_serializable(self, fir_hetero_result):
+        json.loads(mapping_spec_json(fir_hetero_result))

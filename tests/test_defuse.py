@@ -1,0 +1,157 @@
+"""Tests for def/use analysis and call summaries."""
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import (
+    PURE_BUILTINS,
+    compute_call_summaries,
+    compute_defuse,
+)
+
+
+def body_defuse(body: str, prelude: str = ""):
+    program = parse_c_source(f"{prelude}\nvoid f(void) {{ {body} }}")
+    func = program.entry("f")
+    summaries = compute_call_summaries(program)
+    return compute_defuse(func.body, summaries)
+
+
+class TestScalars:
+    def test_simple_assign(self):
+        du = body_defuse("int a; int b; a = 1; b = a + 2;")
+        assert "a" in du.scalar_defs and "b" in du.scalar_defs
+        assert "a" in du.scalar_uses
+        assert "b" not in du.scalar_uses
+
+    def test_decl_with_init_is_def(self):
+        du = body_defuse("int a = 3;")
+        assert "a" in du.scalar_defs
+
+    def test_decl_init_reads(self):
+        du = body_defuse("int a; a = 1; int b = a;")
+        assert "a" in du.scalar_uses
+
+    def test_condition_reads(self):
+        du = body_defuse("int a; a = 1; if (a > 0) { a = 2; }")
+        assert "a" in du.scalar_uses
+
+    def test_loop_var_def_and_use(self):
+        du = body_defuse("int i; for (i = 0; i < 4; i++) { }")
+        assert "i" in du.scalar_defs and "i" in du.scalar_uses
+
+    def test_return_reads(self):
+        program = parse_c_source("int g(void) { int a; a = 1; return a; }")
+        du = compute_defuse(program.entry("g").body)
+        assert "a" in du.scalar_uses
+        assert du.has_return
+
+
+class TestArrays:
+    def test_array_write(self):
+        du = body_defuse("x[0] = 1.0f;", prelude="float x[4];")
+        assert "x" in du.array_defs
+        assert "x" not in du.array_uses
+
+    def test_array_read(self):
+        du = body_defuse("float a; a = x[1];", prelude="float x[4];")
+        assert "x" in du.array_uses
+
+    def test_index_expression_reads(self):
+        du = body_defuse("int i; i = 1; x[i + 1] = 0.0f;", prelude="float x[4];")
+        assert "i" in du.scalar_uses
+
+    def test_accesses_recorded(self):
+        du = body_defuse(
+            "int i; for (i = 0; i < 3; i++) { x[i] = x[i + 1]; }",
+            prelude="float x[4];",
+        )
+        writes = [a for a in du.accesses if a.is_write]
+        reads = [a for a in du.accesses if not a.is_write]
+        assert len(writes) == 1 and writes[0].name == "x"
+        assert len(reads) == 1
+
+
+class TestCalls:
+    def test_pure_builtin_reads_only(self):
+        du = body_defuse("float a; a = sin(1.0f);")
+        assert not du.has_unknown_call
+        assert "sin" not in du.scalar_uses
+
+    def test_unknown_call_conservative(self):
+        du = body_defuse("mystery(x);", prelude="float x[4];")
+        assert du.has_unknown_call
+        assert "x" in du.array_defs and "x" in du.array_uses
+
+    def test_known_call_summary_writes(self):
+        program = parse_c_source(
+            """
+            void fill(float *dst, int n) {
+                int i;
+                for (i = 0; i < n; i++) { dst[i] = i; }
+            }
+            void f(void) { fill(buf, 4); }
+            float buf[4];
+            """
+        )
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("f").body, summaries)
+        assert "buf" in du.array_defs
+        assert "buf" not in du.array_uses
+
+    def test_known_call_summary_reads(self):
+        program = parse_c_source(
+            """
+            float total(float *src, int n) {
+                int i;
+                float s;
+                s = 0.0f;
+                for (i = 0; i < n; i++) { s = s + src[i]; }
+                return s;
+            }
+            float buf[4];
+            void f(void) { float t; t = total(buf, 4); }
+            """
+        )
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("f").body, summaries)
+        assert "buf" in du.array_uses
+        assert "buf" not in du.array_defs
+
+    def test_global_access_through_call(self):
+        program = parse_c_source(
+            """
+            float acc;
+            void bump(void) { acc = acc + 1.0f; }
+            void f(void) { bump(); }
+            """
+        )
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("f").body, summaries)
+        assert "acc" in du.all_defs
+
+    def test_nested_call_summaries_converge(self):
+        program = parse_c_source(
+            """
+            float data[8];
+            void inner(void) { data[0] = 1.0f; }
+            void outer(void) { inner(); }
+            void f(void) { outer(); }
+            """
+        )
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("f").body, summaries)
+        assert "data" in du.array_defs
+
+
+class TestMerge:
+    def test_merge_unions(self):
+        a = body_defuse("int p; p = 1;")
+        b = body_defuse("int q; q = 2;")
+        a.merge(b)
+        assert {"p", "q"} <= a.scalar_defs
+
+    def test_all_defs_uses(self):
+        du = body_defuse("int a; a = 1; x[a] = 2.0f;", prelude="float x[4];")
+        assert du.all_defs == {"a", "x"}
+        assert "a" in du.all_uses

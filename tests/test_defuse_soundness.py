@@ -1,0 +1,64 @@
+"""Def/use soundness against observed behavior.
+
+The dependence analysis is conservative by design; the one direction it
+must never get wrong is *missing* a write: every global the interpreter
+actually mutates must appear in the computed def set of the function
+body. Checked across the full benchmark suite (paper set + extended).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_suite import BENCHMARKS
+from repro.bench_suite.extended import EXTENDED_BENCHMARKS
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import compute_call_summaries, compute_defuse
+from repro.timing.interp import Interpreter
+
+ALL = {**BENCHMARKS, **EXTENDED_BENCHMARKS}
+
+
+def observed_written_globals(program):
+    """Run the program; return the globals whose values changed."""
+    interp = Interpreter(program)
+    before = {
+        name: (value.copy() if isinstance(value, np.ndarray) else value)
+        for name, value in interp.globals.items()
+    }
+    interp.run("main")
+    changed = set()
+    for name, new in interp.globals.items():
+        old = before[name]
+        if isinstance(new, np.ndarray):
+            if not np.array_equal(old, new):
+                changed.add(name)
+        elif old != new:
+            changed.add(name)
+    return changed
+
+
+class TestDefSoundness:
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_observed_writes_covered_by_defs(self, name):
+        program = parse_c_source(ALL[name].source)
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("main").body, summaries)
+        written = observed_written_globals(program)
+        assert written <= du.all_defs, (
+            f"{name}: interpreter mutated {written - du.all_defs} "
+            f"but the analysis missed them"
+        )
+
+    @pytest.mark.parametrize("name", sorted(ALL))
+    def test_read_globals_covered_by_uses(self, name):
+        """Any global array that influences the checksum must be in the
+        use set (weaker check: all declared input arrays that are read
+        at least appear somewhere in uses ∪ defs)."""
+        program = parse_c_source(ALL[name].source)
+        summaries = compute_call_summaries(program)
+        du = compute_defuse(program.entry("main").body, summaries)
+        for gname, decl in program.globals.items():
+            if decl.is_array:
+                assert gname in (du.all_defs | du.all_uses), (
+                    f"{name}: array {gname!r} untouched by def/use"
+                )

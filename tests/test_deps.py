@@ -1,0 +1,256 @@
+"""Tests for dependence analysis: block edges, loop classification, affine forms."""
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.cfront.deps import (
+    DepKind,
+    LoopParallelism,
+    affine_form,
+    analyze_block_dependences,
+    classify_loop,
+    private_scalars,
+)
+from repro.cfront import ir
+
+
+def first_loop(source: str):
+    program = parse_c_source(source)
+    func = next(iter(program.functions.values()))
+    summaries = compute_call_summaries(program)
+    for stmt in func.body.walk():
+        if isinstance(stmt, ir.ForLoop):
+            return stmt, summaries
+    raise AssertionError("no loop found")
+
+
+def classify(source: str):
+    loop, summaries = first_loop(source)
+    return classify_loop(loop, summaries)
+
+
+class TestBlockDependences:
+    def _stmts(self, body, prelude=""):
+        program = parse_c_source(f"{prelude}\nvoid f(void) {{ {body} }}")
+        func = program.entry("f")
+        return func.body.stmts, compute_call_summaries(program)
+
+    def test_flow_dependence(self):
+        stmts, summ = self._stmts("int a; int b; a = 1; b = a;")
+        edges = analyze_block_dependences(stmts, summ)
+        flows = [e for e in edges if e.kind is DepKind.FLOW]
+        assert any("a" in e.variables for e in flows)
+
+    def test_kill_suppresses_transitive_edge(self):
+        # statement indices: 0,1 decls; 2: a=1; 3: a=2; 4: b=a
+        stmts, summ = self._stmts("int a; int b; a = 1; a = 2; b = a;")
+        edges = analyze_block_dependences(stmts, summ)
+        # flow must come from the *second* write (index 3), not the first
+        flow_sources = {
+            e.src_index for e in edges if e.kind is DepKind.FLOW and "a" in e.variables
+        }
+        assert 3 in flow_sources
+        assert 2 not in flow_sources
+
+    def test_anti_dependence(self):
+        # indices: 0,1 decls; 2: a=5; 3: b=a; 4: a=2
+        stmts, summ = self._stmts("int a; int b; a = 5; b = a; a = 2;")
+        edges = analyze_block_dependences(stmts, summ)
+        antis = [e for e in edges if e.kind is DepKind.ANTI and "a" in e.variables]
+        assert any(e.src_index == 3 and e.dst_index == 4 for e in antis)
+
+    def test_output_dependence(self):
+        stmts, summ = self._stmts("int a; a = 1; a = 2;")
+        edges = analyze_block_dependences(stmts, summ)
+        assert any(e.kind is DepKind.OUTPUT for e in edges)
+
+    def test_independent_statements_no_edges(self):
+        stmts, summ = self._stmts("int a; int b; a = 1; b = 2;")
+        edges = analyze_block_dependences(stmts, summ)
+        assert not edges
+
+
+class TestLoopClassification:
+    def test_elementwise_parallel(self):
+        cls = classify(
+            "float x[16]; float y[16];\n"
+            "void f(void) { int i; for (i = 0; i < 16; i++) { y[i] = x[i] * 2.0f; } }"
+        )
+        assert cls.parallelism is LoopParallelism.PARALLEL
+
+    def test_reduction(self):
+        cls = classify(
+            "float x[16];\n"
+            "void f(void) { int i; float s; s = 0.0f;"
+            " for (i = 0; i < 16; i++) { s = s + x[i]; } }"
+        )
+        assert cls.parallelism is LoopParallelism.REDUCTION
+        assert cls.reduction_vars == ("s",)
+
+    def test_recurrence_serial(self):
+        cls = classify(
+            "float y[16];\n"
+            "void f(void) { int i; for (i = 1; i < 16; i++) { y[i] = y[i - 1]; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_scalar_carried_serial(self):
+        cls = classify(
+            "float y[16];\n"
+            "void f(void) { int i; float state; state = 0.0f;"
+            " for (i = 0; i < 16; i++) { y[i] = state; state = state * 0.5f + i; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_private_temp_parallel(self):
+        cls = classify(
+            "float x[16]; float y[16];\n"
+            "void f(void) { int i; float t;"
+            " for (i = 0; i < 16; i++) { t = x[i] * 2.0f; y[i] = t + 1.0f; } }"
+        )
+        assert cls.parallelism is LoopParallelism.PARALLEL
+
+    def test_private_in_nested_loop(self):
+        # first access is a write buried in an always-executed inner loop
+        cls = classify(
+            "float a[8][8]; float c[8];\n"
+            "void f(void) { int i; int j; float s;"
+            " for (i = 0; i < 8; i++) {"
+            "   for (j = 0; j < 8; j++) { s = 0.0f; s = s + a[i][j]; c[i] = s; }"
+            " } }"
+        )
+        assert cls.parallelism is LoopParallelism.PARALLEL
+
+    def test_shifted_read_serial(self):
+        cls = classify(
+            "float x[32];\n"
+            "void f(void) { int i; for (i = 0; i < 16; i++) { x[i] = x[i + 1]; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_unknown_call_serial(self):
+        cls = classify(
+            "float x[16];\n"
+            "void f(void) { int i; for (i = 0; i < 16; i++) { mystery(x); } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+        assert "unknown" in cls.reason
+
+    def test_return_in_body_serial(self):
+        cls = classify(
+            "void f(void) { int i; for (i = 0; i < 16; i++) { return; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_loop_var_mutation_serial(self):
+        cls = classify(
+            "void f(void) { int i; for (i = 0; i < 16; i++) { i = i + 1; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_outer_loop_of_matmul_parallel(self):
+        cls = classify(
+            "float a[4][4]; float b[4][4]; float c[4][4];\n"
+            "void f(void) { int i; int j; int k; float s;"
+            " for (i = 0; i < 4; i++) {"
+            "  for (j = 0; j < 4; j++) {"
+            "   s = 0.0f;"
+            "   for (k = 0; k < 4; k++) { s = s + a[i][k] * b[k][j]; }"
+            "   c[i][j] = s;"
+            "  } } }"
+        )
+        assert cls.parallelism is LoopParallelism.PARALLEL
+
+    def test_multidim_disjoint_by_first_dim(self):
+        cls = classify(
+            "float x[8][8];\n"
+            "void f(void) { int i; int j;"
+            " for (i = 0; i < 8; i++) { for (j = 0; j < 8; j++) {"
+            "   x[i][j] = x[i][7 - j] + 1.0f;"  # same row: dim 0 proves it
+            " } } }"
+        )
+        assert cls.parallelism is LoopParallelism.PARALLEL
+
+    def test_gather_with_write_not_involving_var_serial(self):
+        cls = classify(
+            "float x[8]; float y[8]; \n"
+            "void f(void) { int i; for (i = 0; i < 8; i++) { x[0] = y[i]; } }"
+        )
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_chunkable_property(self):
+        par = classify(
+            "float x[8];\n"
+            "void f(void) { int i; for (i = 0; i < 8; i++) { x[i] = i; } }"
+        )
+        ser = classify(
+            "float x[8];\n"
+            "void f(void) { int i; for (i = 1; i < 8; i++) { x[i] = x[i-1]; } }"
+        )
+        assert par.chunkable and not ser.chunkable
+
+
+class TestAffineForm:
+    def _expr(self, text: str, prelude: str = "float x[64];"):
+        program = parse_c_source(
+            f"{prelude}\nvoid f(void) {{ int i; int k; i = 0; k = 0; x[{text}] = 1.0f; }}"
+        )
+        func = program.entry("f")
+        assign = func.body.stmts[-1]
+        return assign.lhs.indices[0]
+
+    def test_plain_var(self):
+        assert affine_form(self._expr("i"), "i") == (1, "#0")
+
+    def test_scaled(self):
+        coef, _rest = affine_form(self._expr("3 * i"), "i")
+        assert coef == 3
+
+    def test_offset(self):
+        coef, rest = affine_form(self._expr("i + 5"), "i")
+        assert coef == 1 and "5" in rest
+
+    def test_other_var_offset(self):
+        a = affine_form(self._expr("i + k"), "i")
+        b = affine_form(self._expr("k + i"), "i")
+        assert a == b
+
+    def test_subtraction(self):
+        coef, _ = affine_form(self._expr("10 - i"), "i")
+        assert coef == -1
+
+    def test_nonaffine_product(self):
+        assert affine_form(self._expr("i * i"), "i") is None
+
+    def test_var_free_is_zero_coef(self):
+        coef, _ = affine_form(self._expr("k * 2"), "i")
+        assert coef == 0
+
+
+class TestPrivateScalars:
+    def test_loop_counters_and_temps(self):
+        program = parse_c_source(
+            "float x[8]; float y[8];\n"
+            "void f(void) { int i; float t;"
+            " for (i = 0; i < 8; i++) { t = x[i]; y[i] = t; } }"
+        )
+        func = program.entry("f")
+        private = private_scalars(func.body)
+        assert {"i", "t"} <= private
+
+    def test_live_in_scalar_not_private_at_loop_scope(self):
+        program = parse_c_source(
+            "float y[8];\n"
+            "void f(float seed) { int i; float s; s = seed;"
+            " for (i = 0; i < 8; i++) { y[i] = s; s = s * 0.5f; } }"
+        )
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        # within the loop body, s is consumed before being rewritten: the
+        # recurrence makes it non-private there
+        private = private_scalars(loop.body)
+        assert "s" not in private
+        # at whole-body scope the first access is the write `s = seed`, so
+        # the block as a whole does not consume an external s
+        assert "s" in private_scalars(func.body)

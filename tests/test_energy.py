@@ -1,0 +1,96 @@
+"""Energy model tests: ILP estimates vs. simulated energy.
+
+The energy objective (paper future work) is only trustworthy if the
+candidate's ``energy_nj`` bookkeeping matches what the simulator charges
+for the same placement — these tests close that loop.
+"""
+
+import pytest
+
+from repro.core.flatten import flatten_solution
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    ParallelizeOptions,
+)
+from repro.platforms import Platform, ProcessorClass
+from repro.platforms.description import Interconnect
+from repro.simulator.engine import simulate_graph
+
+from tests.conftest import prepare, SMALL_FIR
+
+
+def energy_platform(main="eff"):
+    return Platform(
+        "energy-test",
+        (
+            ProcessorClass("eff", 100.0, 2, energy_per_cycle_nj=0.5),
+            ProcessorClass("burn", 400.0, 2, energy_per_cycle_nj=4.0),
+        ),
+        interconnect=Interconnect(),
+        task_creation_overhead_us=5.0,
+        main_class_name=main,
+    )
+
+
+class TestEnergyAccounting:
+    def test_sequential_energy_exact(self):
+        _, _, htg = prepare(SMALL_FIR)
+        platform = energy_platform()
+        result = HeterogeneousParallelizer(
+            platform, ParallelizeOptions()
+        ).parallelize(htg)
+        # pick the sequential candidate explicitly
+        seq = result.solution_sets[htg.root.uid].sequential_for_class("eff")
+        assert seq is not None
+        graph = flatten_solution(seq, platform)
+        sim = simulate_graph(graph, platform)
+        assert sim.energy_nj == pytest.approx(seq.energy_nj, rel=1e-9)
+        assert sim.energy_nj == pytest.approx(htg.root.total_cycles() * 0.5)
+
+    def test_parallel_candidate_energy_matches_simulation(self):
+        _, _, htg = prepare(SMALL_FIR)
+        platform = energy_platform()
+        result = HeterogeneousParallelizer(platform).parallelize(htg)
+        graph = flatten_solution(result.best, platform)
+        sim = simulate_graph(graph, platform)
+        if not result.best.is_sequential:
+            assert sim.energy_nj == pytest.approx(result.best.energy_nj, rel=1e-6)
+
+    def test_energy_objective_reduces_simulated_energy(self):
+        _, _, htg = prepare(SMALL_FIR)
+        platform = energy_platform()
+
+        def simulated_energy(options):
+            result = HeterogeneousParallelizer(platform, options).parallelize(htg)
+            graph = flatten_solution(result.best, platform)
+            return simulate_graph(graph, platform).energy_nj
+
+        time_energy = simulated_energy(ParallelizeOptions())
+        eco_energy = simulated_energy(
+            ParallelizeOptions(objective="energy", energy_deadline_factor=1.0)
+        )
+        assert eco_energy <= time_energy + 1e-6
+
+    def test_energy_deadline_respected(self):
+        _, _, htg = prepare(SMALL_FIR)
+        platform = energy_platform()
+        result = HeterogeneousParallelizer(
+            platform,
+            ParallelizeOptions(objective="energy", energy_deadline_factor=1.0),
+        ).parallelize(htg)
+        seq_time = platform.main_class.time_us(htg.root.total_cycles())
+        assert result.best.exec_time_us <= seq_time + 1e-6
+
+    def test_cpi_scale_enters_energy(self):
+        """A class with CPI scale 2 burns twice the cycles (and energy)."""
+        from repro.core.flatten import AtomicTask, FlatTaskGraph
+
+        platform = Platform(
+            "cpi",
+            (ProcessorClass("c", 100.0, 1, cpi_scale=2.0, energy_per_cycle_nj=1.0),),
+        )
+        graph = FlatTaskGraph(
+            tasks=[AtomicTask(0, "t", 1000.0, "c")], edges=[], entry=0, exit=0
+        )
+        sim = simulate_graph(graph, platform)
+        assert sim.energy_nj == pytest.approx(2000.0)

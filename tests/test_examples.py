@@ -1,0 +1,51 @@
+"""Smoke tests: the bundled examples must run end-to-end.
+
+The heavyweight sweeps (`paper_experiments --all`, `design_space`) are
+exercised by the benchmark harness; here the two fastest examples run in
+full and the others are import-checked.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "#pragma repro" in out
+        assert "repro-premapping" in out
+
+    def test_pipeline_extension_runs(self, capsys):
+        module = load_example("pipeline_extension")
+        module.main()
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert "task-level" in out
+
+    @pytest.mark.parametrize(
+        "name", ["paper_experiments", "custom_platform", "design_space"]
+    )
+    def test_other_examples_importable(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+    def test_paper_experiments_help(self, capsys):
+        module = load_example("paper_experiments")
+        # no arguments: prints help, returns 2
+        assert module.main([]) == 2

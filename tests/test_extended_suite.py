@@ -1,0 +1,122 @@
+"""Tests for the extended benchmark kernels (frontend hardening)."""
+
+import numpy as np
+import pytest
+
+from repro.bench_suite.extended import EXTENDED_BENCHMARKS, get_extended_benchmark
+from repro.cfront import ir, parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.cfront.deps import LoopParallelism, classify_loop
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.platforms import config_a
+from repro.simulator.run import evaluate_solution
+from repro.timing.interp import Interpreter
+
+from tests.conftest import prepare
+
+
+@pytest.fixture(scope="module")
+def interpreted():
+    out = {}
+    for name, bench in EXTENDED_BENCHMARKS.items():
+        program = parse_c_source(bench.source)
+        interp = Interpreter(program)
+        interp.run("main")
+        out[name] = (program, interp)
+    return out
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(EXTENDED_BENCHMARKS))
+    def test_runs(self, name, interpreted):
+        _program, interp = interpreted[name]
+        assert np.isfinite(interp.globals["checksum"])
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_extended_benchmark("nope")
+
+    def test_histogram_counts_sum(self, interpreted):
+        _, interp = interpreted["histogram"]
+        bins = interp.globals["bins"]
+        assert bins.sum() == pytest.approx(2048.0)
+
+    def test_cholesky_matches_numpy(self, interpreted):
+        _, interp = interpreted["cholesky"]
+        a = interp.globals["a"].astype(np.float64)
+        dim = a.shape[0]
+        # rebuild the original SPD matrix and factor with numpy
+        i = np.arange(dim).reshape(-1, 1)
+        j = np.arange(dim).reshape(1, -1)
+        original = (1.0 / (1.0 + i + j)).astype(np.float32).astype(np.float64)
+        np.fill_diagonal(original, dim + 1.0)
+        expected = np.linalg.cholesky(original)
+        measured = np.tril(a)
+        np.testing.assert_allclose(measured, expected, rtol=1e-3, atol=1e-5)
+
+    def test_lms_error_decreases(self, interpreted):
+        _, interp = interpreted["lms_adaptive"]
+        e = np.abs(interp.globals["e"].astype(np.float64))
+        # the adaptive filter converges: late errors much smaller than early
+        assert e[-64:].mean() < 0.5 * e[:64].mean()
+
+
+class TestConservativeClassification:
+    def _classify_loop_writing(self, name, target_array, also_reads=None):
+        """Classify the compute loop that writes ``target_array``."""
+        from repro.cfront.defuse import compute_defuse
+
+        program = parse_c_source(EXTENDED_BENCHMARKS[name].source)
+        func = program.entry("main")
+        summaries = compute_call_summaries(program)
+        for stmt in func.body.stmts:
+            if not isinstance(stmt, ir.ForLoop):
+                continue
+            du = compute_defuse(stmt, summaries)
+            if target_array not in du.array_defs:
+                continue
+            if also_reads and also_reads not in du.array_uses:
+                continue
+            return classify_loop(stmt, summaries)
+        raise AssertionError(f"no loop writing {target_array!r} found")
+
+    def test_lms_sample_loop_serial(self):
+        """The weight vector w carries across samples."""
+        cls = self._classify_loop_writing("lms_adaptive", "w", also_reads="d")
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_histogram_indirect_serial(self):
+        """Indirect bins[b] writes must defeat the affine test."""
+        cls = self._classify_loop_writing("histogram", "bins", also_reads="data")
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+    def test_cholesky_outer_serial(self):
+        """In-place updates read earlier columns: carried dependence."""
+        cls = self._classify_loop_writing("cholesky", "a", also_reads="a")
+        # the factorization loop is the second writer of `a` (after init);
+        # init writes without reading a, so also_reads filters to the right one
+        assert cls.parallelism is LoopParallelism.SERIAL
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", sorted(EXTENDED_BENCHMARKS))
+    def test_parallelizes_safely(self, name):
+        """Conservative kernels must still go through the whole pipeline
+        without unsound transformations (offload-only solutions are fine)."""
+        source = EXTENDED_BENCHMARKS[name].source
+        program, _db, htg = prepare(source)
+        platform = config_a("accelerator")
+        result = HeterogeneousParallelizer(platform).parallelize(htg)
+        evaluation = evaluate_solution(result)
+        assert 0.9 < evaluation.speedup <= platform.theoretical_speedup() + 1e-6
+
+        # semantic equivalence of the emitted transformation
+        from repro.codegen import annotate_solution
+        from tests.test_transform_semantics import (
+            assert_same_globals,
+            run_globals,
+            strip_pragmas,
+        )
+
+        transformed = strip_pragmas(annotate_solution(result, program=program))
+        assert_same_globals(run_globals(source), run_globals(transformed))

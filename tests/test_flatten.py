@@ -1,0 +1,138 @@
+"""Tests for solution flattening into atomic-task DAGs."""
+
+import pytest
+
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+from repro.core.flatten import flatten_solution
+from repro.core.solution import SolutionCandidate, TaskSegment
+from repro.htg.nodes import HierarchicalNode, HTGEdge, SimpleNode
+
+from tests.test_ilppar import leaf, make_node, seed_sets, two_class_platform
+from repro.core.ilppar import ilp_parallelize_node
+
+
+def parallel_candidate(platform):
+    children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+    node = make_node(children)
+    cand = ilp_parallelize_node(
+        node, "slow", 4, platform, seed_sets(platform, children)
+    )
+    assert cand is not None and not cand.is_sequential
+    return node, cand
+
+
+class TestSequentialFlattening:
+    def test_single_task(self):
+        platform = two_class_platform()
+        child = leaf("only", 1000.0)
+        cand = SolutionCandidate(
+            node=child, main_class="slow", exec_time_us=10.0, is_sequential=True
+        )
+        graph = flatten_solution(cand, platform)
+        assert graph.validate() == []
+        assert len(graph.tasks) == 1
+        assert graph.tasks[0].cycles == 1000.0
+        assert graph.tasks[0].proc_class == "slow"
+
+
+class TestParallelFlattening:
+    def test_dag_valid(self):
+        platform = two_class_platform()
+        _node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform)
+        assert graph.validate() == []
+
+    def test_work_conserved(self):
+        platform = two_class_platform()
+        node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform)
+        assert graph.total_cycles() == pytest.approx(
+            sum(c.total_cycles() for c in node.children)
+        )
+
+    def test_extra_tasks_pay_spawn_overhead(self):
+        platform = two_class_platform(tco=5.0)
+        node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform)
+        spawned = [t for t in graph.tasks if t.spawn_overhead_us > 0]
+        used_extras = sum(
+            1 for s in cand.segments if s.role == "extra" and s.children
+        )
+        assert len(spawned) == used_extras
+
+    def test_class_requirements_preserved(self):
+        platform = two_class_platform()
+        node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform)
+        for segment in cand.segments:
+            for child in segment.children:
+                tasks = [t for t in graph.tasks if t.node_uid == child.uid]
+                assert tasks
+                assert tasks[0].proc_class == segment.proc_class
+
+    def test_class_blind_strips_classes(self):
+        platform = two_class_platform()
+        _node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform, class_blind=True)
+        assert all(t.proc_class is None for t in graph.tasks)
+
+    def test_entry_exit_markers(self):
+        platform = two_class_platform()
+        _node, cand = parallel_candidate(platform)
+        graph = flatten_solution(cand, platform)
+        entry = next(t for t in graph.tasks if t.tid == graph.entry)
+        exit_ = next(t for t in graph.tasks if t.tid == graph.exit)
+        assert entry.is_marker and exit_.is_marker
+        # no predecessors of entry, no successors of exit
+        assert not graph.predecessors(graph.entry)
+        assert not graph.successors(graph.exit)
+
+    def test_cross_task_edge_carries_bytes(self):
+        platform = two_class_platform()
+        a = leaf("a", 200_000.0)
+        b = leaf("b", 200_000.0)
+        node = make_node([a, b])
+        node.edges.insert(0, HTGEdge(a, b, DepKind.FLOW, frozenset({"v"}), 512.0))
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        assert cand is not None
+        graph = flatten_solution(cand, platform)
+        if cand.task_of_child(a) != cand.task_of_child(b):
+            assert any(e.bytes_volume == 512.0 for e in graph.edges)
+
+
+class TestNestedFlattening:
+    def test_two_level_solution_expands(self):
+        platform = two_class_platform()
+        inner_children = [leaf(f"in{i}", 40_000.0) for i in range(3)]
+        inner = make_node(inner_children, label="inner")
+        sets = seed_sets(platform, inner_children)
+        inner_cand = ilp_parallelize_node(inner, "fast", 3, platform, sets)
+        assert inner_cand is not None and not inner_cand.is_sequential
+
+        outer_child = leaf("other", 40_000.0)
+        outer = make_node([inner, outer_child], label="outer")
+        outer_sets = seed_sets(platform, [outer_child])
+        from repro.core.solution import SolutionSet
+
+        inner_set = SolutionSet()
+        for pc in platform.processor_classes:
+            inner_set.add(
+                SolutionCandidate(
+                    node=inner,
+                    main_class=pc.name,
+                    exec_time_us=pc.time_us(inner.total_cycles()),
+                    is_sequential=True,
+                )
+            )
+        inner_set.add(inner_cand)
+        outer_sets[inner.uid] = inner_set
+
+        outer_cand = ilp_parallelize_node(outer, "slow", 4, platform, outer_sets)
+        assert outer_cand is not None
+        graph = flatten_solution(outer_cand, platform)
+        assert graph.validate() == []
+        # expansion must preserve total work
+        assert graph.total_cycles() == pytest.approx(4 * 40_000.0)

@@ -1,0 +1,112 @@
+"""End-to-end fuzzing: random kernels through the whole pipeline.
+
+A small generator builds random (but well-formed) C kernels from a menu
+of loop templates — elementwise maps, stencils on read-only inputs,
+reductions, and serial recurrences — wired over a shared pool of global
+arrays. Every generated program is:
+
+1. interpreted (ground truth),
+2. parallelized (heterogeneous, platform (A)),
+3. flattened + simulated (speedup sanity: ≤ theoretical limit, ≥ ~1),
+4. validated structurally (:mod:`repro.core.validation`),
+5. re-emitted as transformed source, re-parsed and re-run — globals must
+   match the ground truth bit-for-bit up to float tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cfront import parse_c_source
+from repro.codegen import annotate_solution
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.core.validation import validate_result
+from repro.platforms import config_a
+from repro.simulator.run import evaluate_solution
+from repro.timing.interp import Interpreter
+
+from tests.conftest import prepare
+from tests.test_transform_semantics import assert_same_globals, strip_pragmas
+
+ARRAYS = ["ga", "gb", "gc", "gd"]
+N = 256
+
+_TEMPLATES = [
+    # (needs_input, body) — {dst} written, {src}/{src2} read-only
+    "for (i = 0; i < %d; i++) {{ {dst}[i] = {src}[i] * 1.5f + 2.0f; }}" % N,
+    "for (i = 0; i < %d; i++) {{ {dst}[i] = {src}[i] * {src2}[i]; }}" % N,
+    "for (i = 1; i < %d - 1; i++) {{ {dst}[i] = 0.5f * ({src}[i - 1] + {src}[i + 1]); }}" % N,
+    "acc = 0.0f;\n    for (i = 0; i < %d; i++) {{ acc = acc + {src}[i]; }}\n"
+    "    {dst}[0] = acc;" % N,
+    "for (i = 1; i < %d; i++) {{ {dst}[i] = 0.9f * {dst}[i - 1] + 0.1f * {src}[i]; }}" % N,
+    "for (i = 0; i < %d; i++) {{ if ({src}[i] > 0.0f) {{ {dst}[i] = {src}[i]; }} "
+    "else {{ {dst}[i] = -{src}[i]; }} }}" % N,
+]
+
+
+@st.composite
+def random_kernel(draw):
+    num_stages = draw(st.integers(2, 5))
+    stages = []
+    for _ in range(num_stages):
+        template = draw(st.sampled_from(_TEMPLATES))
+        dst = draw(st.sampled_from(ARRAYS))
+        src = draw(st.sampled_from([a for a in ARRAYS if a != dst]))
+        src2 = draw(st.sampled_from([a for a in ARRAYS if a != dst]))
+        stages.append(template.format(dst=dst, src=src, src2=src2))
+    body = "\n    ".join(stages)
+    decls = "\n".join(f"float {name}[{N}];" for name in ARRAYS)
+    return f"""
+{decls}
+float checksum;
+void main(void) {{
+    int i;
+    float acc;
+    for (i = 0; i < {N}; i++) {{
+        ga[i] = sin(0.01f * i);
+        gb[i] = cos(0.02f * i);
+        gc[i] = 0.001f * i - 0.1f;
+        gd[i] = 0.0f;
+    }}
+    {body}
+    checksum = 0.0f;
+    for (i = 0; i < {N}; i++) {{
+        checksum = checksum + ga[i] + gb[i] + gc[i] + gd[i];
+    }}
+}}
+"""
+
+
+def run_globals(source: str):
+    program = parse_c_source(source)
+    interp = Interpreter(program)
+    interp.run("main")
+    return interp.globals
+
+
+class TestFuzzPipeline:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(random_kernel())
+    def test_random_kernels_end_to_end(self, source):
+        baseline = run_globals(source)
+
+        program, _db, htg = prepare(source)
+        assert htg.validate() == []
+        platform = config_a("accelerator")
+        result = HeterogeneousParallelizer(platform).parallelize(htg)
+
+        # structural validity of every chosen candidate
+        assert validate_result(result) == []
+
+        # simulated performance sanity
+        evaluation = evaluate_solution(result)
+        assert evaluation.speedup <= platform.theoretical_speedup() + 1e-6
+        assert evaluation.speedup > 0.9  # never a catastrophic slowdown
+
+        # transformed source preserves semantics
+        transformed = strip_pragmas(annotate_solution(result, program=program))
+        assert_same_globals(baseline, run_globals(transformed))

@@ -1,0 +1,113 @@
+"""Tests for the homogeneous baseline ILP [6]."""
+
+import pytest
+
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+from repro.core.homogeneous import homogeneous_parallelize_node
+from repro.core.solution import SolutionCandidate, SolutionSet
+from repro.htg.nodes import HierarchicalNode, HTGEdge, SimpleNode
+from repro.platforms import homogeneous, config_a
+
+from tests.test_ilppar import leaf, make_node
+
+
+def seed_ref_sets(platform, children, ref):
+    sets = {}
+    pc = platform.get_class(ref)
+    for child in children:
+        sset = SolutionSet()
+        sset.add(
+            SolutionCandidate(
+                node=child,
+                main_class=ref,
+                exec_time_us=pc.time_us(child.total_cycles()),
+                is_sequential=True,
+            )
+        )
+        sets[child.uid] = sset
+    return sets
+
+
+class TestHomogeneousIlp:
+    def test_uniform_split(self):
+        platform = homogeneous(4, 100.0, task_creation_overhead_us=1.0)
+        children = [leaf(f"w{i}", 10_000.0) for i in range(4)]
+        node = make_node(children)
+        cand = homogeneous_parallelize_node(
+            node, 4, platform, seed_ref_sets(platform, children, "core")
+        )
+        assert cand is not None
+        # 4 x 100us of work on 4 cores: near 100us + overheads
+        assert cand.exec_time_us < 4 * 100.0
+        assert cand.num_tasks >= 3
+
+    def test_all_tasks_tagged_ref_class(self):
+        platform = config_a("accelerator")
+        children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+        node = make_node(children)
+        cand = homogeneous_parallelize_node(
+            node, 4, platform, seed_ref_sets(platform, children, "arm100"),
+            ref_class="arm100",
+        )
+        assert cand is not None
+        assert cand.main_class == "arm100"
+        for segment in cand.segments:
+            assert segment.proc_class == "arm100"
+
+    def test_dependence_respected(self):
+        platform = homogeneous(4, 100.0, task_creation_overhead_us=1.0)
+        a = leaf("a", 10_000.0)
+        b = leaf("b", 10_000.0)
+        node = make_node([a, b])
+        node.edges.insert(0, HTGEdge(a, b, DepKind.FLOW, frozenset({"v"}), 4.0))
+        cand = homogeneous_parallelize_node(
+            node, 4, platform, seed_ref_sets(platform, [a, b], "core")
+        )
+        assert cand is not None
+        # chained work cannot beat the sum of both costs
+        assert cand.exec_time_us >= 200.0 - 1e-6
+
+    def test_budget_respected(self):
+        platform = homogeneous(4, 100.0, task_creation_overhead_us=1.0)
+        children = [leaf(f"w{i}", 10_000.0) for i in range(6)]
+        node = make_node(children)
+        cand = homogeneous_parallelize_node(
+            node, 2, platform, seed_ref_sets(platform, children, "core")
+        )
+        assert cand is not None
+        assert cand.total_procs <= 2
+
+    def test_none_without_budget(self):
+        platform = homogeneous(4, 100.0)
+        children = [leaf("a", 1000.0)]
+        node = make_node(children)
+        assert (
+            homogeneous_parallelize_node(
+                node, 1, platform, seed_ref_sets(platform, children, "core")
+            )
+            is None
+        )
+
+    def test_smaller_than_hetero_model(self):
+        """The homogeneous formulation builds smaller ILPs (Table I)."""
+        from repro.core.ilppar import ilp_parallelize_node
+        from repro.ilp.stats import StatsCollector
+        from tests.test_ilppar import seed_sets
+
+        platform = config_a("accelerator")
+        children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+        node = make_node(children)
+
+        homo_stats = StatsCollector()
+        homogeneous_parallelize_node(
+            node, 4, platform, seed_ref_sets(platform, children, "arm100"),
+            collector=homo_stats,
+        )
+        het_stats = StatsCollector()
+        ilp_parallelize_node(
+            node, "arm100", 4, platform, seed_sets(platform, children),
+            collector=het_stats,
+        )
+        assert het_stats.total_variables > homo_stats.total_variables
+        assert het_stats.total_constraints > homo_stats.total_constraints

@@ -1,0 +1,259 @@
+"""Tests for AHTG construction: structure, edges, privatization, inlining."""
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.cfront.deps import DepKind
+from repro.htg import (
+    BuildOptions,
+    ChunkNode,
+    HierarchicalNode,
+    SimpleNode,
+    build_htg,
+)
+from repro.timing.estimator import annotate_costs
+
+from tests.conftest import prepare, SMALL_FIR, SMALL_SERIAL
+
+
+def build(source: str, entry: str = "main", **options):
+    return prepare(source, build_options=BuildOptions(**options) if options else None)
+
+
+class TestStructure:
+    def test_root_is_function_node(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.get_root_node()
+        assert isinstance(root, HierarchicalNode)
+        assert root.construct == "function"
+
+    def test_validation_clean(self, small_fir):
+        _, _, htg = small_fir
+        assert htg.validate() == []
+
+    def test_comm_nodes_exist(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.get_root_node()
+        assert root.comm_in is not None and root.comm_out is not None
+        assert root.comm_in.total_cycles() == 0.0
+
+    def test_total_cycles_composition(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.get_root_node()
+        assert root.total_cycles() == pytest.approx(
+            root.control_overhead_cycles
+            + sum(c.total_cycles() for c in root.children)
+        )
+
+    def test_counts(self, small_fir):
+        _, _, htg = small_fir
+        assert htg.num_nodes == htg.num_simple_nodes + htg.num_hierarchical_nodes
+        assert htg.depth >= 2
+
+    def test_pretty_contains_labels(self, small_fir):
+        _, _, htg = small_fir
+        assert "function main" in htg.pretty()
+
+    def test_uninitialized_decls_skipped(self):
+        _, _, htg = build(
+            "void main(void) { int a; int b; a = 1; b = a; }"
+        )
+        labels = [c.label for c in htg.root.children]
+        assert len(htg.root.children) == 2  # two assigns, no decl nodes
+
+
+class TestChunking:
+    def test_parallel_loop_chunked(self, small_fir):
+        _, _, htg = small_fir
+        chunked = [
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+        ]
+        assert chunked, "the main FIR loop should be chunked"
+        loop = chunked[0]
+        assert all(isinstance(c, ChunkNode) for c in loop.children)
+
+    def test_chunk_ranges_partition_iterations(self, small_fir):
+        _, _, htg = small_fir
+        for node in htg.walk():
+            if isinstance(node, HierarchicalNode) and node.construct == "loop-chunked":
+                chunks = sorted(node.children, key=lambda c: c.iter_lo)
+                assert chunks[0].iter_lo == 0
+                for a, b in zip(chunks, chunks[1:]):
+                    assert a.iter_hi == b.iter_lo
+
+    def test_chunk_costs_sum_to_loop(self, small_fir):
+        _, cost_db, htg = small_fir
+        for node in htg.walk():
+            if isinstance(node, HierarchicalNode) and node.construct == "loop-chunked":
+                total = sum(c.cycles for c in node.children)
+                assert total == pytest.approx(cost_db.subtree_cycles(node.stmt))
+
+    def test_serial_loop_not_chunked(self, small_serial):
+        _, _, htg = small_serial
+        assert not any(
+            isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+            for n in htg.walk()
+        )
+
+    def test_chunking_disabled(self):
+        _, _, htg = build(SMALL_FIR, enable_chunking=False)
+        assert not any(
+            isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+            for n in htg.walk()
+        )
+
+    def test_tiny_loop_not_chunked(self):
+        _, _, htg = build(
+            "float x[4];\nvoid main(void) { int i;"
+            " for (i = 0; i < 4; i++) { x[i] = i; } }"
+        )
+        assert not any(
+            isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+            for n in htg.walk()
+        )
+
+    def test_max_chunks_respected(self):
+        _, _, htg = build(SMALL_FIR, max_chunks=4)
+        for node in htg.walk():
+            if isinstance(node, HierarchicalNode) and node.construct == "loop-chunked":
+                assert len(node.children) <= 4
+
+
+class TestEdges:
+    def test_producer_consumer_edge(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.get_root_node()
+        # init loop for x feeds the main FIR loop
+        inner = root.edges_between_children()
+        assert any(e.bytes_volume > 0 for e in inner)
+
+    def test_all_children_join_comm_out(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.get_root_node()
+        out_sources = {e.src.uid for e in root.out_edges()}
+        assert {c.uid for c in root.children} <= out_sources
+
+    def test_privatized_counters_create_no_edges(self):
+        _, _, htg = build(
+            """
+            float a[2048]; float b[2048];
+            void main(void) {
+                int i;
+                for (i = 0; i < 2048; i++) { a[i] = i * 1.0f; }
+                for (i = 0; i < 2048; i++) { b[i] = i * 2.0f; }
+            }
+            """
+        )
+        root = htg.get_root_node()
+        # the two loops share only the counter: no inter-loop edges
+        assert root.edges_between_children() == []
+
+    def test_backward_edge_for_carried_value(self):
+        _, _, htg = build(
+            """
+            float y[512]; float z[512];
+            void main(void) {
+                int i;
+                float carry;
+                carry = 0.0f;
+                for (i = 0; i < 512; i++) {
+                    y[i] = carry * 0.5f;
+                    carry = y[i] + z[i];
+                }
+            }
+            """
+        )
+        loops = [
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "loop"
+        ]
+        assert loops
+        assert any(e.backward for e in loops[0].edges_between_children())
+
+    def test_edge_bytes_capped_at_array_size(self, small_fir):
+        # Array traffic is capped at the array's size; scalar FIFO traffic
+        # (one transfer per write) is not, so only check array-only edges.
+        _, _, htg = small_fir
+        checked = 0
+        for node in htg.walk():
+            if not isinstance(node, HierarchicalNode):
+                continue
+            for edge in node.edges:
+                infos = [htg.symbols.get(v) for v in edge.variables]
+                if not infos or not all(i is not None and i.is_array for i in infos):
+                    continue
+                checked += 1
+                assert edge.bytes_volume <= sum(i.total_bytes for i in infos) + 1e-9
+        assert checked > 0
+
+
+class TestIfNodes:
+    SRC = """
+    float x[1024];
+    void main(void) {
+        int i;
+        for (i = 0; i < 1024; i++) {
+            if (x[i] > 0.5f) { x[i] = 1.0f; } else { x[i] = 0.0f; }
+        }
+    }
+    """
+
+    def test_branch_ordering_edge(self):
+        _, _, htg = build(self.SRC, enable_chunking=False)
+        ifs = [
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "if"
+        ]
+        assert ifs
+        node = ifs[0]
+        if len(node.children) == 2:
+            kinds = [e.kind for e in node.edges_between_children()]
+            assert DepKind.ANTI in kinds
+
+
+class TestCallInlining:
+    SRC = """
+    float buf[4096];
+    void fill(float *dst) {
+        int i;
+        for (i = 0; i < 4096; i++) { dst[i] = i * 0.5f; }
+    }
+    float total;
+    void main(void) {
+        int i;
+        fill(buf);
+        total = 0.0f;
+        for (i = 0; i < 4096; i++) { total = total + buf[i]; }
+    }
+    """
+
+    def test_single_call_site_inlined(self):
+        _, _, htg = build(self.SRC)
+        calls = [
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "call"
+        ]
+        assert len(calls) == 1
+        assert calls[0].children  # the callee's loop
+
+    def test_inlining_disabled(self):
+        _, _, htg = build(self.SRC, inline_calls=False)
+        calls = [
+            n for n in htg.walk() if isinstance(n, SimpleNode) and "call" in n.label
+        ]
+        assert calls
+
+    def test_call_node_defuse_is_argument_level(self):
+        _, _, htg = build(self.SRC)
+        call = next(
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "call"
+        )
+        assert "buf" in call.defuse.array_defs

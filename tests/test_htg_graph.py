@@ -1,0 +1,108 @@
+"""Tests for the HTG container, symbol table and flat-graph helpers."""
+
+import pytest
+
+from repro.core.flatten import AtomicTask, FlatEdge, FlatTaskGraph
+from repro.htg.graph import HTG, SymbolInfo
+from repro.htg.nodes import HierarchicalNode
+
+from tests.conftest import prepare
+
+
+class TestSymbolInfo:
+    def test_scalar(self):
+        info = SymbolInfo("a", "float")
+        assert not info.is_array
+        assert info.element_bytes == 4
+        assert info.total_bytes == 4
+
+    def test_array(self):
+        info = SymbolInfo("m", "double", (4, 8))
+        assert info.is_array
+        assert info.element_bytes == 8
+        assert info.total_bytes == 4 * 8 * 8
+
+    def test_char_array(self):
+        info = SymbolInfo("s", "char", (100,))
+        assert info.total_bytes == 100
+
+    def test_unknown_type_defaults(self):
+        info = SymbolInfo("x", "mystery")
+        assert info.element_bytes == 4
+
+
+class TestHtgSymbols:
+    def test_globals_in_symbol_table(self, small_fir):
+        _, _, htg = small_fir
+        assert "x" in htg.symbols and htg.symbols["x"].is_array
+        assert htg.symbols["h"].dims == (64,)
+
+    def test_locals_in_symbol_table(self):
+        _, _, htg = prepare(
+            "void main(void) { float t[8]; int i;"
+            " for (i = 0; i < 8; i++) { t[i] = i; } }"
+        )
+        assert "t" in htg.symbols
+        assert htg.symbols["t"].dims == (8,)
+
+
+class TestHtgQueries:
+    def test_walk_includes_root(self, small_fir):
+        _, _, htg = small_fir
+        nodes = list(htg.walk())
+        assert nodes[0] is htg.root
+
+    def test_depth_positive(self, small_fir):
+        _, _, htg = small_fir
+        assert htg.depth >= 2
+
+    def test_pretty_max_depth_limits(self, small_fir):
+        _, _, htg = small_fir
+        shallow = htg.pretty(max_depth=0)
+        deep = htg.pretty(max_depth=10)
+        assert len(shallow.splitlines()) < len(deep.splitlines())
+
+    def test_comm_edge_queries(self, small_fir):
+        _, _, htg = small_fir
+        root = htg.root
+        assert len(root.out_edges()) == len(root.children)
+        for child in root.children:
+            assert root.out_bytes(child) >= 0.0
+            assert root.in_bytes(child) >= 0.0
+
+
+class TestFlatGraphHelpers:
+    def _graph(self):
+        tasks = [
+            AtomicTask(0, "entry", 0.0, None),
+            AtomicTask(1, "w", 100.0, None),
+            AtomicTask(2, "exit", 0.0, None),
+        ]
+        edges = [FlatEdge(0, 1, 64.0), FlatEdge(1, 2)]
+        return FlatTaskGraph(tasks=tasks, edges=edges, entry=0, exit=2)
+
+    def test_successors_predecessors(self):
+        graph = self._graph()
+        assert [e.dst for e in graph.successors(0)] == [1]
+        assert [e.src for e in graph.predecessors(2)] == [1]
+
+    def test_num_work_tasks(self):
+        assert self._graph().num_work_tasks == 1
+
+    def test_total_cycles(self):
+        assert self._graph().total_cycles() == 100.0
+
+    def test_validate_dangling_edge(self):
+        graph = self._graph()
+        graph.edges.append(FlatEdge(0, 99))
+        assert any("dangling" in p for p in graph.validate())
+
+    def test_validate_bad_entry(self):
+        graph = self._graph()
+        graph.entry = 42
+        assert any("entry/exit" in p for p in graph.validate())
+
+    def test_marker_property(self):
+        graph = self._graph()
+        assert graph.tasks[0].is_marker
+        assert not graph.tasks[1].is_marker

@@ -1,0 +1,138 @@
+"""Cross-checks between the HiGHS backend and the pure-Python B&B solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ilp import InfeasibleError, Model, SolveStatus, UnboundedError, lin_sum
+from repro.ilp.bnb import solve_bnb
+from repro.ilp.scipy_backend import solve_scipy
+
+
+def _knapsack(values, weights, capacity):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.maximize(lin_sum(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestAgreement:
+    @pytest.mark.parametrize(
+        "values,weights,capacity",
+        [
+            ([6, 5, 4], [3, 2, 2], 4),
+            ([10, 1, 1, 1], [4, 1, 1, 1], 4),
+            ([7, 7, 7], [5, 5, 5], 10),
+            ([3], [10], 5),
+        ],
+    )
+    def test_knapsack_objectives_match(self, values, weights, capacity):
+        m = _knapsack(values, weights, capacity)
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="bnb")
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_var("x", 0, 10, integer=True)
+        y = m.add_var("y", 0, 10)
+        m.add_constraint(x + y <= 7.5)
+        m.add_constraint(y <= 2 * x)
+        m.maximize(3 * x + 2 * y)
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="bnb")
+        assert a.objective == pytest.approx(b.objective)
+        # x integral in both
+        assert b[x] == round(b[x])
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_var("x", 0, 5, integer=True)
+        y = m.add_var("y", 0, 5, integer=True)
+        m.add_constraint(x + y == 4)
+        m.minimize(x - y)
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="bnb")
+        assert a.objective == pytest.approx(-4) == pytest.approx(b.objective)
+
+    def test_bnb_detects_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        assert solve_bnb(m).status is SolveStatus.INFEASIBLE
+        assert solve_scipy(m).status is SolveStatus.INFEASIBLE
+
+    def test_bnb_detects_unbounded(self):
+        m = Model()
+        x = m.add_var("x", 0, math.inf, integer=True)
+        m.maximize(x)
+        assert solve_bnb(m).status is SolveStatus.UNBOUNDED
+
+    def test_bnb_with_scipy_relaxation(self):
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        a = solve_bnb(m, use_scipy_lp=True)
+        b = solve_bnb(m, use_scipy_lp=False)
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_fractional_lp_part_preserved(self):
+        # Pure LP (no integers) through both backends.
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        y = m.add_var("y", 0, 1)
+        m.add_constraint(x + y <= 1.5)
+        m.maximize(x + y)
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="bnb")
+        assert a.objective == pytest.approx(1.5) == pytest.approx(b.objective)
+
+
+@st.composite
+def random_binary_program(draw):
+    """A random small 0-1 program with bounded coefficients."""
+    n = draw(st.integers(2, 5))
+    rows = draw(st.integers(1, 4))
+    coeffs = draw(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=n, max_size=n),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    rhs = draw(st.lists(st.integers(0, 8), min_size=rows, max_size=rows))
+    objective = draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n))
+    return coeffs, rhs, objective
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(random_binary_program())
+    def test_backends_agree_on_random_programs(self, spec):
+        coeffs, rhs, objective = spec
+        m = Model("random")
+        xs = [m.add_binary(f"x{i}") for i in range(len(objective))]
+        for row, b in zip(coeffs, rhs):
+            m.add_constraint(lin_sum(a * x for a, x in zip(row, xs)) <= b)
+        m.maximize(lin_sum(c * x for c, x in zip(objective, xs)))
+        # rhs >= 0 with binary vars: x = 0 is always feasible.
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="bnb")
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+        # Both solutions must satisfy every constraint.
+        assert not m.check(a)
+        assert not m.check(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_binary_program())
+    def test_bnb_solution_is_integral(self, spec):
+        coeffs, rhs, objective = spec
+        m = Model("random")
+        xs = [m.add_binary(f"x{i}") for i in range(len(objective))]
+        for row, b in zip(coeffs, rhs):
+            m.add_constraint(lin_sum(a * x for a, x in zip(row, xs)) <= b)
+        m.maximize(lin_sum(c * x for c, x in zip(objective, xs)))
+        sol = m.solve(backend="bnb")
+        for x in xs:
+            assert sol[x] in (0.0, 1.0)

@@ -1,0 +1,238 @@
+"""Tests for the ILP modelling layer (expressions, constraints, gadgets)."""
+
+import math
+
+import pytest
+
+from repro.ilp import (
+    Constraint,
+    InfeasibleError,
+    LinExpr,
+    Model,
+    Sense,
+    SolveStatus,
+    UnboundedError,
+    Variable,
+    lin_sum,
+)
+
+
+class TestLinExpr:
+    def test_variable_plus_constant(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = x + 3
+        assert expr.terms[x] == 1.0
+        assert expr.const == 3.0
+
+    def test_radd_rsub(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 5 - x
+        assert expr.terms[x] == -1.0
+        assert expr.const == 5.0
+        expr2 = 5 + x * 2
+        assert expr2.terms[x] == 2.0
+
+    def test_scaling(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * (x + y) - 0.5 * y
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 1.5
+
+    def test_negation(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = -(x + 1)
+        assert expr.terms[x] == -1.0
+        assert expr.const == -1.0
+
+    def test_nonconstant_multiplication_rejected(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        with pytest.raises(TypeError):
+            (x + 0) * (y + 0)
+
+    def test_lin_sum_collects_terms(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}") for i in range(5)]
+        expr = lin_sum(x * (i + 1) for i, x in enumerate(xs))
+        assert expr.terms[xs[4]] == 5.0
+        assert len(expr.terms) == 5
+
+    def test_lin_sum_with_constants(self):
+        expr = lin_sum([1, 2, 3])
+        assert expr.const == 6.0
+
+    def test_value_evaluation(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x - y + 7
+        assert expr.value({x: 3.0, y: 1.0}) == 12.0
+
+
+class TestConstraints:
+    def test_le_constraint_normalization(self):
+        m = Model()
+        x = m.add_var("x")
+        cons = x + 1 <= 5
+        assert cons.sense is Sense.LE
+        assert cons.rhs == 4.0
+
+    def test_eq_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        cons = x == 3
+        assert isinstance(cons, Constraint)
+        assert cons.sense is Sense.EQ
+
+    def test_satisfied(self):
+        m = Model()
+        x = m.add_var("x")
+        cons = x <= 5
+        assert cons.satisfied({x: 5.0})
+        assert not cons.satisfied({x: 6.0})
+
+    def test_ge_satisfied(self):
+        m = Model()
+        x = m.add_var("x")
+        assert (x >= 2).satisfied({x: 2.0})
+        assert not (x >= 2).satisfied({x: 1.0})
+
+
+class TestModel:
+    def test_duplicate_names_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ValueError):
+            m.add_var("x")
+
+    def test_invalid_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_var("x", lb=2, ub=1)
+
+    def test_add_constraint_rejects_bool(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(TypeError):
+            m.add_constraint(True)  # type: ignore[arg-type]
+
+    def test_counts(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x <= 1)
+        assert m.num_variables == 1
+        assert m.num_constraints == 1
+
+    def test_check_reports_violations(self):
+        m = Model()
+        x = m.add_var("x")
+        m.add_constraint(x <= 1, name="cap")
+        m.minimize(x)
+        from repro.ilp.model import Solution
+
+        bad = Solution(SolveStatus.OPTIMAL, 5.0, {x: 5.0})
+        violated = m.check(bad)
+        assert len(violated) == 1
+        assert violated[0].name == "cap"
+
+    def test_matrix_form_shapes(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_var("y", 0, 10)
+        m.add_constraint(x + y <= 5)
+        m.add_constraint(x - y >= -2)
+        m.add_constraint(x + 2 * y == 3)
+        m.minimize(x + y)
+        form = m.to_matrix_form()
+        assert len(form.rows_ub) == 2  # LE + flipped GE
+        assert len(form.rows_eq) == 1
+        assert list(form.integrality) == [1, 0]
+
+
+class TestGadgets:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_and_gadget_truth_table(self, a, b):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        z = m.add_and(x, y)
+        m.add_constraint(x == a)
+        m.add_constraint(y == b)
+        # maximize z to make sure upper constraints bind, then minimize for
+        # the lower constraint.
+        m.maximize(z)
+        assert m.solve()[z] == float(a and b)
+        m.minimize(z)
+        assert m.solve()[z] == float(a and b)
+
+    def test_implication_active(self):
+        m = Model()
+        g = m.add_binary("g")
+        v = m.add_var("v", 0, 100)
+        m.add_constraint(g == 1)
+        m.add_implication_ge(g, v, 42, big_m=1000)
+        m.minimize(v)
+        assert m.solve().objective == pytest.approx(42)
+
+    def test_implication_inactive(self):
+        m = Model()
+        g = m.add_binary("g")
+        v = m.add_var("v", 0, 100)
+        m.add_constraint(g == 0)
+        m.add_implication_ge(g, v, 42, big_m=1000)
+        m.minimize(v)
+        assert m.solve().objective == pytest.approx(0)
+
+
+class TestSolveOutcomes:
+    def test_simple_optimum(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 1)
+        m.maximize(2 * x + y)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(2)
+        assert sol[x] == 1.0 and sol[y] == 0.0
+
+    def test_infeasible_raises(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        m.minimize(x)
+        with pytest.raises(InfeasibleError):
+            m.solve()
+
+    def test_unbounded_raises(self):
+        m = Model()
+        x = m.add_var("x")  # default ub = inf
+        m.maximize(x)
+        with pytest.raises(UnboundedError):
+            m.solve()
+
+    def test_as_name_dict(self):
+        m = Model()
+        x = m.add_binary("flag")
+        m.maximize(x)
+        sol = m.solve()
+        assert sol.as_name_dict() == {"flag": 1.0}
+
+    def test_solution_value_of_expression(self):
+        m = Model()
+        x = m.add_var("x", 0, 4, integer=True)
+        m.maximize(x)
+        sol = m.solve()
+        assert sol.value(2 * x + 1) == pytest.approx(9)
+
+    def test_objective_constant_only(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x == 1)
+        m.minimize(LinExpr({}, 5.0))
+        assert m.solve().objective == pytest.approx(5.0)

@@ -1,0 +1,66 @@
+"""Tests for ILP statistics collection (Table I plumbing)."""
+
+import pytest
+
+from repro.ilp import Model, StatsCollector
+from repro.ilp.model import SolveStatus
+from repro.ilp.stats import StatsSummary
+
+
+def _solve_one(collector, n_vars=3):
+    m = Model("demo")
+    xs = [m.add_binary(f"x{i}") for i in range(n_vars)]
+    for x in xs:
+        m.add_constraint(x <= 1)
+    m.maximize(sum(xs[1:], xs[0] + 0))
+    m.solve(collector=collector)
+
+
+class TestCollector:
+    def test_records_appended(self):
+        collector = StatsCollector()
+        _solve_one(collector)
+        _solve_one(collector, n_vars=5)
+        assert collector.num_ilps == 2
+        assert collector.total_variables == 8
+        assert collector.total_constraints == 8
+        assert collector.total_solve_seconds > 0
+
+    def test_record_fields(self):
+        collector = StatsCollector()
+        _solve_one(collector)
+        record = collector.records[0]
+        assert record.model_name == "demo"
+        assert record.status is SolveStatus.OPTIMAL
+
+    def test_merge(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        _solve_one(a)
+        _solve_one(b)
+        a.merge(b)
+        assert a.num_ilps == 2
+
+    def test_summary(self):
+        collector = StatsCollector()
+        _solve_one(collector)
+        summary = collector.summary()
+        assert summary.num_ilps == 1
+        assert summary.total_variables == 3
+
+
+class TestRatios:
+    def test_ratio_computation(self):
+        base = StatsSummary(10, 100, 200, 2.0)
+        big = StatsSummary(35, 700, 1100, 28.0)
+        ratios = big.ratio_to(base)
+        assert ratios.ilp_factor == pytest.approx(3.5)
+        assert ratios.variable_factor == pytest.approx(7.0)
+        assert ratios.constraint_factor == pytest.approx(5.5)
+        assert ratios.time_factor == pytest.approx(14.0)
+
+    def test_zero_baseline_gives_inf(self):
+        base = StatsSummary(0, 0, 0, 0.0)
+        big = StatsSummary(1, 1, 1, 1.0)
+        ratios = big.ratio_to(base)
+        assert ratios.ilp_factor == float("inf")

@@ -1,0 +1,332 @@
+"""Behavioral tests of the heterogeneous ILP on hand-built AHTG nodes."""
+
+import pytest
+
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+from repro.core.ilppar import IlpParOptions, ilp_parallelize_node
+from repro.core.solution import SolutionCandidate, SolutionSet
+from repro.htg.nodes import HierarchicalNode, HTGEdge, SimpleNode
+from repro.platforms import Platform, ProcessorClass, config_a
+from repro.platforms.description import Interconnect
+
+
+def leaf(label: str, cycles: float) -> SimpleNode:
+    return SimpleNode(label, 1.0, DefUse(), cycles)
+
+
+def make_node(children, edges=None, label="node", exec_count=1.0):
+    node = HierarchicalNode(
+        label=label,
+        construct="block",
+        exec_count=exec_count,
+        defuse=DefUse(),
+        children=list(children),
+        edges=[],
+    )
+    node.edges = edges or []
+    # every child joins comm-out (zero bytes) as the builder does
+    for child in children:
+        node.edges.append(
+            HTGEdge(child, node.comm_out, DepKind.FLOW, frozenset(), 0.0)
+        )
+    return node
+
+
+def seed_sets(platform: Platform, children) -> dict:
+    sets = {}
+    for child in children:
+        sset = SolutionSet()
+        for pc in platform.processor_classes:
+            sset.add(
+                SolutionCandidate(
+                    node=child,
+                    main_class=pc.name,
+                    exec_time_us=pc.time_us(child.total_cycles()),
+                    is_sequential=True,
+                    energy_nj=child.total_cycles() * pc.energy_per_cycle_nj,
+                )
+            )
+        sets[child.uid] = sset
+    return sets
+
+
+def two_class_platform(tco=1.0):
+    return Platform(
+        "test",
+        (
+            ProcessorClass("slow", 100.0, 1),
+            ProcessorClass("fast", 400.0, 2),
+        ),
+        interconnect=Interconnect(bandwidth_bytes_per_us=1000.0, latency_us=0.5),
+        task_creation_overhead_us=tco,
+        main_class_name="slow",
+    )
+
+
+class TestBasicDecisions:
+    def test_independent_children_parallelized(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(3)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        seq_on_slow = 3 * 400.0  # 3 x 40k cycles at 100MHz
+        assert cand.exec_time_us < seq_on_slow
+        assert cand.num_tasks >= 2
+
+    def test_fast_cores_get_more_work(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(8)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        # count children per class
+        per_class = {}
+        for segment in cand.segments:
+            per_class.setdefault(segment.proc_class, 0)
+            per_class[segment.proc_class] += len(segment.children)
+        fast = per_class.get("fast", 0)
+        slow = per_class.get("slow", 0)
+        assert fast > slow
+
+    def test_never_worse_than_sequential(self):
+        platform = two_class_platform(tco=100.0)  # huge spawn cost
+        children = [leaf(f"w{i}", 100.0) for i in range(4)]  # tiny work
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        seq_on_slow = 4 * 1.0
+        assert cand.exec_time_us <= seq_on_slow + 1e-6
+
+    def test_offload_single_child(self):
+        platform = two_class_platform()
+        child = leaf("heavy", 400_000.0)
+        node = make_node([child])
+        cand = ilp_parallelize_node(node, "slow", 4, platform, seed_sets(platform, [child]))
+        assert cand is not None
+        # offloading to 'fast' takes 1000us (+TCO) vs 4000us on slow
+        assert cand.exec_time_us < 1200.0
+
+    def test_budget_one_returns_none(self):
+        platform = two_class_platform()
+        children = [leaf("a", 1000.0)]
+        node = make_node(children)
+        assert (
+            ilp_parallelize_node(node, "slow", 1, platform, seed_sets(platform, children))
+            is None
+        )
+
+    def test_no_children_returns_none(self):
+        platform = two_class_platform()
+        node = make_node([])
+        assert ilp_parallelize_node(node, "slow", 4, platform, {}) is None
+
+
+class TestDependences:
+    def test_chain_not_parallelized_across(self):
+        platform = two_class_platform()
+        a = leaf("a", 40_000.0)
+        b = leaf("b", 40_000.0)
+        node = make_node([a, b])
+        # a -> b dependence with negligible data
+        node.edges.insert(0, HTGEdge(a, b, DepKind.FLOW, frozenset({"v"}), 4.0))
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        assert cand is not None
+        # best is to run both on a fast core sequentially: 2*100us + overhead
+        assert cand.exec_time_us >= 200.0 - 1e-6
+        assert cand.exec_time_us < 2 * 400.0
+
+    def test_backward_edge_forces_colocation(self):
+        platform = two_class_platform()
+        a = leaf("a", 40_000.0)
+        b = leaf("b", 40_000.0)
+        node = make_node([a, b])
+        node.edges.insert(0, HTGEdge(a, b, DepKind.FLOW, frozenset({"v"}), 4.0))
+        node.edges.insert(
+            0, HTGEdge(b, a, DepKind.FLOW, frozenset({"w"}), 4.0, backward=True)
+        )
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        assert cand is not None
+        ta = cand.task_of_child(a)
+        tb = cand.task_of_child(b)
+        assert ta == tb
+
+    def test_expensive_communication_discourages_split(self):
+        platform = two_class_platform()
+        a = leaf("a", 4_000.0)
+        b = leaf("b", 4_000.0)
+        node = make_node([a, b])
+        # enormous data flow between a and b
+        node.edges.insert(
+            0, HTGEdge(a, b, DepKind.FLOW, frozenset({"big"}), 10_000_000.0)
+        )
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        assert cand is not None
+        assert cand.task_of_child(a) == cand.task_of_child(b)
+
+
+class TestBudgets:
+    def test_class_capacity_respected(self):
+        platform = two_class_platform()  # 1 slow + 2 fast
+        children = [leaf(f"w{i}", 40_000.0) for i in range(6)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        fast_tasks = sum(
+            1
+            for s in cand.segments
+            if s.role == "extra" and s.children and s.proc_class == "fast"
+        )
+        assert fast_tasks <= 2
+        slow_tasks = sum(
+            1
+            for s in cand.segments
+            if s.role == "extra" and s.children and s.proc_class == "slow"
+        )
+        assert slow_tasks == 0  # the only slow core hosts the main task
+
+    def test_total_budget_respected(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(6)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 2, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        assert cand.total_procs <= 2
+
+    def test_inner_procs_counted(self):
+        platform = two_class_platform()
+        child = leaf("inner-parallel", 40_000.0)
+        node = make_node([child])
+        sets = seed_sets(platform, [child])
+        # add a parallel candidate for the child that uses both fast cores
+        sets[child.uid].add(
+            SolutionCandidate(
+                node=child,
+                main_class="fast",
+                exec_time_us=55.0,
+                used_procs={"fast": 1},
+                is_sequential=False,
+            )
+        )
+        cand = ilp_parallelize_node(node, "slow", 4, platform, sets)
+        assert cand is not None
+        chosen = cand.child_choice[child.uid]
+        if not chosen.is_sequential:
+            # both fast cores are accounted for
+            assert cand.used_procs.get("fast", 0) == 2
+
+    def test_budget_two_blocks_inner_parallel_choice(self):
+        platform = two_class_platform()
+        child = leaf("inner-parallel", 40_000.0)
+        node = make_node([child])
+        sets = seed_sets(platform, [child])
+        sets[child.uid].add(
+            SolutionCandidate(
+                node=child,
+                main_class="fast",
+                exec_time_us=55.0,
+                used_procs={"fast": 1},
+                is_sequential=False,
+            )
+        )
+        cand = ilp_parallelize_node(node, "slow", 2, platform, sets)
+        assert cand is not None
+        chosen = cand.child_choice[child.uid]
+        # with only one extra processor the 2-proc candidate is not usable
+        assert chosen.is_sequential
+
+
+class TestClassConsistency:
+    def test_chosen_candidate_matches_task_class(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        for segment in cand.segments:
+            for child in segment.children:
+                assert cand.child_choice[child.uid].main_class == segment.proc_class
+
+    def test_main_segments_on_seq_class(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "fast", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        for segment in cand.segments:
+            if segment.is_main:
+                assert segment.proc_class == "fast"
+        assert cand.main_class == "fast"
+
+
+class TestEnergyObjective:
+    def test_energy_objective_prefers_efficient_class(self):
+        # fast class burns much more energy per cycle
+        platform = Platform(
+            "energy",
+            (
+                ProcessorClass("eff", 100.0, 2, energy_per_cycle_nj=1.0),
+                ProcessorClass("burn", 400.0, 2, energy_per_cycle_nj=20.0),
+            ),
+            interconnect=Interconnect(),
+            task_creation_overhead_us=1.0,
+            main_class_name="eff",
+        )
+        children = [leaf(f"w{i}", 10_000.0) for i in range(2)]
+        node = make_node(children)
+        sets = seed_sets(platform, children)
+        cand = ilp_parallelize_node(
+            node,
+            "eff",
+            4,
+            platform,
+            sets,
+            options=IlpParOptions(objective="energy", energy_deadline_factor=1.0),
+        )
+        assert cand is not None
+        for child in children:
+            assert cand.child_choice[child.uid].main_class == "eff"
+        assert cand.energy_nj == pytest.approx(20_000.0)
+
+    def test_time_objective_uses_fast_class(self):
+        platform = Platform(
+            "energy",
+            (
+                ProcessorClass("eff", 100.0, 2, energy_per_cycle_nj=1.0),
+                ProcessorClass("burn", 400.0, 2, energy_per_cycle_nj=20.0),
+            ),
+            interconnect=Interconnect(),
+            task_creation_overhead_us=1.0,
+            main_class_name="eff",
+        )
+        children = [leaf(f"w{i}", 100_000.0) for i in range(2)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "eff", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        classes = {
+            cand.child_choice[c.uid].main_class for c in children
+        }
+        assert "burn" in classes

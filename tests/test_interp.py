@@ -1,0 +1,254 @@
+"""Tests for the concrete interpreter (the profiling substitute)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront import ir
+from repro.timing.interp import (
+    Interpreter,
+    InterpreterError,
+    InterpreterLimitExceeded,
+    run_function,
+    _c_div,
+    _c_mod,
+)
+
+
+class TestScalarSemantics:
+    def test_int_truncation_on_assign(self):
+        program = parse_c_source("void f(void) { int a; a = 7 / 2; }")
+        interp = Interpreter(program)
+        interp.run("f")
+        # executed without error; C semantics: 7/2 == 3
+        program2 = parse_c_source("int g(void) { return 7 / 2; }")
+        assert run_function(program2, "g").return_value == 3
+
+    def test_negative_division_truncates_toward_zero(self):
+        program = parse_c_source("int g(void) { int a; a = -7; return a / 2; }")
+        assert run_function(program, "g").return_value == -3
+
+    def test_modulo_c99(self):
+        program = parse_c_source("int g(void) { int a; a = -7; return a % 3; }")
+        assert run_function(program, "g").return_value == -1
+
+    @pytest.mark.parametrize("a,b", [(7, 2), (-7, 2), (7, -2), (-7, -2), (0, 5)])
+    def test_cdiv_cmod_identity(self, a, b):
+        assert _c_div(a, b) * b + _c_mod(a, b) == a
+
+    def test_float_arithmetic(self):
+        program = parse_c_source("double g(void) { return 1.0 / 4.0 + 0.25; }")
+        assert run_function(program, "g").return_value == pytest.approx(0.5)
+
+    def test_comparisons_and_logic(self):
+        program = parse_c_source(
+            "int g(void) { int a; a = 3; if (a > 1 && a < 5) { return 1; } return 0; }"
+        )
+        assert run_function(program, "g").return_value == 1
+
+    def test_shifts_and_bitops(self):
+        program = parse_c_source(
+            "int g(void) { int a; a = 1 << 4; return (a | 3) & 0xFF; }"
+        )
+        assert run_function(program, "g").return_value == 19
+
+    def test_unary_ops(self):
+        program = parse_c_source("int g(void) { int a; a = 5; return -a + !0; }")
+        assert run_function(program, "g").return_value == -4
+
+    def test_cast(self):
+        program = parse_c_source("int g(void) { return (int)2.9; }")
+        assert run_function(program, "g").return_value == 2
+
+
+class TestControlFlow:
+    def test_for_loop_count(self):
+        program = parse_c_source(
+            "int g(void) { int i; int s; s = 0;"
+            " for (i = 0; i < 10; i += 3) { s = s + 1; } return s; }"
+        )
+        assert run_function(program, "g").return_value == 4
+
+    def test_while_loop(self):
+        program = parse_c_source(
+            "int g(void) { int i; i = 0; while (i < 5) { i = i + 1; } return i; }"
+        )
+        assert run_function(program, "g").return_value == 5
+
+    def test_if_else_branches(self):
+        program = parse_c_source(
+            "int g(int v) { if (v > 0) { return 1; } else { return -1; } }"
+        )
+        assert run_function(program, "g", [5]).return_value == 1
+        assert run_function(program, "g", [-5]).return_value == -1
+
+    def test_early_return_stops_loop(self):
+        program = parse_c_source(
+            "int g(void) { int i; for (i = 0; i < 100; i++) {"
+            " if (i == 3) { return i; } } return -1; }"
+        )
+        assert run_function(program, "g").return_value == 3
+
+    def test_execution_counts(self):
+        program = parse_c_source(
+            "float x[6];\n"
+            "void f(void) { int i; for (i = 0; i < 6; i++) { x[i] = i; } }"
+        )
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        body_assign = loop.body.stmts[0]
+        profile = run_function(program, "f")
+        assert profile.count(loop.sid) == 1
+        assert profile.count(body_assign.sid) == 6
+
+
+class TestArrays:
+    def test_global_array_persistence(self):
+        program = parse_c_source(
+            "float x[4];\n"
+            "void f(void) { x[2] = 7.5f; }\n"
+        )
+        interp = Interpreter(program)
+        interp.run("f")
+        assert interp.globals["x"][2] == pytest.approx(7.5)
+
+    def test_multidim(self):
+        program = parse_c_source(
+            "float m[3][4];\nfloat g(void) { m[1][2] = 9.0f; return m[1][2]; }"
+        )
+        assert run_function(program, "g").return_value == pytest.approx(9.0)
+
+    def test_local_array(self):
+        program = parse_c_source(
+            "float g(void) { float t[4]; t[0] = 1.5f; return t[0]; }"
+        )
+        assert run_function(program, "g").return_value == pytest.approx(1.5)
+
+    def test_bounds_check(self):
+        program = parse_c_source("float x[4];\nvoid f(void) { x[4] = 1.0f; }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "f")
+
+    def test_negative_index_rejected(self):
+        program = parse_c_source(
+            "float x[4];\nvoid f(void) { int i; i = -1; x[i] = 1.0f; }"
+        )
+        with pytest.raises(InterpreterError):
+            run_function(program, "f")
+
+    def test_wrong_arity_rejected(self):
+        program = parse_c_source("float x[4][4];\nvoid f(void) { x[1] = 1.0f; }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "f")
+
+
+class TestCalls:
+    def test_builtin_math(self):
+        program = parse_c_source("double g(void) { return sqrt(16.0); }")
+        assert run_function(program, "g").return_value == pytest.approx(4.0)
+
+    def test_user_function_call(self):
+        program = parse_c_source(
+            "int sq(int v) { return v * v; }\n"
+            "int g(void) { return sq(6); }"
+        )
+        assert run_function(program, "g").return_value == 36
+
+    def test_array_passed_by_reference(self):
+        program = parse_c_source(
+            "float buf[4];\n"
+            "void fill(float *dst, int n) { int i;"
+            " for (i = 0; i < n; i++) { dst[i] = i * 2.0f; } }\n"
+            "float g(void) { fill(buf, 4); return buf[3]; }"
+        )
+        assert run_function(program, "g").return_value == pytest.approx(6.0)
+
+    def test_undefined_function_rejected(self):
+        program = parse_c_source("void f(void) { mystery(); }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "f")
+
+    def test_wrong_argument_count(self):
+        program = parse_c_source("int sq(int v) { return v * v; }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "sq", [])
+
+
+class TestLimitsAndErrors:
+    def test_step_limit(self):
+        program = parse_c_source(
+            "void f(void) { int i; i = 0; while (i < 1000000) { i = i + 1; } }"
+        )
+        with pytest.raises(InterpreterLimitExceeded):
+            run_function(program, "f", max_steps=1000)
+
+    def test_division_by_zero(self):
+        program = parse_c_source("int g(void) { int a; a = 0; return 1 / a; }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "g")
+
+    def test_undefined_variable(self):
+        # The parser allows use of an undeclared name; the interpreter flags it.
+        program = parse_c_source("int g(void) { return nope; }")
+        with pytest.raises(InterpreterError):
+            run_function(program, "g")
+
+
+class TestNumericalAgreement:
+    def test_fir_matches_numpy(self):
+        program = parse_c_source(
+            """
+            #define N 8
+            #define T 16
+            float x[N + T];
+            float h[T];
+            float y[N];
+            void f(void) {
+                int i; int j; float s;
+                for (i = 0; i < N + T; i++) { x[i] = 0.1f * i; }
+                for (i = 0; i < T; i++) { h[i] = 1.0f / (i + 1); }
+                for (i = 0; i < N; i++) {
+                    s = 0.0f;
+                    for (j = 0; j < T; j++) { s = s + x[i + j] * h[j]; }
+                    y[i] = s;
+                }
+            }
+            """
+        )
+        interp = Interpreter(program)
+        interp.run("f")
+        x = 0.1 * np.arange(24, dtype=np.float64)
+        h = 1.0 / (np.arange(16, dtype=np.float64) + 1)
+        expected = np.array([np.dot(x[i : i + 16], h) for i in range(8)])
+        np.testing.assert_allclose(interp.globals["y"], expected, rtol=1e-5)
+
+    def test_matmul_matches_numpy(self):
+        program = parse_c_source(
+            """
+            float a[5][5]; float b[5][5]; float c[5][5];
+            void f(void) {
+                int i; int j; int k; float s;
+                for (i = 0; i < 5; i++) { for (j = 0; j < 5; j++) {
+                    a[i][j] = 0.3f * i - 0.2f * j;
+                    b[i][j] = 0.1f * (i + j);
+                } }
+                for (i = 0; i < 5; i++) { for (j = 0; j < 5; j++) {
+                    s = 0.0f;
+                    for (k = 0; k < 5; k++) { s = s + a[i][k] * b[k][j]; }
+                    c[i][j] = s;
+                } }
+            }
+            """
+        )
+        interp = Interpreter(program)
+        interp.run("f")
+        i = np.arange(5).reshape(-1, 1)
+        j = np.arange(5).reshape(1, -1)
+        a = (0.3 * i - 0.2 * j).astype(np.float32)
+        b = (0.1 * (i + j)).astype(np.float32)
+        np.testing.assert_allclose(
+            interp.globals["c"], a.astype(np.float64) @ b.astype(np.float64),
+            rtol=1e-4,
+        )

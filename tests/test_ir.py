@@ -1,0 +1,104 @@
+"""Tests for IR node mechanics not covered elsewhere."""
+
+import pytest
+
+from repro.cfront import ir, parse_c_source
+
+
+class TestExprNodes:
+    def test_walk_covers_subtree(self):
+        expr = ir.BinOp(
+            "+",
+            ir.ArrayRef("a", (ir.VarRef("i"),)),
+            ir.UnOp("-", ir.Const(3)),
+        )
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["BinOp", "ArrayRef", "VarRef", "UnOp", "Const"]
+
+    def test_str_rendering(self):
+        expr = ir.BinOp("*", ir.VarRef("x"), ir.Const(2))
+        assert str(expr) == "(x * 2)"
+        assert str(ir.ArrayRef("m", (ir.Const(1), ir.Const(2)))) == "m[1][2]"
+        assert str(ir.Cast("int", ir.VarRef("f"))) == "((int)f)"
+        assert str(ir.CallExpr("sqrt", (ir.Const(4),))) == "sqrt(4)"
+
+    def test_const_equality(self):
+        assert ir.Const(1) == ir.Const(1)
+        assert ir.Const(1) != ir.Const(2)
+
+
+class TestStmtNodes:
+    def test_expressions_of_each_kind(self):
+        program = parse_c_source(
+            """
+            float x[4];
+            int g(int n) {
+                int i;
+                float s;
+                s = 0.0f;
+                for (i = 0; i < n; i++) { s = s + x[i]; }
+                if (s > 1.0f) { s = 1.0f; }
+                while (s > 0.5f) { s = s - 0.1f; }
+                return n;
+            }
+            """
+        )
+        func = program.entry("g")
+        for stmt in func.body.walk():
+            exprs = stmt.expressions()
+            for expr in exprs:
+                assert expr is None or isinstance(expr, ir.Expr)
+
+    def test_is_hierarchical(self):
+        program = parse_c_source(
+            "void f(void) { int i; for (i = 0; i < 2; i++) { i = i; } }"
+        )
+        stmts = program.entry("f").body.stmts
+        loop = next(s for s in stmts if isinstance(s, ir.ForLoop))
+        assert loop.is_hierarchical()
+        assert not loop.body.stmts[0].is_hierarchical()
+
+    def test_for_loop_negative_step_rejected(self):
+        with pytest.raises(ir.UnsupportedCError):
+            ir.ForLoop("i", ir.Const(0), ir.Const(4), 0, ir.Block([]))
+
+    def test_repr_smoke(self):
+        program = parse_c_source(
+            "float x[2];\nvoid f(void) { int a = 1; x[0] = a; return; }"
+        )
+        for stmt in program.entry("f").body.walk():
+            assert repr(stmt)
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "ctype,size",
+        [("char", 1), ("short", 2), ("int", 4), ("long", 8),
+         ("float", 4), ("double", 8), ("void", 0)],
+    )
+    def test_known_types(self, ctype, size):
+        assert ir.sizeof(ctype) == size
+
+    def test_unknown_defaults_to_four(self):
+        assert ir.sizeof("mystruct") == 4
+
+
+class TestProgram:
+    def test_array_decl_lookup_global(self):
+        program = parse_c_source("float g[8];\nvoid f(void) { }")
+        decl = program.array_decl("g")
+        assert decl is not None and decl.dims == (8,)
+
+    def test_array_decl_lookup_local_scope(self):
+        program = parse_c_source("void f(void) { float t[4]; t[0] = 1.0f; }")
+        func = program.entry("f")
+        decl = program.array_decl("t", scope=func)
+        assert decl is not None and decl.dims == (4,)
+        assert program.array_decl("t") is None  # not global
+
+    def test_function_walk_statements(self):
+        program = parse_c_source(
+            "void f(void) { int a; a = 1; if (a) { a = 2; } }"
+        )
+        count = sum(1 for _ in program.entry("f").walk_statements())
+        assert count >= 4  # body block, decl, assign, if, inner block, assign

@@ -1,0 +1,109 @@
+"""Tests for static task-to-core mapping (the paper's mapping-tool stage)."""
+
+import pytest
+
+from repro.core.flatten import AtomicTask, FlatEdge, FlatTaskGraph, flatten_solution
+from repro.core.mapping import compute_static_mapping
+from repro.platforms import config_a
+from repro.simulator.engine import SimOptions, simulate_graph
+
+from tests.test_simulator import graph_of, simple_platform
+
+
+class TestComputeMapping:
+    def test_respects_class_requirements(self):
+        tasks = [AtomicTask(i, f"t{i}", 1000.0, "fast") for i in range(3)]
+        graph = graph_of(tasks, [], 0, 2)
+        platform = simple_platform()
+        mapping = compute_static_mapping(graph, platform)
+        assert mapping.validate(graph, platform) == []
+        assert all(core[0] == "fast" for core in mapping.assignment.values())
+
+    def test_all_tasks_mapped(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        mapping = compute_static_mapping(graph, platform_a_acc)
+        assert mapping.validate(graph, platform_a_acc) == []
+        assert set(mapping.assignment) == {t.tid for t in graph.tasks}
+
+    def test_parallel_work_spread_over_cores(self):
+        tasks = [AtomicTask(i, f"t{i}", 5000.0, "fast") for i in range(2)]
+        graph = graph_of(tasks, [], 0, 1)
+        mapping = compute_static_mapping(graph, simple_platform())
+        cores_used = set(mapping.assignment.values())
+        assert len(cores_used) == 2
+
+    def test_unknown_class_rejected(self):
+        graph = graph_of([AtomicTask(0, "t", 10.0, "gpu")], [], 0, 0)
+        with pytest.raises(ValueError):
+            compute_static_mapping(graph, simple_platform())
+
+    def test_cycle_rejected(self):
+        tasks = [AtomicTask(0, "a", 10.0, "slow"), AtomicTask(1, "b", 10.0, "slow")]
+        graph = graph_of(tasks, [FlatEdge(0, 1), FlatEdge(1, 0)], 0, 1)
+        with pytest.raises(ValueError):
+            compute_static_mapping(graph, simple_platform())
+
+
+class TestFixedMappingExecution:
+    def test_static_equals_predicted(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        mapping = compute_static_mapping(graph, platform_a_acc)
+        sim = simulate_graph(
+            graph, platform_a_acc, SimOptions(fixed_mapping=mapping.assignment)
+        )
+        assert sim.makespan_us == pytest.approx(
+            mapping.predicted_makespan_us, rel=1e-9
+        )
+
+    def test_dynamic_never_worse_than_static(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        mapping = compute_static_mapping(graph, platform_a_acc)
+        static = simulate_graph(
+            graph, platform_a_acc, SimOptions(fixed_mapping=mapping.assignment)
+        )
+        dynamic = simulate_graph(graph, platform_a_acc)
+        assert dynamic.makespan_us <= static.makespan_us + 1e-6
+
+    def test_schedule_follows_mapping(self):
+        tasks = [AtomicTask(i, f"t{i}", 1000.0, "fast") for i in range(4)]
+        graph = graph_of(tasks, [], 0, 3)
+        platform = simple_platform()
+        mapping = compute_static_mapping(graph, platform)
+        sim = simulate_graph(
+            graph, platform, SimOptions(fixed_mapping=mapping.assignment)
+        )
+        for tid, scheduled in sim.schedule.items():
+            assert scheduled.core == mapping.assignment[tid]
+
+    def test_incomplete_mapping_rejected(self):
+        tasks = [AtomicTask(0, "a", 10.0, "slow"), AtomicTask(1, "b", 10.0, "slow")]
+        graph = graph_of(tasks, [], 0, 1)
+        with pytest.raises(ValueError):
+            simulate_graph(
+                graph, simple_platform(),
+                SimOptions(fixed_mapping={0: ("slow", 0)}),
+            )
+
+    def test_class_violation_rejected(self):
+        graph = graph_of([AtomicTask(0, "t", 10.0, "fast")], [], 0, 0)
+        with pytest.raises(ValueError):
+            simulate_graph(
+                graph, simple_platform(),
+                SimOptions(fixed_mapping={0: ("slow", 0)}),
+            )
+
+    def test_full_benchmark_static_vs_dynamic(self):
+        """The paper's static binding loses nothing on a real solution."""
+        from repro.toolflow.experiments import prepare_benchmark
+        from repro.core.parallelize import HeterogeneousParallelizer
+
+        platform = config_a("accelerator")
+        _, htg = prepare_benchmark("fir_256")
+        result = HeterogeneousParallelizer(platform).parallelize(htg)
+        graph = flatten_solution(result.best, platform)
+        mapping = compute_static_mapping(graph, platform)
+        static = simulate_graph(
+            graph, platform, SimOptions(fixed_mapping=mapping.assignment)
+        )
+        dynamic = simulate_graph(graph, platform)
+        assert static.makespan_us == pytest.approx(dynamic.makespan_us, rel=0.05)

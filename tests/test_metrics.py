@@ -1,0 +1,92 @@
+"""Tests for AHTG parallelism metrics and speedup bounds."""
+
+import pytest
+
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+from repro.htg.metrics import analyze_parallelism, critical_path_cycles, render_report
+from repro.htg.nodes import HTGEdge
+from repro.platforms import config_a
+
+from tests.conftest import prepare, SMALL_FIR, SMALL_SERIAL
+from tests.test_ilppar import leaf, make_node
+
+
+class TestCriticalPath:
+    def test_leaf_is_own_cost(self):
+        assert critical_path_cycles(leaf("x", 500.0)) == 500.0
+
+    def test_independent_children_max(self):
+        node = make_node([leaf("a", 100.0), leaf("b", 300.0)])
+        assert critical_path_cycles(node) == 300.0
+
+    def test_chain_adds(self):
+        a, b = leaf("a", 100.0), leaf("b", 300.0)
+        node = make_node([a, b])
+        node.edges.insert(0, HTGEdge(a, b, DepKind.FLOW, frozenset({"v"}), 0.0))
+        assert critical_path_cycles(node) == 400.0
+
+    def test_diamond(self):
+        a, b, c, d = (leaf(x, 100.0) for x in "abcd")
+        node = make_node([a, b, c, d])
+        for src, dst in [(a, b), (a, c), (b, d), (c, d)]:
+            node.edges.insert(0, HTGEdge(src, dst, DepKind.FLOW, frozenset({"v"}), 0.0))
+        assert critical_path_cycles(node) == 300.0  # a -> b|c -> d
+
+    def test_backward_edge_serializes(self):
+        a, b = leaf("a", 100.0), leaf("b", 300.0)
+        node = make_node([a, b])
+        node.edges.insert(
+            0, HTGEdge(b, a, DepKind.FLOW, frozenset({"v"}), 0.0, backward=True)
+        )
+        assert critical_path_cycles(node) == 400.0
+
+
+class TestAnalyze:
+    def test_parallel_program_high_parallelism(self, small_fir):
+        _, _, htg = small_fir
+        report = analyze_parallelism(htg)
+        assert report.available_parallelism > 3.0
+        assert report.chunked_loops >= 1
+        assert report.total_cycles >= report.critical_path_cycles
+
+    def test_serial_program_low_parallelism(self, small_serial):
+        _, _, htg = small_serial
+        report = analyze_parallelism(htg)
+        assert report.available_parallelism < 1.5
+        assert report.chunked_loops == 0
+
+    def test_render(self, small_fir, platform_a_acc):
+        _, _, htg = small_fir
+        text = render_report(analyze_parallelism(htg), platform_a_acc)
+        assert "critical path" in text
+        assert "speedup bound" in text
+
+
+class TestBoundsHold:
+    def test_ilp_speedup_below_structural_bound(
+        self, small_fir, fir_hetero_result, platform_a_acc
+    ):
+        _, _, htg = small_fir
+        report = analyze_parallelism(htg)
+        bound = report.bounded_speedup(platform_a_acc)
+        assert fir_hetero_result.estimated_speedup <= bound + 1e-6
+
+    def test_serial_program_bound_is_clock_ratio(
+        self, small_serial, platform_a_acc
+    ):
+        _, _, htg = small_serial
+        report = analyze_parallelism(htg)
+        bound = report.bounded_speedup(platform_a_acc)
+        # nearly-serial program: bound ≈ parallelism * (500/100) < limit
+        assert bound < platform_a_acc.theoretical_speedup()
+
+    @pytest.mark.parametrize("bench", ["fir_256", "latnrm_32", "iir_4"])
+    def test_benchmark_bounds(self, bench):
+        from repro.toolflow.experiments import prepare_benchmark, run_benchmark
+
+        platform = config_a("accelerator")
+        _, htg = prepare_benchmark(bench)
+        report = analyze_parallelism(htg)
+        run = run_benchmark(bench, platform, "heterogeneous")
+        assert run.estimated_speedup <= report.bounded_speedup(platform) + 1e-6

@@ -1,0 +1,47 @@
+"""Model-vs-simulator consistency.
+
+The ILP optimizes a high-level cost model (Eq. 8-11); the discrete-event
+simulator executes the chosen solution with its own bus/core timing. The
+approach is only as good as the agreement between the two — these tests
+bound the gap across kernels, platforms and approaches.
+"""
+
+import pytest
+
+from repro.platforms import config_a, config_b
+from repro.toolflow.experiments import run_benchmark
+
+_KERNELS = ["fir_256", "mult_10", "latnrm_32", "edge_detect"]
+
+
+class TestEstimateTracksSimulation:
+    @pytest.mark.parametrize("bench", _KERNELS)
+    def test_platform_a_accelerator(self, bench):
+        run = run_benchmark(bench, config_a("accelerator"), "heterogeneous")
+        ratio = run.estimated_speedup / run.speedup
+        assert 0.5 <= ratio <= 2.0, (bench, run.estimated_speedup, run.speedup)
+
+    def test_platform_b_slower_cores(self):
+        run = run_benchmark("fir_256", config_b("slower-cores"), "heterogeneous")
+        ratio = run.estimated_speedup / run.speedup
+        assert 0.5 <= ratio <= 2.0
+
+    def test_estimate_is_conservative_on_average(self):
+        """The model chains tasks pessimistically (no overlap of dependent
+        work), so across kernels the estimate should not be wildly more
+        optimistic than the simulation."""
+        ratios = []
+        platform = config_a("accelerator")
+        for bench in _KERNELS:
+            run = run_benchmark(bench, platform, "heterogeneous")
+            ratios.append(run.estimated_speedup / run.speedup)
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio <= 1.3
+
+    def test_homogeneous_estimate_diverges_by_design(self):
+        """The homogeneous tool's self-estimate assumes uniform cores; on
+        the heterogeneous platform its *simulated* speedup must be lower
+        than its belief in scenario II (the paper's core observation)."""
+        run = run_benchmark("fir_256", config_a("slower-cores"), "homogeneous")
+        assert run.speedup < run.estimated_speedup
+        assert run.speedup < 1.0 < run.estimated_speedup

@@ -1,0 +1,68 @@
+"""Tests for the OpenMP output backend."""
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.codegen.openmp import emit_openmp
+from repro.core.parallelize import HeterogeneousParallelizer
+from repro.platforms import config_a
+
+from tests.conftest import prepare
+from tests.test_transform_semantics import (
+    assert_same_globals,
+    run_globals,
+    strip_pragmas,
+)
+
+
+@pytest.fixture(scope="module")
+def filterbank_result():
+    source = get_benchmark("filterbank").source
+    program, _db, htg = prepare(source)
+    result = HeterogeneousParallelizer(config_a("accelerator")).parallelize(htg)
+    return source, program, result
+
+
+class TestStructure:
+    def test_sections_emitted(self, filterbank_result):
+        _source, program, result = filterbank_result
+        text = emit_openmp(result, program=program)
+        assert "#pragma omp parallel sections" in text
+        assert "#pragma omp section" in text
+
+    def test_class_hints_present(self, filterbank_result):
+        _source, program, result = filterbank_result
+        text = emit_openmp(result, program=program)
+        assert "repro:class(" in text
+        assert "repro:main_class(" in text
+
+    def test_body_only_mode(self, filterbank_result):
+        _source, _program, result = filterbank_result
+        text = emit_openmp(result)
+        assert "OpenMP output" in text
+
+    def test_full_unit_has_globals_and_entry(self, filterbank_result):
+        _source, program, result = filterbank_result
+        text = emit_openmp(result, program=program)
+        assert "float input[" in text
+        assert "void main(void)" in text
+
+
+class TestSemantics:
+    def test_sequential_fallback_equivalence(self, filterbank_result):
+        """With OpenMP disabled (pragmas stripped) the emitted program is
+        plain sequential C computing the same result."""
+        source, program, result = filterbank_result
+        text = emit_openmp(result, program=program)
+        sequentialized = strip_pragmas(text)
+        assert_same_globals(run_globals(source), run_globals(sequentialized))
+
+    @pytest.mark.parametrize("bench", ["fir_256", "mult_10"])
+    def test_other_kernels(self, bench):
+        source = get_benchmark(bench).source
+        program, _db, htg = prepare(source)
+        result = HeterogeneousParallelizer(config_a("accelerator")).parallelize(htg)
+        text = emit_openmp(result, program=program)
+        assert_same_globals(
+            run_globals(source), run_globals(strip_pragmas(text))
+        )

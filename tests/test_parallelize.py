@@ -1,0 +1,114 @@
+"""Tests for the global bottom-up Algorithm 1."""
+
+import pytest
+
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+    ParallelizeOptions,
+)
+from repro.htg.nodes import HierarchicalNode
+
+from tests.conftest import prepare, SMALL_FIR, SMALL_SERIAL
+
+
+class TestHeterogeneous:
+    def test_best_solution_on_main_class(self, fir_hetero_result, platform_a_acc):
+        assert fir_hetero_result.best.main_class == platform_a_acc.main_class.name
+
+    def test_solution_sets_cover_every_node(self, fir_hetero_result):
+        htg = fir_hetero_result.htg
+        for node in htg.walk():
+            assert node.uid in fir_hetero_result.solution_sets
+
+    def test_sequential_candidate_per_class(self, fir_hetero_result, platform_a_acc):
+        htg = fir_hetero_result.htg
+        for node in htg.walk():
+            sset = fir_hetero_result.solution_sets[node.uid]
+            for pc in platform_a_acc.processor_classes:
+                assert sset.sequential_for_class(pc.name) is not None
+
+    def test_estimated_speedup_above_one(self, fir_hetero_result):
+        assert fir_hetero_result.estimated_speedup > 1.5
+
+    def test_estimate_not_above_theoretical_limit(
+        self, fir_hetero_result, platform_a_acc
+    ):
+        assert (
+            fir_hetero_result.estimated_speedup
+            <= platform_a_acc.theoretical_speedup() + 1e-6
+        )
+
+    def test_stats_populated(self, fir_hetero_result):
+        stats = fir_hetero_result.stats
+        assert stats.num_ilps > 0
+        assert stats.total_variables > 0
+        assert stats.total_constraints > 0
+        assert stats.total_solve_seconds > 0
+
+    def test_serial_program_offloaded(self, small_serial, platform_a_acc):
+        _, _, htg = small_serial
+        result = HeterogeneousParallelizer(platform_a_acc).parallelize(htg)
+        # the recurrence cannot be split, but it can run on a faster core:
+        # speedup strictly above 1, bounded by the 5x clock ratio
+        assert 1.0 < result.estimated_speedup <= 5.0
+
+    def test_min_parallelize_threshold_prunes_ilps(self, small_fir, platform_a_acc):
+        _, _, htg = small_fir
+        cheap = HeterogeneousParallelizer(
+            platform_a_acc,
+            ParallelizeOptions(min_parallelize_us=10_000_000.0),
+        ).parallelize(htg)
+        assert cheap.stats.num_ilps == 0
+        assert cheap.best.is_sequential
+
+
+class TestHomogeneous:
+    def test_best_is_ref_class(self, fir_homo_result, platform_a_acc):
+        assert fir_homo_result.best.main_class == platform_a_acc.main_class.name
+
+    def test_fewer_ilps_than_hetero(self, fir_homo_result, fir_hetero_result):
+        assert fir_homo_result.stats.num_ilps < fir_hetero_result.stats.num_ilps
+
+    def test_fewer_variables_than_hetero(self, fir_homo_result, fir_hetero_result):
+        assert (
+            fir_homo_result.stats.total_variables
+            < fir_hetero_result.stats.total_variables
+        )
+
+    def test_homo_estimate_assumes_uniform_cores(
+        self, fir_homo_result, platform_a_acc
+    ):
+        # the homogeneous tool believes all 4 cores run at the main clock:
+        # its own estimate is bounded by 4x
+        assert fir_homo_result.estimated_speedup <= 4.0 + 1e-6
+
+
+class TestSolutionSetsQuality:
+    def test_parallel_candidates_exist_for_chunked_loop(
+        self, fir_hetero_result, platform_a_acc
+    ):
+        htg = fir_hetero_result.htg
+        # the dominant (most expensive) chunked loop must have profitable
+        # parallel candidates; tiny chunked loops may legitimately keep
+        # only sequential ones (spawn overhead dominates)
+        chunked = max(
+            (
+                n
+                for n in htg.walk()
+                if isinstance(n, HierarchicalNode) and n.construct == "loop-chunked"
+            ),
+            key=lambda n: n.total_cycles(),
+        )
+        sset = fir_hetero_result.solution_sets[chunked.uid]
+        assert any(not c.is_sequential for c in sset.all())
+
+    def test_candidates_respect_platform_capacity(
+        self, fir_hetero_result, platform_a_acc
+    ):
+        for sset in fir_hetero_result.solution_sets.values():
+            for cand in sset.all():
+                for pc in platform_a_acc.processor_classes:
+                    own = 1 if cand.main_class == pc.name else 0
+                    assert cand.used_procs_of(pc.name) + own <= pc.count
+                assert cand.total_procs <= platform_a_acc.total_cores

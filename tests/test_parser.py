@@ -1,0 +1,195 @@
+"""Tests for the pycparser-based C frontend."""
+
+import pytest
+
+from repro.cfront import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    CallStmt,
+    Const,
+    Decl,
+    ForLoop,
+    If,
+    Return,
+    UnsupportedCError,
+    VarRef,
+    WhileLoop,
+    parse_c_source,
+)
+from repro.cfront import ir
+
+
+def parse_body(body: str, prelude: str = ""):
+    program = parse_c_source(f"{prelude}\nvoid f(void) {{ {body} }}")
+    return program.entry("f").body.stmts
+
+
+class TestBasicParsing:
+    def test_assignment(self):
+        (stmt,) = parse_body("int a; a = 3;")[1:]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.lhs, VarRef) and stmt.lhs.name == "a"
+        assert isinstance(stmt.rhs, Const) and stmt.rhs.value == 3
+
+    def test_compound_assignment_normalized(self):
+        stmts = parse_body("int a; a = 1; a += 2;")
+        last = stmts[-1]
+        assert isinstance(last.rhs, BinOp) and last.rhs.op == "+"
+
+    def test_increment_normalized(self):
+        stmts = parse_body("int a; a = 1; a++;")
+        last = stmts[-1]
+        assert isinstance(last.rhs, BinOp)
+        assert last.rhs.op == "+"
+
+    def test_array_multidim(self):
+        stmts = parse_body("x[1][2] = 3;", prelude="float x[4][5];")
+        assert isinstance(stmts[0].lhs, ArrayRef)
+        assert len(stmts[0].lhs.indices) == 2
+
+    def test_global_array_dims(self):
+        program = parse_c_source("float x[4][5];\nvoid f(void) { }")
+        assert program.globals["x"].dims == (4, 5)
+
+    def test_char_and_hex_constants(self):
+        stmts = parse_body("int a; a = 0x10; a = 'A';")
+        assert stmts[1].rhs.value == 16
+        assert stmts[2].rhs.value == 65
+
+    def test_float_suffix(self):
+        stmts = parse_body("float a; a = 1.5f;")
+        assign = stmts[-1]
+        assert assign.rhs.value == pytest.approx(1.5)
+        assert assign.rhs.ctype == "float"
+
+    def test_if_else(self):
+        (stmt,) = parse_body("int a; if (a > 0) { a = 1; } else { a = 2; }")[1:]
+        assert isinstance(stmt, If)
+        assert stmt.else_block is not None
+
+    def test_return_value(self):
+        program = parse_c_source("int g(void) { return 42; }")
+        (stmt,) = program.entry("g").body.stmts
+        assert isinstance(stmt, Return)
+        assert stmt.expr.value == 42
+
+    def test_call_statement(self):
+        stmts = parse_body("helper(1, 2);")
+        assert isinstance(stmts[0], CallStmt)
+        assert stmts[0].call.name == "helper"
+
+    def test_comments_stripped(self):
+        stmts = parse_body("int a; /* block */ a = 1; // line\n a = 2;")
+        assert len(stmts) == 3
+
+
+class TestDefines:
+    def test_simple_define(self):
+        program = parse_c_source("#define N 8\nfloat x[N];\nvoid f(void) { }")
+        assert program.globals["x"].dims == (8,)
+
+    def test_define_in_expression(self):
+        program = parse_c_source(
+            "#define N 8\nfloat x[N + 2];\nvoid f(void) { }"
+        )
+        assert program.globals["x"].dims == (10,)
+
+    def test_chained_defines(self):
+        program = parse_c_source(
+            "#define A 4\n#define B (A * 2)\nfloat x[B];\nvoid f(void) { }"
+        )
+        assert program.globals["x"].dims == (8,)
+
+
+class TestForLoopCanonicalization:
+    def test_simple_for(self):
+        (loop,) = parse_body("int i; for (i = 0; i < 10; i++) { }")[1:]
+        assert isinstance(loop, ForLoop)
+        assert loop.step == 1
+        assert loop.lower.value == 0
+
+    def test_le_bound_normalized(self):
+        (loop,) = parse_body("int i; for (i = 0; i <= 9; i++) { }")[1:]
+        assert isinstance(loop, ForLoop)
+        # upper becomes 9 + 1
+        assert isinstance(loop.upper, BinOp)
+
+    def test_step_plus_equals(self):
+        (loop,) = parse_body("int i; for (i = 0; i < 10; i += 2) { }")[1:]
+        assert loop.step == 2
+
+    def test_step_i_equals_i_plus(self):
+        (loop,) = parse_body("int i; for (i = 0; i < 10; i = i + 3) { }")[1:]
+        assert loop.step == 3
+
+    def test_decl_in_init(self):
+        (loop,) = parse_body("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(loop, ForLoop)
+        assert loop.var == "i"
+
+    def test_downward_loop_falls_back_to_while(self):
+        stmts = parse_body("int i; for (i = 10; i > 0; i = i - 1) { }")
+        kinds = [type(s) for s in stmts]
+        assert WhileLoop in kinds or any(isinstance(s, Block) for s in stmts)
+
+    def test_while_loop(self):
+        (loop,) = parse_body("int i; i = 0; while (i < 5) { i++; }")[2:]
+        assert isinstance(loop, WhileLoop)
+
+
+class TestUnsupportedConstructs:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "void f(void) { int *p; }",  # pointer declaration
+            "void f(void) { goto end; end: ; }",  # goto
+            "typedef int myint; void f(void) { }",  # typedef
+            "void f(void) { int a[2] = {1, 2}; }",  # initializer list
+            "void f(int n, ...) { }",  # varargs
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(UnsupportedCError):
+            parse_c_source(source)
+
+    def test_ternary_rejected(self):
+        with pytest.raises(UnsupportedCError):
+            parse_c_source("void f(void) { int a; a = 1 ? 2 : 3; }")
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(UnsupportedCError):
+            parse_c_source("void f( {")
+
+
+class TestProgramStructure:
+    def test_entry_by_name(self):
+        program = parse_c_source("void a(void) { }\nvoid b(void) { }")
+        assert program.entry("b").name == "b"
+        with pytest.raises(KeyError):
+            program.entry("main")
+
+    def test_entry_single_function_fallback(self):
+        program = parse_c_source("void only(void) { }")
+        assert program.entry("main").name == "only"
+
+    def test_pointer_parameters(self):
+        program = parse_c_source("void f(float *x, int n) { x[0] = n; }")
+        params = program.entry("f").params
+        assert params[0].is_pointer and not params[1].is_pointer
+
+    def test_array_parameter_is_pointerlike(self):
+        program = parse_c_source("void f(float x[16]) { x[0] = 1.0f; }")
+        assert program.entry("f").params[0].is_pointer
+
+    def test_global_constant_recorded(self):
+        program = parse_c_source("int n = 7;\nvoid f(void) { }")
+        assert program.constants["n"] == 7
+
+    def test_sid_uniqueness(self):
+        program = parse_c_source(
+            "void f(void) { int a; a = 1; a = 2; if (a) { a = 3; } }"
+        )
+        sids = [s.sid for s in program.entry("f").body.walk()]
+        assert len(sids) == len(set(sids))

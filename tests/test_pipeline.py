@@ -1,0 +1,195 @@
+"""Tests for the pipeline-parallelism extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront.defuse import DefUse
+from repro.cfront.deps import DepKind
+from repro.core.pipeline import (
+    _fuse_recurrences,
+    _min_bottleneck_partition,
+    extract_pipeline,
+)
+from repro.htg.nodes import HierarchicalNode, HTGEdge, SimpleNode
+from repro.platforms import Platform, ProcessorClass
+from repro.platforms.description import Interconnect
+
+
+def loop_node(children, edges=(), iterations=100.0):
+    node = HierarchicalNode(
+        label="loop",
+        construct="loop",
+        exec_count=1.0,
+        defuse=DefUse(),
+        children=list(children),
+        edges=[],
+    )
+    for child in children:
+        child.exec_count = iterations
+    node.edges = list(edges)
+    return node
+
+
+def stage_leaf(label, cycles):
+    return SimpleNode(label, 100.0, DefUse(), cycles)
+
+
+def pipeline_platform():
+    return Platform(
+        "pipe",
+        (
+            ProcessorClass("slow", 100.0, 2),
+            ProcessorClass("fast", 400.0, 2),
+        ),
+        interconnect=Interconnect(bandwidth_bytes_per_us=1000.0, latency_us=0.1),
+        task_creation_overhead_us=1.0,
+        main_class_name="slow",
+    )
+
+
+class TestPartitionDP:
+    def test_even_split(self):
+        bounds = _min_bottleneck_partition([10, 10, 10, 10], 2)
+        assert bounds == [0, 2]
+
+    def test_heavy_item_isolated(self):
+        bounds = _min_bottleneck_partition([1, 100, 1], 3)
+        assert bounds == [0, 1, 2]
+
+    @given(
+        st.lists(st.integers(1, 50), min_size=1, max_size=10),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_are_valid_partition(self, costs, k):
+        bounds = _min_bottleneck_partition(costs, k)
+        k_eff = min(k, len(costs))
+        assert len(bounds) == k_eff
+        assert bounds[0] == 0
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+        assert all(0 <= b < len(costs) for b in bounds)
+
+    @given(st.lists(st.integers(1, 50), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_bottleneck_never_below_max_item(self, costs):
+        bounds = _min_bottleneck_partition(costs, 3)
+        bounds.append(len(costs))
+        bottleneck = max(
+            sum(costs[a:b]) for a, b in zip(bounds, bounds[1:])
+        )
+        assert bottleneck >= max(costs)
+
+
+class TestRecurrenceFusion:
+    def test_no_backward_edges_no_fusion(self):
+        children = [stage_leaf(f"s{i}", 100.0) for i in range(4)]
+        node = loop_node(children)
+        groups = _fuse_recurrences(node, children)
+        assert len(groups) == 4
+
+    def test_backward_edge_fuses_range(self):
+        children = [stage_leaf(f"s{i}", 100.0) for i in range(4)]
+        edges = [
+            HTGEdge(children[2], children[1], DepKind.FLOW, frozenset(), 0.0, backward=True)
+        ]
+        node = loop_node(children, edges)
+        groups = _fuse_recurrences(node, children)
+        assert len(groups) == 3
+        assert len(groups[1]) == 2  # s1+s2 fused
+
+    def test_overlapping_recurrences_merge(self):
+        children = [stage_leaf(f"s{i}", 100.0) for i in range(5)]
+        edges = [
+            HTGEdge(children[2], children[0], DepKind.FLOW, frozenset(), 0.0, backward=True),
+            HTGEdge(children[3], children[2], DepKind.FLOW, frozenset(), 0.0, backward=True),
+        ]
+        node = loop_node(children, edges)
+        groups = _fuse_recurrences(node, children)
+        assert len(groups) == 2  # s0..s3 fused, s4 alone
+
+
+class TestExtractPipeline:
+    def test_balanced_stages_pipeline(self):
+        children = [stage_leaf(f"s{i}", 50_000.0) for i in range(4)]
+        edges = [
+            HTGEdge(children[i], children[i + 1], DepKind.FLOW, frozenset({"v"}), 400.0)
+            for i in range(3)
+        ]
+        node = loop_node(children, edges)
+        sol = extract_pipeline(node, pipeline_platform())
+        assert sol is not None
+        assert sol.num_stages >= 2
+        assert sol.estimated_speedup > 1.0
+        assert sol.exec_time_us < sol.sequential_time_us
+
+    def test_heaviest_stage_on_fastest_class(self):
+        children = [
+            stage_leaf("light", 10_000.0),
+            stage_leaf("heavy", 200_000.0),
+        ]
+        edges = [HTGEdge(children[0], children[1], DepKind.FLOW, frozenset(), 100.0)]
+        node = loop_node(children, edges)
+        sol = extract_pipeline(node, pipeline_platform())
+        assert sol is not None
+        heavy_stage = next(
+            s for s in sol.stages if any(c.label == "heavy" for c in s.nodes)
+        )
+        assert heavy_stage.proc_class == "fast"
+
+    def test_non_loop_rejected(self):
+        node = loop_node([stage_leaf("a", 100.0), stage_leaf("b", 100.0)])
+        node.construct = "block"
+        assert extract_pipeline(node, pipeline_platform()) is None
+
+    def test_single_group_rejected(self):
+        children = [stage_leaf(f"s{i}", 100.0) for i in range(3)]
+        edges = [
+            HTGEdge(children[2], children[0], DepKind.FLOW, frozenset(), 0.0, backward=True)
+        ]
+        node = loop_node(children, edges)
+        assert extract_pipeline(node, pipeline_platform()) is None
+
+    def test_unprofitable_pipeline_rejected(self):
+        # tiny stages: spawn + fill overheads exceed any gain
+        children = [stage_leaf(f"s{i}", 10.0) for i in range(2)]
+        node = loop_node(children, iterations=2.0)
+        assert extract_pipeline(node, pipeline_platform()) is None
+
+    def test_stage_count_bounded_by_cores(self):
+        children = [stage_leaf(f"s{i}", 50_000.0) for i in range(8)]
+        node = loop_node(children)
+        sol = extract_pipeline(node, pipeline_platform())
+        if sol is not None:
+            assert sol.num_stages <= pipeline_platform().total_cores
+
+    def test_latnrm_like_loop_pipelines(self):
+        """A serial sample loop with chained stages — the paper's motivating
+        case for pipeline parallelism (latnrm/spectral)."""
+        from tests.conftest import prepare
+
+        source = """
+        float x[2048]; float y[2048]; float z[2048]; float w[2048];
+        void main(void) {
+            int i;
+            float a; float b;
+            a = 0.0f;
+            b = 0.0f;
+            for (i = 0; i < 2048; i++) {
+                a = x[i] * 0.5f + a * 0.5f;
+                y[i] = a;
+                b = y[i] + b * 0.25f;
+                z[i] = b;
+                w[i] = sqrt(fabs(z[i]));
+            }
+        }
+        """
+        _, _, htg = prepare(source)
+        loops = [
+            n
+            for n in htg.walk()
+            if isinstance(n, HierarchicalNode) and n.construct == "loop"
+        ]
+        assert loops
+        sol = extract_pipeline(loops[0], pipeline_platform())
+        assert sol is not None
+        assert sol.estimated_speedup > 1.0

@@ -1,0 +1,132 @@
+"""Tests for platform descriptions and presets."""
+
+import pytest
+
+from repro.platforms import (
+    Interconnect,
+    Platform,
+    ProcessorClass,
+    big_little,
+    config_a,
+    config_b,
+    homogeneous,
+)
+
+
+class TestProcessorClass:
+    def test_time_scaling(self):
+        pc = ProcessorClass("c", 100.0, 1)
+        assert pc.time_us(100.0) == pytest.approx(1.0)  # cycles/MHz = µs
+
+    def test_cpi_scale(self):
+        pc = ProcessorClass("c", 100.0, 1, cpi_scale=2.0)
+        assert pc.time_us(100.0) == pytest.approx(2.0)
+        assert pc.effective_mhz == pytest.approx(50.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frequency_mhz": 0.0},
+            {"frequency_mhz": -5.0},
+            {"count": 0},
+            {"cpi_scale": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {"name": "c", "frequency_mhz": 100.0, "count": 1}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            ProcessorClass(**base)
+
+
+class TestInterconnect:
+    def test_transfer_time(self):
+        ic = Interconnect(bandwidth_bytes_per_us=100.0, latency_us=2.0)
+        assert ic.transfer_time_us(400) == pytest.approx(6.0)
+
+    def test_zero_bytes_free(self):
+        assert Interconnect().transfer_time_us(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect(bandwidth_bytes_per_us=0)
+        with pytest.raises(ValueError):
+            Interconnect(latency_us=-1)
+
+
+class TestPlatform:
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(
+                "p",
+                (ProcessorClass("a", 100, 1), ProcessorClass("a", 200, 1)),
+            )
+
+    def test_unknown_main_class_rejected(self):
+        with pytest.raises(ValueError):
+            Platform("p", (ProcessorClass("a", 100, 1),), main_class_name="b")
+
+    def test_default_main_is_slowest(self):
+        p = Platform(
+            "p", (ProcessorClass("fast", 500, 1), ProcessorClass("slow", 100, 1))
+        )
+        assert p.main_class.name == "slow"
+
+    def test_with_main_class(self):
+        p = config_a("accelerator").with_main_class("arm500")
+        assert p.main_class.name == "arm500"
+
+    def test_cores_enumeration(self):
+        p = config_a("accelerator")
+        assert list(p.cores()) == [
+            ("arm100", 0),
+            ("arm250", 0),
+            ("arm500", 0),
+            ("arm500", 1),
+        ]
+
+    def test_total_cores(self):
+        assert config_a("accelerator").total_cores == 4
+        assert config_b("accelerator").total_cores == 4
+
+    def test_is_homogeneous(self):
+        assert homogeneous(4, 500).is_homogeneous
+        assert not config_a("accelerator").is_homogeneous
+
+    def test_num_procs(self):
+        p = config_a("accelerator")
+        assert p.num_procs("arm500") == 2
+        with pytest.raises(KeyError):
+            p.num_procs("nope")
+
+    def test_describe_mentions_classes(self):
+        text = config_b("accelerator").describe()
+        assert "200" in text and "500" in text
+
+
+class TestPaperLimits:
+    """The dashed-line limits of Figures 7/8 (paper footnotes 2-5)."""
+
+    def test_config_a_accelerator_limit(self):
+        assert config_a("accelerator").theoretical_speedup() == pytest.approx(13.5)
+
+    def test_config_a_slower_cores_limit(self):
+        assert config_a("slower-cores").theoretical_speedup() == pytest.approx(2.7)
+
+    def test_config_b_accelerator_limit(self):
+        assert config_b("accelerator").theoretical_speedup() == pytest.approx(7.0)
+
+    def test_config_b_slower_cores_limit(self):
+        assert config_b("slower-cores").theoretical_speedup() == pytest.approx(2.8)
+
+    def test_scenario_aliases(self):
+        assert config_a("I").main_class.name == "arm100"
+        assert config_a("II").main_class.name == "arm500"
+        with pytest.raises(ValueError):
+            config_a("III")
+
+    def test_big_little_ratio(self):
+        p = big_little()
+        fast = p.get_class("big").frequency_mhz
+        slow = p.get_class("little").frequency_mhz
+        assert fast / slow == pytest.approx(2.5)

@@ -1,0 +1,188 @@
+"""Tests for ILP presolve and timing-model calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse_c_source
+from repro.ilp import Model, lin_sum
+from repro.ilp.presolve import presolve
+from repro.timing.calibration import (
+    CalibrationSample,
+    PARAMETERS,
+    calibrate,
+    operation_counts,
+    samples_from_profile,
+)
+from repro.timing.costmodel import CostModel, OperationCosts
+
+
+class TestPresolve:
+    def test_singleton_row_tightens_bound(self):
+        # x0 <= 3 with ub=10
+        result = presolve(
+            np.array([[1.0, 0.0]]), np.array([3.0]),
+            np.zeros(2), np.array([10.0, 10.0]), np.zeros(2),
+        )
+        assert result.status == "reduced"
+        assert result.ub[0] == pytest.approx(3.0)
+        assert result.ub[1] == pytest.approx(10.0)
+
+    def test_integer_rounding(self):
+        result = presolve(
+            np.array([[2.0]]), np.array([5.0]),
+            np.zeros(1), np.array([10.0]), np.array([1]),
+        )
+        assert result.ub[0] == pytest.approx(2.0)  # floor(2.5)
+
+    def test_infeasible_detected(self):
+        # x >= 4 (as -x <= -4) with ub = 2
+        result = presolve(
+            np.array([[-1.0]]), np.array([-4.0]),
+            np.zeros(1), np.array([2.0]), np.zeros(1),
+        )
+        assert result.status == "infeasible"
+
+    def test_constant_row_infeasible(self):
+        result = presolve(
+            np.zeros((1, 1)), np.array([-1.0]),
+            np.zeros(1), np.array([1.0]), np.zeros(1),
+        )
+        assert result.status == "infeasible"
+
+    def test_fixed_variables_reported(self):
+        result = presolve(
+            np.array([[1.0]]), np.array([0.0]),
+            np.zeros(1), np.array([5.0]), np.zeros(1),
+        )
+        assert result.fixed == {0: 0.0}
+
+    def test_propagation_chain(self):
+        # x + y <= 2, binary-ish bounds: both get tightened to <= 2
+        result = presolve(
+            np.array([[1.0, 1.0]]), np.array([2.0]),
+            np.zeros(2), np.array([10.0, 10.0]), np.zeros(2),
+        )
+        assert result.ub[0] <= 2.0 + 1e-9
+        assert result.ub[1] <= 2.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+            min_size=1,
+            max_size=3,
+        ),
+        st.lists(st.integers(0, 6), min_size=3, max_size=3),
+    )
+    def test_presolve_preserves_optimum(self, rows, ubs):
+        """The presolved box must contain every optimal solution."""
+        rhs = [4] * len(rows)
+        m = Model("p")
+        xs = [m.add_var(f"x{i}", 0, ubs[i], integer=True) for i in range(3)]
+        for row in rows:
+            m.add_constraint(lin_sum(a * x for a, x in zip(row, xs)) <= 4)
+        m.maximize(lin_sum(xs))
+        a = m.solve(backend="scipy")
+
+        form = m.to_matrix_form()
+        from repro.ilp.model import MatrixForm
+
+        dense = np.zeros((len(form.rows_ub), 3))
+        b = np.zeros(len(form.rows_ub))
+        for i, (row, r) in enumerate(form.rows_ub):
+            b[i] = r
+            for j, c in row.items():
+                dense[i, j] = c
+        result = presolve(dense, b, form.lb, form.ub, form.integrality)
+        assert result.status == "reduced"
+        # the known optimum stays inside the tightened box
+        for j, x in enumerate(xs):
+            assert result.lb[j] - 1e-9 <= a[x] <= result.ub[j] + 1e-9
+
+
+class TestOperationCounts:
+    def _stmt(self, body, prelude="float fx[8]; int ix[8];"):
+        program = parse_c_source(f"{prelude}\nvoid f(void) {{ {body} }}")
+        return program.entry("f").body.stmts[-1], program
+
+    def test_counts_match_cost_model(self):
+        """Feature counts dotted with the cost table must equal the cost
+        model's direct statement cost — the linearity the fit relies on."""
+        for body in [
+            "fx[0] = fx[1] * fx[2] + 3.0f;",
+            "ix[0] = ix[1] / (ix[2] + 1);",
+            "fx[3] = sqrt(fx[1]);",
+        ]:
+            stmt, program = self._stmt(body)
+            model = CostModel.for_function(program, program.entry("f"))
+            counts = operation_counts(stmt, model.type_env)
+            dotted = sum(
+                counts[name] * getattr(model.costs, name) for name in PARAMETERS
+            )
+            assert dotted == pytest.approx(model.stmt_cycles(stmt))
+
+    def test_float_vs_int_ops_distinguished(self):
+        stmt_f, prog_f = self._stmt("fx[0] = fx[1] * fx[2];")
+        model = CostModel.for_function(prog_f, prog_f.entry("f"))
+        counts = operation_counts(stmt_f, model.type_env)
+        assert counts["float_mul"] == 1
+        assert counts["int_mul"] == 0
+
+
+class TestCalibration:
+    SRC = """
+    float x[64]; float y[64]; float z[64];
+    void main(void) {
+        int i;
+        for (i = 0; i < 64; i++) { x[i] = i * 0.5f; }
+        for (i = 0; i < 64; i++) { y[i] = x[i] * x[i] + 1.0f; }
+        for (i = 0; i < 64; i++) { z[i] = y[i] / (x[i] + 2.0f); }
+        for (i = 0; i < 64; i++) { z[i] = z[i] + sqrt(y[i]); }
+    }
+    """
+
+    @staticmethod
+    def _models(program, fitted_costs, reference):
+        func = program.entry("main")
+        return (
+            CostModel.for_function(program, func, costs=fitted_costs),
+            CostModel.for_function(program, func, costs=reference),
+        )
+
+    def test_recovers_reference_costs_exactly(self):
+        program = parse_c_source(self.SRC)
+        reference = OperationCosts(float_mul=9.0, float_div=55.0, load=3.0)
+        samples = samples_from_profile(program, "main", reference)
+        result = calibrate(samples)
+        assert result.residual_rms < 1e-6
+        # parameters exercised by the program are recovered
+        model, ref_model = self._models(program, result.costs, reference)
+        for sample in samples:
+            assert model.stmt_cycles(sample.stmt) == pytest.approx(
+                ref_model.stmt_cycles(sample.stmt), rel=1e-6
+            )
+
+    def test_noisy_fit_stays_close(self):
+        program = parse_c_source(self.SRC)
+        reference = OperationCosts()
+        samples = samples_from_profile(program, "main", reference, noise=0.05, seed=7)
+        result = calibrate(samples)
+        model, ref_model = self._models(program, result.costs, reference)
+        for sample in samples:
+            fitted = model.stmt_cycles(sample.stmt)
+            true = ref_model.stmt_cycles(sample.stmt)
+            assert fitted == pytest.approx(true, rel=0.35)
+
+    def test_costs_never_negative(self):
+        program = parse_c_source(self.SRC)
+        samples = samples_from_profile(
+            program, "main", OperationCosts(), noise=0.5, seed=3
+        )
+        result = calibrate(samples)
+        for name in PARAMETERS:
+            assert getattr(result.costs, name) >= 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate([])

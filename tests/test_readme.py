@@ -1,0 +1,53 @@
+"""The README's quickstart snippet must actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks(text: str):
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_snippet_executes(self, capsys):
+        blocks = python_blocks(README.read_text(encoding="utf-8"))
+        assert blocks, "README must contain a python quickstart block"
+        snippet = blocks[0]
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+        out = capsys.readouterr().out
+        assert "x of" in out or "speedup" in out.lower()
+
+    def test_readme_mentions_all_subpackages(self):
+        text = README.read_text(encoding="utf-8")
+        for name in (
+            "repro.cfront",
+            "repro.timing",
+            "repro.htg",
+            "repro.ilp",
+            "repro.core",
+            "repro.platforms",
+            "repro.simulator",
+            "repro.codegen",
+            "repro.bench_suite",
+            "repro.toolflow",
+        ):
+            assert name in text, name
+
+    def test_experiments_doc_exists_with_measurements(self):
+        experiments = README.parent / "EXPERIMENTS.md"
+        text = experiments.read_text(encoding="utf-8")
+        # the four figures and the table are all recorded
+        for marker in ("7(a)", "7(b)", "8(a)", "8(b)", "Table I"):
+            assert marker in text, marker
+
+    def test_design_doc_has_substitution_table(self):
+        design = README.parent / "DESIGN.md"
+        text = design.read_text(encoding="utf-8")
+        assert "CoMET" in text
+        assert "UTDSP" in text
+        assert "Substitutions" in text or "substitution" in text.lower()

@@ -1,0 +1,141 @@
+"""Tests for the self-contained two-phase simplex LP solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linprog
+
+from repro.ilp.simplex import solve_lp
+
+_EMPTY = np.zeros((0, 0))
+
+
+def _solve(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lb=None, ub=None):
+    n = len(c)
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float) if a_ub is not None else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float) if b_ub is not None else np.zeros(0)
+    a_eq = np.asarray(a_eq, dtype=float) if a_eq is not None else np.zeros((0, n))
+    b_eq = np.asarray(b_eq, dtype=float) if b_eq is not None else np.zeros(0)
+    lb = np.asarray(lb, dtype=float) if lb is not None else np.zeros(n)
+    ub = np.asarray(ub, dtype=float) if ub is not None else np.full(n, math.inf)
+    return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+
+class TestBasics:
+    def test_simple_maximization(self):
+        # min -x - 2y st x+y<=3, 0<=x,y<=2 -> x=1,y=2, obj=-5
+        res = _solve([-1, -2], [[1, 1]], [3], ub=[2, 2])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-5)
+        assert res.x == pytest.approx([1, 2])
+
+    def test_equality_constraint(self):
+        res = _solve([1, 1], a_eq=[[1, -1]], b_eq=[1], ub=[10, 10])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1)  # x=1, y=0
+
+    def test_infeasible(self):
+        res = _solve([1], [[1]], [1], a_eq=[[1]], b_eq=[5], ub=[2])
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        res = _solve([-1])
+        assert res.status == "unbounded"
+
+    def test_empty_constraints_optimum_at_lb(self):
+        res = _solve([2, 3], lb=[1, 1], ub=[5, 5])
+        assert res.status == "optimal"
+        assert res.x == pytest.approx([1, 1])
+
+    def test_shifted_lower_bounds(self):
+        res = _solve([1], [[1]], [10], lb=[4], ub=[8])
+        assert res.status == "optimal"
+        assert res.x[0] == pytest.approx(4)
+
+    def test_free_variable_split(self):
+        # min x st x >= -3 (via ub on -x), x free
+        res = _solve(
+            [1],
+            a_ub=[[-1]],
+            b_ub=[3],
+            lb=[-math.inf],
+            ub=[math.inf],
+        )
+        assert res.status == "optimal"
+        assert res.x[0] == pytest.approx(-3)
+
+    def test_conflicting_bounds_infeasible(self):
+        res = _solve([1], lb=[3], ub=[2])
+        assert res.status == "infeasible"
+
+    def test_negative_rhs_rows(self):
+        # x >= 2 encoded as -x <= -2
+        res = _solve([1], [[-1]], [-2], ub=[10])
+        assert res.status == "optimal"
+        assert res.x[0] == pytest.approx(2)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degenerate LP; Bland's rule must terminate.
+        res = _solve(
+            [-0.75, 150, -0.02, 6],
+            [
+                [0.25, -60, -0.04, 9],
+                [0.5, -90, -0.02, 3],
+                [0, 0, 1, 0],
+            ],
+            [0, 0, 1],
+            ub=[math.inf] * 4,
+        )
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-0.05)
+
+
+@st.composite
+def random_lp(draw):
+    n = draw(st.integers(1, 4))
+    rows = draw(st.integers(1, 4))
+    a = draw(
+        st.lists(
+            st.lists(st.integers(-3, 3), min_size=n, max_size=n),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    b = draw(st.lists(st.integers(0, 10), min_size=rows, max_size=rows))
+    c = draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n))
+    ub = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    return a, b, c, ub
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_matches_highs_on_random_bounded_lps(self, spec):
+        a, b, c, ub = spec
+        ours = _solve(c, a, b, ub=ub)
+        ref = linprog(
+            c,
+            A_ub=np.array(a, dtype=float),
+            b_ub=np.array(b, dtype=float),
+            bounds=[(0, u) for u in ub],
+            method="highs",
+        )
+        # b >= 0 and x >= 0 means x=0 is feasible: both must be optimal.
+        assert ours.status == "optimal"
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_lp())
+    def test_solution_is_feasible(self, spec):
+        a, b, c, ub = spec
+        res = _solve(c, a, b, ub=ub)
+        assert res.status == "optimal"
+        x = res.x
+        a_mat = np.array(a, dtype=float)
+        assert np.all(a_mat @ x <= np.array(b) + 1e-7)
+        assert np.all(x >= -1e-9)
+        assert np.all(x <= np.array(ub) + 1e-9)

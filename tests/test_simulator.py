@@ -1,0 +1,174 @@
+"""Tests for the discrete-event MPSoC simulator."""
+
+import pytest
+
+from repro.core.flatten import AtomicTask, FlatEdge, FlatTaskGraph
+from repro.platforms import Platform, ProcessorClass, config_a
+from repro.platforms.description import Interconnect
+from repro.simulator.engine import SimOptions, simulate_graph
+
+
+def graph_of(tasks, edges, entry, exit_):
+    return FlatTaskGraph(tasks=tasks, edges=edges, entry=entry, exit=exit_)
+
+
+def simple_platform():
+    return Platform(
+        "sim",
+        (
+            ProcessorClass("slow", 100.0, 1),
+            ProcessorClass("fast", 200.0, 2),
+        ),
+        interconnect=Interconnect(bandwidth_bytes_per_us=100.0, latency_us=1.0),
+        task_creation_overhead_us=0.0,
+        main_class_name="slow",
+    )
+
+
+class TestChainAndForkJoin:
+    def test_single_task_duration(self):
+        g = graph_of([AtomicTask(0, "t", 1000.0, "slow")], [], 0, 0)
+        res = simulate_graph(g, simple_platform())
+        assert res.makespan_us == pytest.approx(10.0)  # 1000 cycles @ 100MHz
+
+    def test_chain_serializes(self):
+        tasks = [
+            AtomicTask(0, "a", 1000.0, "fast"),
+            AtomicTask(1, "b", 1000.0, "fast"),
+        ]
+        g = graph_of(tasks, [FlatEdge(0, 1)], 0, 1)
+        res = simulate_graph(g, simple_platform())
+        assert res.makespan_us == pytest.approx(10.0)
+
+    def test_fork_join_parallelizes(self):
+        tasks = [
+            AtomicTask(0, "entry", 0.0, "slow"),
+            AtomicTask(1, "a", 2000.0, "fast"),
+            AtomicTask(2, "b", 2000.0, "fast"),
+            AtomicTask(3, "exit", 0.0, "slow"),
+        ]
+        edges = [FlatEdge(0, 1), FlatEdge(0, 2), FlatEdge(1, 3), FlatEdge(2, 3)]
+        res = simulate_graph(graph_of(tasks, edges, 0, 3), simple_platform())
+        assert res.makespan_us == pytest.approx(10.0)  # both on fast cores
+
+    def test_class_capacity_queues_work(self):
+        tasks = [AtomicTask(i, f"t{i}", 2000.0, "fast") for i in range(4)]
+        g = graph_of(tasks, [], 0, 3)
+        res = simulate_graph(g, simple_platform())
+        # 4 tasks, 2 fast cores -> two waves of 10us
+        assert res.makespan_us == pytest.approx(20.0)
+
+    def test_spawn_overhead_added(self):
+        t = AtomicTask(0, "t", 1000.0, "slow", spawn_overhead_us=5.0)
+        res = simulate_graph(graph_of([t], [], 0, 0), simple_platform())
+        assert res.makespan_us == pytest.approx(15.0)
+
+
+class TestCommunication:
+    def test_cross_core_transfer_delay(self):
+        tasks = [
+            AtomicTask(0, "a", 1000.0, "slow"),
+            AtomicTask(1, "b", 1000.0, "fast"),
+        ]
+        # 100 bytes at 100 B/us + 1us latency = 2us delay
+        edges = [FlatEdge(0, 1, bytes_volume=100.0, transfers=1.0)]
+        res = simulate_graph(graph_of(tasks, edges, 0, 1), simple_platform())
+        assert res.makespan_us == pytest.approx(10.0 + 2.0 + 5.0)
+
+    def test_same_core_transfer_free(self):
+        tasks = [
+            AtomicTask(0, "a", 1000.0, "slow"),
+            AtomicTask(1, "b", 1000.0, "slow"),
+        ]
+        edges = [FlatEdge(0, 1, bytes_volume=100.0, transfers=1.0)]
+        res = simulate_graph(graph_of(tasks, edges, 0, 1), simple_platform())
+        # only one slow core: both run there, transfer free
+        assert res.makespan_us == pytest.approx(20.0)
+
+    def test_bus_contention_serializes_transfers(self):
+        tasks = [
+            AtomicTask(0, "src0", 1000.0, "fast"),
+            AtomicTask(1, "src1", 1000.0, "fast"),
+            AtomicTask(2, "dst0", 100.0, "slow"),
+            AtomicTask(3, "dst1", 100.0, "slow"),
+        ]
+        edges = [
+            FlatEdge(0, 2, bytes_volume=1000.0),
+            FlatEdge(1, 3, bytes_volume=1000.0),
+        ]
+        free = simulate_graph(
+            graph_of(tasks, edges, 0, 3), simple_platform(),
+            SimOptions(bus_contention=False),
+        )
+        contended = simulate_graph(
+            graph_of(tasks, edges, 0, 3), simple_platform(),
+            SimOptions(bus_contention=True),
+        )
+        assert contended.makespan_us >= free.makespan_us
+        assert contended.bus_busy_us > 0
+
+
+class TestClassBlindPolicy:
+    def blind_platform(self):
+        return Platform(
+            "blind",
+            (
+                ProcessorClass("slow", 100.0, 2),
+                ProcessorClass("fast", 500.0, 2),
+            ),
+            main_class_name="slow",
+        )
+
+    def test_blind_placement_hits_slow_cores(self):
+        # four equal class-less tasks: the blind runtime spreads them over
+        # all four cores, so the slow cores set the makespan
+        tasks = [AtomicTask(i, f"t{i}", 5000.0, None) for i in range(4)]
+        res = simulate_graph(
+            graph_of(tasks, [], 0, 3),
+            self.blind_platform(),
+            SimOptions(anyclass_policy="blind"),
+        )
+        assert res.makespan_us == pytest.approx(50.0)  # 5000 cyc @ 100MHz
+
+    def test_speed_aware_policy_beats_blind(self):
+        tasks = [AtomicTask(i, f"t{i}", 5000.0, None) for i in range(4)]
+        blind = simulate_graph(
+            graph_of(list(tasks), [], 0, 3),
+            self.blind_platform(),
+            SimOptions(anyclass_policy="blind"),
+        )
+        aware = simulate_graph(
+            graph_of(list(tasks), [], 0, 3),
+            self.blind_platform(),
+            SimOptions(anyclass_policy="speed-aware"),
+        )
+        assert aware.makespan_us < blind.makespan_us
+
+
+class TestRobustness:
+    def test_cycle_detected(self):
+        tasks = [AtomicTask(0, "a", 10.0, "slow"), AtomicTask(1, "b", 10.0, "slow")]
+        edges = [FlatEdge(0, 1), FlatEdge(1, 0)]
+        with pytest.raises(ValueError):
+            simulate_graph(graph_of(tasks, edges, 0, 1), simple_platform())
+
+    def test_unknown_class_rejected(self):
+        g = graph_of([AtomicTask(0, "t", 10.0, "gpu")], [], 0, 0)
+        with pytest.raises(ValueError):
+            simulate_graph(g, simple_platform())
+
+    def test_determinism(self):
+        tasks = [AtomicTask(i, f"t{i}", 1000.0 + i, "fast") for i in range(6)]
+        edges = [FlatEdge(0, 5), FlatEdge(1, 5)]
+        a = simulate_graph(graph_of(list(tasks), list(edges), 0, 5), simple_platform())
+        b = simulate_graph(graph_of(list(tasks), list(edges), 0, 5), simple_platform())
+        assert a.makespan_us == b.makespan_us
+        assert {t: s.core for t, s in a.schedule.items()} == {
+            t: s.core for t, s in b.schedule.items()
+        }
+
+    def test_utilization_bounded(self):
+        tasks = [AtomicTask(i, f"t{i}", 2000.0, "fast") for i in range(4)]
+        res = simulate_graph(graph_of(tasks, [], 0, 3), simple_platform())
+        for value in res.utilization().values():
+            assert 0.0 <= value <= 1.0 + 1e-9

@@ -1,0 +1,117 @@
+"""Property-based tests of the discrete-event simulator.
+
+Invariants any correct schedule must satisfy, checked over random task
+DAGs:
+
+* work conservation: makespan ≥ total work / total capacity;
+* critical path: makespan ≥ the longest dependence chain executed on the
+  fastest core;
+* precedence: every task starts after all predecessors finish;
+* capacity: no core ever runs two tasks at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flatten import AtomicTask, FlatEdge, FlatTaskGraph
+from repro.platforms import Platform, ProcessorClass
+from repro.simulator.engine import simulate_graph
+
+
+def platform_2x2():
+    return Platform(
+        "prop",
+        (
+            ProcessorClass("slow", 100.0, 2),
+            ProcessorClass("fast", 300.0, 2),
+        ),
+    )
+
+
+@st.composite
+def random_dag(draw):
+    n = draw(st.integers(2, 10))
+    tasks = []
+    for tid in range(n):
+        cycles = draw(st.integers(100, 20_000))
+        cls = draw(st.sampled_from(["slow", "fast", None]))
+        tasks.append(AtomicTask(tid, f"t{tid}", float(cycles), cls))
+    edges = []
+    for dst in range(1, n):
+        for src in range(dst):
+            if draw(st.booleans()) and draw(st.booleans()):
+                bytes_volume = float(draw(st.integers(0, 4096)))
+                edges.append(FlatEdge(src, dst, bytes_volume))
+    return FlatTaskGraph(tasks=tasks, edges=edges, entry=0, exit=n - 1)
+
+
+class TestScheduleInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_work_conservation(self, graph):
+        platform = platform_2x2()
+        result = simulate_graph(graph, platform)
+        capacity_mhz = sum(
+            pc.count * pc.effective_mhz for pc in platform.processor_classes
+        )
+        lower_bound = graph.total_cycles() / capacity_mhz
+        assert result.makespan_us >= lower_bound - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_critical_path_bound(self, graph):
+        platform = platform_2x2()
+        result = simulate_graph(graph, platform)
+        fastest = max(pc.effective_mhz for pc in platform.processor_classes)
+        # longest chain in cycles via DP over the DAG
+        longest = {t.tid: t.cycles for t in graph.tasks}
+        for task in graph.tasks:  # tids are topologically ordered by content
+            for edge in graph.predecessors(task.tid):
+                longest[task.tid] = max(
+                    longest[task.tid], longest[edge.src] + task.cycles
+                )
+        chain = max(longest.values())
+        assert result.makespan_us >= chain / fastest - 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_precedence_respected(self, graph):
+        result = simulate_graph(graph, platform_2x2())
+        for edge in graph.edges:
+            src = result.schedule[edge.src]
+            dst = result.schedule[edge.dst]
+            assert dst.start_us >= src.finish_us - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_no_core_overlap(self, graph):
+        result = simulate_graph(graph, platform_2x2())
+        by_core = {}
+        for scheduled in result.schedule.values():
+            by_core.setdefault(scheduled.core, []).append(scheduled)
+        for intervals in by_core.values():
+            intervals.sort(key=lambda s: s.start_us)
+            for a, b in zip(intervals, intervals[1:]):
+                assert b.start_us >= a.finish_us - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dag())
+    def test_class_requirements_enforced(self, graph):
+        result = simulate_graph(graph, platform_2x2())
+        tasks = {t.tid: t for t in graph.tasks}
+        for tid, scheduled in result.schedule.items():
+            required = tasks[tid].proc_class
+            if required is not None:
+                assert scheduled.core[0] == required
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dag())
+    def test_energy_is_placement_consistent(self, graph):
+        platform = platform_2x2()
+        result = simulate_graph(graph, platform)
+        expected = 0.0
+        tasks = {t.tid: t for t in graph.tasks}
+        for tid, scheduled in result.schedule.items():
+            pc = platform.get_class(scheduled.core[0])
+            expected += tasks[tid].cycles * pc.cpi_scale * pc.energy_per_cycle_nj
+        assert result.energy_nj == pytest.approx(expected)

@@ -1,0 +1,136 @@
+"""Tests for solution candidates, dominance and Pareto sets."""
+
+import pytest
+
+from repro.cfront.defuse import DefUse
+from repro.core.solution import (
+    SolutionCandidate,
+    SolutionSet,
+    TaskSegment,
+    dominates,
+)
+from repro.htg.nodes import SimpleNode
+
+
+def leaf(label="n", cycles=100.0):
+    return SimpleNode(label, 1.0, DefUse(), cycles)
+
+
+def cand(cls="a", time=10.0, procs=None, sequential=True, node=None):
+    return SolutionCandidate(
+        node=node or leaf(),
+        main_class=cls,
+        exec_time_us=time,
+        used_procs=procs or {},
+        is_sequential=sequential,
+    )
+
+
+class TestDominance:
+    def test_faster_same_procs_dominates(self):
+        assert dominates(cand(time=5), cand(time=10))
+
+    def test_fewer_procs_same_time_dominates(self):
+        a = cand(time=10, procs={})
+        b = cand(time=10, procs={"fast": 1})
+        assert dominates(a, b)
+
+    def test_incomparable(self):
+        a = cand(time=5, procs={"fast": 2})
+        b = cand(time=10, procs={})
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_different_class_never_dominates(self):
+        assert not dominates(cand(cls="a", time=1), cand(cls="b", time=100))
+
+    def test_equal_candidates_no_strict_dominance(self):
+        assert not dominates(cand(), cand())
+
+
+class TestSolutionSet:
+    def test_sequential_seed_retrievable(self):
+        s = SolutionSet()
+        s.add(cand(cls="a", sequential=True))
+        assert s.sequential_for_class("a") is not None
+        assert s.sequential_for_class("b") is None
+
+    def test_dominated_insert_rejected(self):
+        s = SolutionSet()
+        s.add(cand(time=5))
+        assert not s.add(cand(time=10))
+        assert len(s) == 1
+
+    def test_dominating_insert_evicts(self):
+        s = SolutionSet()
+        s.add(cand(time=10, sequential=False, procs={"fast": 1}))
+        assert s.add(cand(time=5, sequential=False, procs={"fast": 1}))
+        assert len(s) == 1
+        assert s.best_for_class("a").exec_time_us == 5
+
+    def test_pareto_frontier_kept(self):
+        s = SolutionSet()
+        s.add(cand(time=10, procs={}))
+        s.add(cand(time=5, procs={"fast": 1}, sequential=False))
+        s.add(cand(time=2, procs={"fast": 2}, sequential=False))
+        assert len(s) == 3
+
+    def test_duplicate_rejected(self):
+        s = SolutionSet()
+        s.add(cand(time=5))
+        assert not s.add(cand(time=5))
+
+    def test_classes_listing(self):
+        s = SolutionSet()
+        s.add(cand(cls="b"))
+        s.add(cand(cls="a"))
+        assert s.classes() == ["a", "b"]
+
+    def test_best_for_class(self):
+        s = SolutionSet()
+        s.add(cand(cls="a", time=9, procs={"x": 1}, sequential=False))
+        s.add(cand(cls="a", time=3, procs={"x": 2}, sequential=False))
+        assert s.best_for_class("a").exec_time_us == 3
+        assert s.best_for_class("zzz") is None
+
+
+class TestCandidateProperties:
+    def test_sequential_num_tasks(self):
+        assert cand().num_tasks == 1
+
+    def test_parallel_num_tasks_counts_used_extras(self):
+        node = leaf()
+        c = SolutionCandidate(
+            node=node,
+            main_class="a",
+            exec_time_us=1.0,
+            segments=(
+                TaskSegment(0, "fork", "a", (leaf("x"),)),
+                TaskSegment(1, "extra", "b", (leaf("y"),)),
+                TaskSegment(2, "extra", "b", ()),  # unused slot
+                TaskSegment(3, "join", "a", ()),
+            ),
+            is_sequential=False,
+        )
+        assert c.num_tasks == 2  # main + one used extra
+
+    def test_total_procs(self):
+        c = cand(procs={"fast": 2, "slow": 1})
+        assert c.total_procs == 4
+
+    def test_task_of_child(self):
+        child = leaf("child")
+        c = SolutionCandidate(
+            node=leaf(),
+            main_class="a",
+            exec_time_us=1.0,
+            segments=(TaskSegment(0, "fork", "a", (child,)),),
+            is_sequential=False,
+        )
+        assert c.task_of_child(child) == 0
+        assert c.task_of_child(leaf("other")) is None
+
+    def test_describe_mentions_class(self):
+        assert "arm" in cand(cls="arm500").describe() or "arm500" in cand(
+            cls="arm500"
+        ).describe()

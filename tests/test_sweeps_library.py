@@ -1,0 +1,89 @@
+"""Tests for parameter sweeps and the platform library."""
+
+import pytest
+
+from repro.platforms import config_a
+from repro.platforms.library import ALL_PRESETS, exynos_big_little, omap4, tegra3
+from repro.toolflow.sweeps import (
+    render_sweep,
+    sweep_bus_bandwidth,
+    sweep_core_count,
+    sweep_frequency_ratio,
+    sweep_tco,
+)
+
+
+class TestPlatformLibrary:
+    @pytest.mark.parametrize("factory", sorted(ALL_PRESETS))
+    def test_presets_valid(self, factory):
+        platform = ALL_PRESETS[factory]("accelerator")
+        assert platform.total_cores >= 4
+        assert platform.theoretical_speedup() > 1.0
+
+    def test_tegra3_scenarios(self):
+        assert tegra3("accelerator").main_class.name == "companion"
+        assert tegra3("slower-cores").main_class.name == "a9"
+
+    def test_omap4_cpi_scale_effective(self):
+        platform = omap4()
+        m3 = platform.get_class("m3")
+        assert m3.effective_mhz == pytest.approx(200.0 / 1.5)
+
+    def test_exynos_gap_near_paper_quote(self):
+        platform = exynos_big_little()
+        big = platform.get_class("a15").effective_mhz
+        little = platform.get_class("a7").effective_mhz
+        assert 2.0 <= big / little <= 3.0  # the paper quotes ~2.5x
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def fir_htg(self, small_fir):
+        _, _, htg = small_fir
+        return htg
+
+    def test_frequency_ratio_monotone_gap(self, fir_htg):
+        """The hetero-over-homo advantage grows with the clock gap."""
+        result = sweep_frequency_ratio(fir_htg, ratios=(1.0, 2.5, 5.0))
+        gaps = [
+            p.heterogeneous_speedup - p.homogeneous_speedup for p in result.points
+        ]
+        # at ratio 1.0 the platform is homogeneous: both approaches tie
+        assert abs(gaps[0]) < 0.7
+        assert gaps[-1] > gaps[0]
+
+    def test_frequency_ratio_limits(self, fir_htg):
+        result = sweep_frequency_ratio(fir_htg, ratios=(1.0, 4.0))
+        for point in result.points:
+            assert point.heterogeneous_speedup <= point.theoretical_limit + 1e-6
+
+    def test_core_count_scaling(self, fir_htg):
+        result = sweep_core_count(fir_htg, counts=(1, 3))
+        assert (
+            result.points[1].heterogeneous_speedup
+            > result.points[0].heterogeneous_speedup
+        )
+
+    def test_tco_degradation(self, fir_htg):
+        result = sweep_tco(
+            fir_htg, config_a("accelerator"), tcos_us=(0.0, 200.0)
+        )
+        assert (
+            result.points[0].heterogeneous_speedup
+            >= result.points[1].heterogeneous_speedup - 1e-6
+        )
+
+    def test_bus_bandwidth_helps(self, fir_htg):
+        result = sweep_bus_bandwidth(
+            fir_htg, config_a("accelerator"), bandwidths=(25.0, 1600.0)
+        )
+        assert (
+            result.points[1].heterogeneous_speedup
+            >= result.points[0].heterogeneous_speedup - 1e-6
+        )
+
+    def test_render(self, fir_htg):
+        result = sweep_core_count(fir_htg, counts=(1, 2))
+        text = render_sweep(result)
+        assert "fast_core_count" in text
+        assert "limit" in text

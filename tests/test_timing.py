@@ -1,0 +1,175 @@
+"""Tests for the cost model, trip counts and the cost estimator."""
+
+import pytest
+
+from repro.cfront import parse_c_source
+from repro.cfront import ir
+from repro.cfront.loops import eval_const_expr, trip_count
+from repro.timing.costmodel import CostModel, OperationCosts
+from repro.timing.estimator import annotate_costs
+from repro.timing.interp import run_function
+
+
+def parse_expr(text: str, prelude: str = "float fx[8];"):
+    program = parse_c_source(
+        f"{prelude}\nvoid f(void) {{ int i; i = 0; fx[0] = {text}; }}"
+    )
+    assign = program.entry("f").body.stmts[-1]
+    return assign.rhs, program
+
+
+class TestTripCounts:
+    def _loop(self, header: str):
+        program = parse_c_source(f"void f(void) {{ int i; for ({header}) {{ }} }}")
+        return next(
+            s for s in program.entry("f").body.walk() if isinstance(s, ir.ForLoop)
+        )
+
+    def test_simple(self):
+        assert trip_count(self._loop("i = 0; i < 10; i++")) == 10
+
+    def test_with_step(self):
+        assert trip_count(self._loop("i = 0; i < 10; i += 3")) == 4
+
+    def test_le_bound(self):
+        assert trip_count(self._loop("i = 0; i <= 9; i++")) == 10
+
+    def test_empty(self):
+        assert trip_count(self._loop("i = 5; i < 5; i++")) == 0
+
+    def test_symbolic_with_env(self):
+        loop = self._loop("i = 0; i < n; i++")
+        assert trip_count(loop) is None
+        assert trip_count(loop, {"n": 12}) == 12
+
+    def test_nonconstant_unknown(self):
+        loop = self._loop("i = 0; i < n; i++")
+        assert trip_count(loop, {}) is None
+
+
+class TestEvalConstExpr:
+    def test_arithmetic(self):
+        expr, _ = parse_expr("(3 + 4) * 2 - 6 / 2")
+        assert eval_const_expr(expr) == 11
+
+    def test_env_lookup(self):
+        expr, _ = parse_expr("n + 1")
+        assert eval_const_expr(expr, {"n": 4}) == 5
+        assert eval_const_expr(expr) is None
+
+    def test_division_by_zero_is_none(self):
+        expr, _ = parse_expr("1 / 0")
+        assert eval_const_expr(expr) is None
+
+
+class TestCostModel:
+    def test_float_ops_cost_more(self):
+        fexpr, fprog = parse_expr("fx[0] * fx[1]", "float fx[8];")
+        iexpr, iprog = parse_expr("ix[0] * ix[1]", "int ix[8]; float fx[8];")
+        fmodel = CostModel.for_function(fprog, fprog.entry("f"))
+        imodel = CostModel.for_function(iprog, iprog.entry("f"))
+        assert fmodel.expr_cycles(fexpr) > imodel.expr_cycles(iexpr)
+
+    def test_division_expensive(self):
+        model = CostModel()
+        div, _ = parse_expr("1.0f / 3.0f")
+        mul, _ = parse_expr("1.0f * 3.0f")
+        assert model.expr_cycles(div) > model.expr_cycles(mul)
+
+    def test_array_access_charges_load_and_address(self):
+        model = CostModel()
+        arr, _ = parse_expr("fx[0]")
+        costs = model.costs
+        assert model.expr_cycles(arr) == pytest.approx(costs.load + costs.address)
+
+    def test_builtin_math_cost(self):
+        model = CostModel()
+        call, _ = parse_expr("sin(1.0f)")
+        assert model.expr_cycles(call) == pytest.approx(model.costs.builtin_math)
+
+    def test_constants_free(self):
+        model = CostModel()
+        const, _ = parse_expr("42")
+        assert model.expr_cycles(const) == 0.0
+
+    def test_scaled_costs(self):
+        base = OperationCosts()
+        double = base.scaled(2.0)
+        assert double.int_mul == pytest.approx(2 * base.int_mul)
+        assert double.load == pytest.approx(2 * base.load)
+
+    def test_type_inference_through_binop(self):
+        model = CostModel(type_env={"a": "float", "b": "int"})
+        expr = ir.BinOp("+", ir.VarRef("a"), ir.VarRef("b"))
+        assert model.expr_type(expr) == "float"
+
+
+class TestEstimator:
+    SRC = """
+    float x[10];
+    void f(void) {
+        int i;
+        for (i = 0; i < 10; i++) { x[i] = i * 2.0f; }
+    }
+    """
+
+    def test_counts_from_interpreter(self):
+        program = parse_c_source(self.SRC)
+        db = annotate_costs(program, "f")
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        assign = loop.body.stmts[0]
+        assert db.exec_count(assign) == 10
+        assert db.exec_count(loop) == 1
+
+    def test_subtree_composition(self):
+        program = parse_c_source(self.SRC)
+        db = annotate_costs(program, "f")
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        # subtree cost of body is part of subtree cost of loop
+        assert db.subtree_cycles(loop) > db.subtree_cycles(loop.body)
+        assert db.subtree_cycles(func.body) >= db.subtree_cycles(loop)
+
+    def test_loop_header_charged_per_iteration(self):
+        program = parse_c_source(self.SRC)
+        db = annotate_costs(program, "f")
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        own = db.own_cycles(loop)
+        assert own == pytest.approx(db.cost_model.costs.loop_overhead * 10)
+
+    def test_time_scales_with_class(self):
+        from repro.platforms import ProcessorClass
+
+        program = parse_c_source(self.SRC)
+        db = annotate_costs(program, "f")
+        func = program.entry("f")
+        slow = ProcessorClass("s", 100.0, 1)
+        fast = ProcessorClass("f", 500.0, 1)
+        assert db.subtree_time_us(func.body, slow) == pytest.approx(
+            5 * db.subtree_time_us(func.body, fast)
+        )
+
+    def test_static_fallback_for_parameterized_function(self):
+        program = parse_c_source(
+            """
+            float x[64];
+            void f(int n) {
+                int i;
+                for (i = 0; i < 64; i++) { x[i] = n * 1.0f; }
+            }
+            """
+        )
+        db = annotate_costs(program, "f")
+        func = program.entry("f")
+        loop = next(s for s in func.body.walk() if isinstance(s, ir.ForLoop))
+        # static estimation: loop body counted via the constant trip count
+        assert db.exec_count(loop.body.stmts[0]) == 64
+
+    def test_explicit_profile_used(self):
+        program = parse_c_source(self.SRC)
+        profile = run_function(program, "f")
+        db = annotate_costs(program, "f", profile=profile)
+        func = program.entry("f")
+        assert db.exec_count(func.body) == 1

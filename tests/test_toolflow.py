@@ -1,0 +1,104 @@
+"""Tests for the end-to-end tool flow, experiment harness and reports."""
+
+import pytest
+
+from repro import parallelize_source
+from repro.toolflow.experiments import (
+    FIGURES,
+    FigureResult,
+    prepare_benchmark,
+    run_benchmark,
+    run_figure,
+    run_table1,
+)
+from repro.toolflow.flow import ToolFlow
+from repro.toolflow.report import render_figure, render_table1
+from repro.platforms import config_a
+
+from tests.conftest import SMALL_FIR
+
+
+class TestToolFlow:
+    def test_end_to_end_hetero(self, platform_a_acc):
+        flow = ToolFlow(platform_a_acc, approach="heterogeneous")
+        outcome = flow.run(SMALL_FIR)
+        assert outcome.speedup > 1.0
+        assert outcome.evaluation.theoretical_limit == pytest.approx(13.5)
+        assert outcome.speedup <= outcome.evaluation.theoretical_limit + 1e-6
+
+    def test_end_to_end_homo(self, platform_a_acc):
+        flow = ToolFlow(platform_a_acc, approach="homogeneous")
+        outcome = flow.run(SMALL_FIR)
+        assert outcome.speedup > 0.0
+
+    def test_parallelize_source_wrapper(self, platform_a_acc):
+        result, evaluation = parallelize_source(SMALL_FIR, platform_a_acc)
+        assert result.approach == "heterogeneous"
+        assert evaluation.speedup > 1.0
+
+    def test_unknown_approach_rejected(self, platform_a_acc):
+        with pytest.raises(ValueError):
+            ToolFlow(platform_a_acc, approach="magic")
+
+    def test_custom_entry_point(self, platform_a_acc):
+        source = SMALL_FIR.replace("void main(void)", "void kernel(void)")
+        result, evaluation = parallelize_source(
+            source, platform_a_acc, entry="kernel"
+        )
+        assert evaluation.speedup > 1.0
+
+
+class TestExperimentHarness:
+    def test_figures_registry(self):
+        assert set(FIGURES) == {"7a", "7b", "8a", "8b"}
+
+    def test_prepare_benchmark_cached(self):
+        p1, h1 = prepare_benchmark("fir_256")
+        p2, h2 = prepare_benchmark("fir_256")
+        assert p1 is p2 and h1 is h2
+
+    def test_run_benchmark_hetero(self, platform_a_acc):
+        run = run_benchmark("fir_256", platform_a_acc, "heterogeneous")
+        assert run.speedup > 1.0
+        assert run.stats.num_ilps > 0
+        assert run.num_tasks >= 1
+
+    def test_run_figure_subset(self):
+        fig = run_figure("7a", benchmarks=["fir_256"])
+        assert isinstance(fig, FigureResult)
+        assert fig.theoretical_limit == pytest.approx(13.5)
+        homo = fig.runs["fir_256"]["homogeneous"]
+        hetero = fig.runs["fir_256"]["heterogeneous"]
+        assert hetero.speedup > homo.speedup
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("9z")
+
+    def test_run_table1_subset(self):
+        table = run_table1(benchmarks=["fir_256"])
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row.heterogeneous.num_ilps > row.homogeneous.num_ilps
+        factor = row.factor
+        assert factor.ilp_factor > 1.0
+        assert factor.variable_factor > 1.0
+        assert factor.constraint_factor > 1.0
+
+
+class TestReports:
+    def test_render_figure(self):
+        fig = run_figure("7a", benchmarks=["fir_256"])
+        text = render_figure(fig)
+        assert "Fig. 7(a)" in text
+        assert "fir_256" in text
+        assert "13.50x" in text
+        assert "average" in text
+
+    def test_render_table1(self):
+        table = run_table1(benchmarks=["fir_256"])
+        text = render_table1(table)
+        assert "TABLE I" in text
+        assert "fir_256" in text
+        assert "average" in text
+        assert "x" in text  # factors

@@ -1,0 +1,131 @@
+"""Tests for schedule traces, Gantt rendering and graph exports."""
+
+import networkx as nx
+import pytest
+
+from repro.core.flatten import AtomicTask, FlatEdge, FlatTaskGraph, flatten_solution
+from repro.htg.visualize import (
+    flat_graph_to_dot,
+    flat_graph_to_networkx,
+    htg_to_dot,
+    htg_to_networkx,
+)
+from repro.simulator.engine import simulate_graph
+from repro.simulator.trace import (
+    build_timelines,
+    render_gantt,
+    render_utilization,
+    schedule_table,
+)
+
+from tests.test_simulator import graph_of, simple_platform
+
+
+@pytest.fixture()
+def small_sim():
+    tasks = [
+        AtomicTask(0, "entry", 0.0, "slow"),
+        AtomicTask(1, "a", 2000.0, "fast"),
+        AtomicTask(2, "b", 2000.0, "fast"),
+        AtomicTask(3, "exit", 0.0, "slow"),
+    ]
+    edges = [FlatEdge(0, 1), FlatEdge(0, 2), FlatEdge(1, 3), FlatEdge(2, 3)]
+    graph = graph_of(tasks, edges, 0, 3)
+    return graph, simulate_graph(graph, simple_platform())
+
+
+class TestTrace:
+    def test_timelines_cover_all_work(self, small_sim):
+        graph, result = small_sim
+        timelines = build_timelines(result, graph)
+        busy = sum(t.busy_us for t in timelines)
+        assert busy == pytest.approx(20.0)  # two 10us tasks
+
+    def test_markers_skipped(self, small_sim):
+        graph, result = small_sim
+        timelines = build_timelines(result, graph)
+        labels = [
+            label for t in timelines for (_s, _f, label) in t.intervals
+        ]
+        assert "entry" not in labels and "exit" not in labels
+
+    def test_gantt_renders_all_cores(self, small_sim):
+        graph, result = small_sim
+        text = render_gantt(result, graph)
+        assert "slow[0]" in text
+        assert "fast[0]" in text and "fast[1]" in text
+        assert "#" in text
+
+    def test_utilization_table(self, small_sim):
+        _graph, result = small_sim
+        text = render_utilization(result)
+        assert "fast[0]" in text
+        assert "%" in text
+
+    def test_schedule_table(self, small_sim):
+        graph, result = small_sim
+        text = schedule_table(result, graph)
+        assert "a" in text and "b" in text
+
+    def test_schedule_table_limit(self, small_sim):
+        graph, result = small_sim
+        text = schedule_table(result, graph, limit=1)
+        assert "more)" in text
+
+    def test_gantt_on_real_solution(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        result = simulate_graph(graph, platform_a_acc)
+        text = render_gantt(result, graph)
+        assert "arm500[0]" in text
+        assert "makespan" in text
+
+
+class TestHtgExport:
+    def test_networkx_nodes_match(self, small_fir):
+        _, _, htg = small_fir
+        graph = htg_to_networkx(htg)
+        # every walked node plus comm nodes must be present
+        walked = {n.uid for n in htg.walk()}
+        assert walked <= set(graph.nodes)
+        assert graph.graph["function"] == "main"
+
+    def test_networkx_hierarchy_is_forest(self, small_fir):
+        _, _, htg = small_fir
+        graph = htg_to_networkx(htg)
+        contains = nx.DiGraph(
+            (u, v)
+            for u, v, d in graph.edges(data=True)
+            if d.get("kind") == "contains"
+        )
+        assert nx.is_directed_acyclic_graph(contains)
+
+    def test_dataflow_edges_carry_bytes(self, small_fir):
+        _, _, htg = small_fir
+        graph = htg_to_networkx(htg)
+        dataflow = [
+            d for _u, _v, d in graph.edges(data=True) if d.get("kind") == "dataflow"
+        ]
+        assert dataflow
+        assert any(d["bytes"] > 0 for d in dataflow)
+
+    def test_dot_output_parses_shape(self, small_fir):
+        _, _, htg = small_fir
+        dot = htg_to_dot(htg)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+
+class TestFlatExport:
+    def test_flat_networkx(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        nxg = flat_graph_to_networkx(graph)
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert set(nxg.nodes) == {t.tid for t in graph.tasks}
+        assert nxg.graph["entry"] == graph.entry
+
+    def test_flat_dot(self, fir_hetero_result, platform_a_acc):
+        graph = flatten_solution(fir_hetero_result.best, platform_a_acc)
+        dot = flat_graph_to_dot(graph)
+        assert "digraph" in dot
+        assert "arm500" in dot or "fillcolor" in dot

@@ -1,0 +1,169 @@
+"""Tests for IR constant folding and simplification passes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import ir, parse_c_source
+from repro.cfront.transform import fold_constants, simplify_program, simplify_stmt
+from repro.timing.interp import Interpreter, run_function
+
+
+def expr_of(text: str, prelude: str = "float fx[16]; int ix[16];"):
+    program = parse_c_source(
+        f"{prelude}\nvoid f(void) {{ int v; v = 0; ix[0] = {text}; }}"
+    )
+    return program.entry("f").body.stmts[-1].rhs
+
+
+class TestFolding:
+    def test_arithmetic(self):
+        folded = fold_constants(expr_of("2 + 3 * 4"))
+        assert isinstance(folded, ir.Const) and folded.value == 14
+
+    def test_c_integer_division(self):
+        folded = fold_constants(expr_of("(0 - 7) / 2"))
+        assert folded.value == -3  # truncation toward zero
+
+    def test_comparison(self):
+        folded = fold_constants(expr_of("3 < 5"))
+        assert folded.value == 1
+
+    def test_mul_by_one_identity(self):
+        folded = fold_constants(expr_of("ix[v] * 1"))
+        assert isinstance(folded, ir.ArrayRef)
+
+    def test_add_zero_identity(self):
+        folded = fold_constants(expr_of("0 + ix[v]"))
+        assert isinstance(folded, ir.ArrayRef)
+
+    def test_mul_by_zero_pure(self):
+        folded = fold_constants(expr_of("ix[v] * 0"))
+        assert isinstance(folded, ir.Const) and folded.value == 0
+
+    def test_mul_by_zero_with_call_not_folded(self):
+        # sqrt() calls stay (cannot prove side-effect freedom in general)
+        folded = fold_constants(expr_of("sqrt(2.0) * 0"))
+        assert isinstance(folded, ir.BinOp)
+
+    def test_double_negation(self):
+        folded = fold_constants(expr_of("-(-ix[v])"))
+        assert isinstance(folded, ir.ArrayRef)
+
+    def test_cast_folds(self):
+        folded = fold_constants(expr_of("(int)2.75"))
+        assert folded.value == 2
+
+    def test_subscript_folding(self):
+        program = parse_c_source(
+            "float x[16];\nvoid f(void) { x[2 + 3] = 1.0f; }"
+        )
+        stmt = program.entry("f").body.stmts[0]
+        simplify_stmt(stmt)
+        assert isinstance(stmt.lhs.indices[0], ir.Const)
+        assert stmt.lhs.indices[0].value == 5
+
+    def test_shift_and_bitops(self):
+        assert fold_constants(expr_of("1 << 4")).value == 16
+        assert fold_constants(expr_of("12 & 10")).value == 8
+
+    def test_division_by_zero_not_folded(self):
+        folded = fold_constants(expr_of("1 / 0"))
+        assert isinstance(folded, ir.BinOp)
+
+
+class TestSimplifyProgram:
+    def test_dead_branch_pruned(self):
+        program = parse_c_source(
+            """
+            int out;
+            void f(void) {
+                if (1 < 0) { out = 1; } else { out = 2; }
+            }
+            """
+        )
+        simplify_program(program)
+        stmts = program.entry("f").body.stmts
+        assert not any(isinstance(s, ir.If) for s in stmts)
+        assert run_function(program, "f").steps > 0
+        interp = Interpreter(program)
+        interp.run("f")
+        assert interp.globals["out"] == 2
+
+    def test_loop_bounds_folded(self):
+        program = parse_c_source(
+            "#define N 8\nfloat x[N * 2];\n"
+            "void f(void) { int i; for (i = 0; i < N * 2; i++) { x[i] = i; } }"
+        )
+        simplify_program(program)
+        loop = next(
+            s for s in program.entry("f").body.walk() if isinstance(s, ir.ForLoop)
+        )
+        assert isinstance(loop.upper, ir.Const) and loop.upper.value == 16
+
+    def test_sids_preserved(self):
+        program = parse_c_source(
+            "int out;\nvoid f(void) { out = 1 + 2; }"
+        )
+        before = [s.sid for s in program.entry("f").body.walk()]
+        simplify_program(program)
+        after = [s.sid for s in program.entry("f").body.walk()]
+        assert before == after
+
+    def test_semantics_preserved_on_benchmark(self):
+        from repro.bench_suite import get_benchmark
+
+        source = get_benchmark("fir_256").source
+        plain = parse_c_source(source)
+        folded = simplify_program(parse_c_source(source))
+        i1, i2 = Interpreter(plain), Interpreter(folded)
+        i1.run("main")
+        i2.run("main")
+        assert i1.globals["checksum"] == pytest.approx(i2.globals["checksum"])
+
+    def test_folding_reduces_cost_estimate(self):
+        from repro.timing.estimator import annotate_costs
+
+        source = (
+            "float x[32];\n"
+            "void main(void) { int i;"
+            " for (i = 0; i < 16 + 16; i++) { x[i] = i * (2.0f * 1.0f); } }"
+        )
+        plain = parse_c_source(source)
+        folded = simplify_program(parse_c_source(source))
+        plain_cycles = annotate_costs(plain, "main").subtree_cycles(
+            plain.entry("main").body
+        )
+        folded_cycles = annotate_costs(folded, "main").subtree_cycles(
+            folded.entry("main").body
+        )
+        assert folded_cycles <= plain_cycles
+
+
+@st.composite
+def const_int_expr(draw, depth=0):
+    """Random constant integer expression trees."""
+    if depth >= 3 or draw(st.booleans()):
+        return ir.Const(draw(st.integers(-20, 20)), "int")
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(const_int_expr(depth=depth + 1))
+    right = draw(const_int_expr(depth=depth + 1))
+    return ir.BinOp(op, left, right)
+
+
+class TestFoldingProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(const_int_expr())
+    def test_fold_matches_direct_evaluation(self, expr):
+        from repro.cfront.loops import eval_const_expr
+
+        folded = fold_constants(expr)
+        assert isinstance(folded, ir.Const)
+        assert folded.value == eval_const_expr(expr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(const_int_expr())
+    def test_fold_idempotent(self, expr):
+        once = fold_constants(expr)
+        twice = fold_constants(once)
+        assert isinstance(twice, ir.Const)
+        assert once.value == twice.value

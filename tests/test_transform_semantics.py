@@ -1,0 +1,85 @@
+"""Semantic-equivalence verification of the source-to-source output.
+
+The strongest possible check of the whole pipeline: parallelize a kernel,
+emit the transformed source (task regions + split chunk loops), strip the
+``#pragma repro`` lines (yielding the canonical sequential linearization
+of the parallel program — task indices follow the topological child
+order), re-parse, re-execute, and compare every global against the
+original program's run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.cfront import parse_c_source
+from repro.codegen import annotate_solution
+from repro.core.parallelize import (
+    HeterogeneousParallelizer,
+    HomogeneousParallelizer,
+)
+from repro.platforms import config_a, config_b
+from repro.timing.interp import Interpreter
+
+from tests.conftest import prepare, SMALL_FIR
+
+
+def strip_pragmas(text: str) -> str:
+    return "\n".join(
+        line for line in text.splitlines() if not line.strip().startswith("#pragma")
+    )
+
+
+def run_globals(source: str):
+    program = parse_c_source(source)
+    interp = Interpreter(program)
+    interp.run("main")
+    return interp.globals
+
+
+def assert_same_globals(original, transformed):
+    for name, value in original.items():
+        if isinstance(value, np.ndarray):
+            np.testing.assert_allclose(
+                transformed[name], value, rtol=1e-5, atol=1e-7, err_msg=name
+            )
+        else:
+            assert transformed[name] == pytest.approx(value, rel=1e-5), name
+
+
+@pytest.mark.parametrize(
+    "bench_name",
+    ["fir_256", "mult_10", "bound_value", "edge_detect", "adpcm_enc", "spectral"],
+)
+def test_hetero_transformation_preserves_semantics(bench_name):
+    source = get_benchmark(bench_name).source
+    program, _db, htg = prepare(source)
+    platform = config_a("accelerator")
+    result = HeterogeneousParallelizer(platform).parallelize(htg)
+
+    transformed = strip_pragmas(annotate_solution(result, program=program))
+    assert_same_globals(run_globals(source), run_globals(transformed))
+
+
+def test_homogeneous_transformation_preserves_semantics():
+    source = get_benchmark("filterbank").source
+    program, _db, htg = prepare(source)
+    platform = config_b("accelerator")
+    result = HomogeneousParallelizer(platform).parallelize(htg)
+
+    transformed = strip_pragmas(annotate_solution(result, program=program))
+    assert_same_globals(run_globals(source), run_globals(transformed))
+
+
+def test_small_fir_roundtrip_all_scenarios():
+    program, _db, htg = prepare(SMALL_FIR)
+    baseline = run_globals(SMALL_FIR)
+    for factory, scenario in [
+        (config_a, "accelerator"),
+        (config_a, "slower-cores"),
+        (config_b, "slower-cores"),
+    ]:
+        platform = factory(scenario)
+        result = HeterogeneousParallelizer(platform).parallelize(htg)
+        transformed = strip_pragmas(annotate_solution(result, program=program))
+        assert_same_globals(baseline, run_globals(transformed))

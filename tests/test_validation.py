@@ -1,0 +1,130 @@
+"""Tests for the independent solution validator."""
+
+import pytest
+
+from repro.core.ilppar import ilp_parallelize_node
+from repro.core.solution import SolutionCandidate, TaskSegment
+from repro.core.validation import validate_candidate, validate_result
+from repro.core.parallelize import HeterogeneousParallelizer, HomogeneousParallelizer
+from repro.platforms import config_a
+
+from tests.test_ilppar import leaf, make_node, seed_sets, two_class_platform
+
+
+class TestValidCandidates:
+    def test_ilp_output_validates(self):
+        platform = two_class_platform()
+        children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        assert validate_candidate(cand, platform, node) == []
+
+    def test_sequential_validates(self):
+        platform = two_class_platform()
+        cand = SolutionCandidate(
+            node=leaf("x", 100.0), main_class="slow", exec_time_us=1.0,
+            is_sequential=True,
+        )
+        assert validate_candidate(cand, platform) == []
+
+    def test_full_results_validate(self, fir_hetero_result, fir_homo_result):
+        assert validate_result(fir_hetero_result) == []
+        assert validate_result(fir_homo_result) == []
+
+    def test_all_candidate_sets_validate(self, fir_hetero_result, platform_a_acc):
+        htg = fir_hetero_result.htg
+        node_of = {n.uid: n for n in htg.walk()}
+        for uid, sset in fir_hetero_result.solution_sets.items():
+            for cand in sset.all():
+                node = node_of[uid]
+                if not cand.is_sequential:
+                    problems = validate_candidate(cand, platform_a_acc, node)
+                    assert problems == [], (node.label, problems)
+
+
+class TestViolationsDetected:
+    def _broken_candidate(self, platform):
+        children = [leaf(f"w{i}", 40_000.0) for i in range(2)]
+        node = make_node(children)
+        cand = ilp_parallelize_node(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert cand is not None
+        return node, cand
+
+    def test_missing_child_detected(self):
+        platform = two_class_platform()
+        node, cand = self._broken_candidate(platform)
+        # drop all children from segments
+        broken = SolutionCandidate(
+            node=cand.node,
+            main_class=cand.main_class,
+            exec_time_us=cand.exec_time_us,
+            segments=tuple(
+                TaskSegment(s.index, s.role, s.proc_class, ()) for s in cand.segments
+            ),
+            child_choice=cand.child_choice,
+            used_procs=cand.used_procs,
+            is_sequential=False,
+        )
+        problems = validate_candidate(broken, platform, node)
+        assert any("segments (expected 1)" in p for p in problems)
+
+    def test_wrong_main_class_detected(self):
+        platform = two_class_platform()
+        node, cand = self._broken_candidate(platform)
+        broken = SolutionCandidate(
+            node=cand.node,
+            main_class="fast",  # lie: segments still say 'slow'
+            exec_time_us=cand.exec_time_us,
+            segments=cand.segments,
+            child_choice=cand.child_choice,
+            used_procs=cand.used_procs,
+            is_sequential=False,
+        )
+        problems = validate_candidate(broken, platform, node)
+        assert any("tagged" in p for p in problems)
+
+    def test_overclaimed_budget_detected(self):
+        platform = two_class_platform()
+        node, cand = self._broken_candidate(platform)
+        broken = SolutionCandidate(
+            node=cand.node,
+            main_class=cand.main_class,
+            exec_time_us=cand.exec_time_us,
+            segments=cand.segments,
+            child_choice=cand.child_choice,
+            used_procs={"fast": 99},
+            is_sequential=False,
+        )
+        problems = validate_candidate(broken, platform, node)
+        assert any("processors" in p or "used_procs" in p for p in problems)
+
+    def test_impossible_time_detected(self):
+        platform = two_class_platform()
+        node, cand = self._broken_candidate(platform)
+        broken = SolutionCandidate(
+            node=cand.node,
+            main_class=cand.main_class,
+            exec_time_us=0.001,  # cannot be faster than any single task
+            segments=cand.segments,
+            child_choice=cand.child_choice,
+            used_procs=cand.used_procs,
+            is_sequential=False,
+        )
+        problems = validate_candidate(broken, platform, node)
+        assert any("claims" in p for p in problems)
+
+    def test_sequential_with_segments_rejected(self):
+        platform = two_class_platform()
+        cand = SolutionCandidate(
+            node=leaf("x", 100.0),
+            main_class="slow",
+            exec_time_us=1.0,
+            segments=(TaskSegment(0, "fork", "slow", ()),),
+            is_sequential=True,
+        )
+        assert validate_candidate(cand, platform)
