@@ -5,6 +5,12 @@ figure of the paper with ``pytest benchmarks/ --benchmark-only``. The
 rendered text tables are written to ``benchmarks/out/`` and echoed to the
 terminal; pytest-benchmark reports the wall time of each regeneration.
 
+On top of the human-readable reports the harness accumulates one
+machine-readable summary, ``benchmarks/out/BENCH_pipeline.json``: per
+regenerated figure/table and per benchmark, the parallelization wall time
+and the estimated/simulated speedups. CI and before/after comparisons
+(e.g. cold vs. warm solver cache) diff this file instead of parsing text.
+
 Environment:
 
 * ``REPRO_BENCH_SUBSET`` — comma-separated benchmark names to restrict a
@@ -13,14 +19,19 @@ Environment:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+from typing import Dict
 
 import pytest
 
 from repro.bench_suite import benchmark_names
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: section -> benchmark -> approach -> metrics, flushed at session end.
+_PIPELINE: Dict[str, dict] = {}
 
 
 def selected_benchmarks():
@@ -35,6 +46,41 @@ def write_report(filename: str, text: str) -> None:
     (OUT_DIR / filename).write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+def record_pipeline(section: str, runs) -> None:
+    """Accumulate per-benchmark pipeline metrics for ``BENCH_pipeline.json``.
+
+    ``runs`` is ``{benchmark: {approach: BenchmarkRun}}`` as produced by
+    :class:`repro.toolflow.experiments.FigureResult`.
+    """
+    entry = _PIPELINE.setdefault(section, {})
+    for name, by_approach in runs.items():
+        per_bench = entry.setdefault(name, {})
+        for approach, run in by_approach.items():
+            per_bench[approach] = {
+                "wall_seconds": round(run.wall_seconds, 6),
+                "estimated_speedup": round(run.estimated_speedup, 6),
+                "speedup": round(run.speedup, 6),
+            }
+
+
+def record_pipeline_row(section: str, benchmark: str, metrics: dict) -> None:
+    """Accumulate a single flat metrics row (used by the Table-I run)."""
+    _PIPELINE.setdefault(section, {})[benchmark] = metrics
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PIPELINE:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "subset": os.environ.get("REPRO_BENCH_SUBSET", "") or "all",
+        "sections": _PIPELINE,
+    }
+    (OUT_DIR / "BENCH_pipeline.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ from typing import Sequence
 from repro.toolflow.experiments import FigureResult, run_figure
 from repro.toolflow.report import render_figure
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import record_pipeline, write_report
 
 
 def regenerate_figure(
@@ -23,6 +23,7 @@ def regenerate_figure(
     benchmark.pedantic(run, rounds=1, iterations=1)
     fig = result_box["figure"]
     write_report(f"figure_{figure}.txt", render_figure(fig))
+    record_pipeline(f"figure_{figure}", fig.runs)
     benchmark.extra_info["homogeneous_avg_speedup"] = round(
         fig.average_speedup("homogeneous"), 3
     )

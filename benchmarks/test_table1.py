@@ -11,7 +11,7 @@ the ILP-count factor should land in the paper's 2.4-7.4x band.
 from repro.toolflow.experiments import run_table1
 from repro.toolflow.report import render_table1
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import record_pipeline_row, write_report
 
 
 def test_table_1(benchmark, benchmarks_under_test):
@@ -24,6 +24,19 @@ def test_table_1(benchmark, benchmarks_under_test):
     benchmark.pedantic(run, rounds=1, iterations=1)
     table = box["table"]
     write_report("table_1.txt", render_table1(table))
+    for row in table.rows:
+        record_pipeline_row(
+            "table_1", row.benchmark,
+            {
+                "homogeneous_solve_seconds": round(
+                    row.homogeneous.total_solve_seconds, 6
+                ),
+                "heterogeneous_solve_seconds": round(
+                    row.heterogeneous.total_solve_seconds, 6
+                ),
+                "ilp_factor": round(row.factor.ilp_factor, 4),
+            },
+        )
 
     for row in table.rows:
         factor = row.factor

@@ -26,6 +26,26 @@ from repro.htg.nodes import HierarchicalNode, HTGNode
 from repro.platforms.description import Platform
 
 
+@dataclass
+class HomoParInstance:
+    """A built-but-unsolved homogeneous model plus decoding context.
+
+    Counterpart of :class:`repro.core.ilppar.IlpParInstance` for the
+    baseline ILP; see there for the build/solve/extract split rationale.
+    """
+
+    model: Model
+    node: HierarchicalNode
+    ref_class: str
+    children: List[HTGNode]
+    cand_table: List[List[SolutionCandidate]]
+    tasks: List[int]
+    fork: int
+    join: int
+    x: List[List[Variable]]
+    p: List[List[Variable]]
+
+
 def homogeneous_parallelize_node(
     node: HierarchicalNode,
     budget: int,
@@ -42,6 +62,33 @@ def homogeneous_parallelize_node(
     tagged with that class and carries class-agnostic extra-processor
     usage recorded under the reference class name.
     """
+    options = options or IlpParOptions()
+    inst = build_homopar_model(
+        node, budget, platform, solution_sets, options, ref_class
+    )
+    if inst is None:
+        return None
+    try:
+        solution = inst.model.solve(
+            backend=options.backend,
+            collector=collector,
+            time_limit=options.time_limit_s,
+            mip_rel_gap=options.mip_rel_gap,
+        )
+    except InfeasibleError:
+        return None
+    return extract_homopar_candidate(inst, solution)
+
+
+def build_homopar_model(
+    node: HierarchicalNode,
+    budget: int,
+    platform: Platform,
+    solution_sets: Mapping[int, SolutionSet],
+    options: Optional[IlpParOptions] = None,
+    ref_class: Optional[str] = None,
+) -> Optional[HomoParInstance]:
+    """Construct the homogeneous baseline model without solving it."""
     options = options or IlpParOptions()
     children = node.topological_children()
     if not children or budget < 2:
@@ -260,15 +307,33 @@ def homogeneous_parallelize_node(
 
     model.minimize(accum[join])
 
-    try:
-        solution = model.solve(
-            backend=options.backend,
-            collector=collector,
-            time_limit=options.time_limit_s,
-            mip_rel_gap=options.mip_rel_gap,
-        )
-    except InfeasibleError:
-        return None
+    return HomoParInstance(
+        model=model,
+        node=node,
+        ref_class=ref,
+        children=children,
+        cand_table=cand_table,
+        tasks=tasks,
+        fork=fork,
+        join=join,
+        x=x,
+        p=p,
+    )
+
+
+def extract_homopar_candidate(
+    inst: HomoParInstance, solution
+) -> SolutionCandidate:
+    """Decode a solved :class:`HomoParInstance` into a candidate."""
+    node = inst.node
+    ref = inst.ref_class
+    children = inst.children
+    cand_table = inst.cand_table
+    tasks = inst.tasks
+    fork = inst.fork
+    join = inst.join
+    x = inst.x
+    p = inst.p
 
     task_children: Dict[int, List[HTGNode]] = {t: [] for t in tasks}
     child_choice: Dict[int, SolutionCandidate] = {}

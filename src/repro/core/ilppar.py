@@ -56,6 +56,32 @@ class IlpParOptions:
     energy_deadline_factor: float = 1.0
 
 
+@dataclass
+class IlpParInstance:
+    """A built-but-unsolved ILPPAR model plus the context to decode it.
+
+    Produced by :func:`build_ilppar_model`; the solver service solves
+    ``model`` (possibly in a worker process) and
+    :func:`extract_ilppar_candidate` turns the returned assignment into a
+    :class:`SolutionCandidate`. Splitting build from solve is what lets
+    Algorithm 1's independent ILPs run concurrently.
+    """
+
+    model: Model
+    node: HierarchicalNode
+    seq_class: str
+    classes: List[str]
+    children: List[HTGNode]
+    cand_table: List[List[Tuple[str, SolutionCandidate]]]
+    tasks: List[int]
+    extras: List[int]
+    join: int
+    x: List[List[Variable]]
+    p: List[List[Variable]]
+    map_tc: Dict[Tuple[int, str], Optional[Variable]]
+    accum_join: Variable
+
+
 def ilp_parallelize_node(
     node: HierarchicalNode,
     seq_class: str,
@@ -78,7 +104,37 @@ def ilp_parallelize_node(
         options: solver options.
 
     Returns the optimal candidate, or ``None`` when no parallel structure
-    is expressible (no children / no extra processor budget).
+    is expressible (no children / no extra processor budget) or the model
+    is infeasible.
+    """
+    options = options or IlpParOptions()
+    inst = build_ilppar_model(node, seq_class, budget, platform, solution_sets, options)
+    if inst is None:
+        return None
+    try:
+        solution = inst.model.solve(
+            backend=options.backend,
+            collector=collector,
+            time_limit=options.time_limit_s,
+            mip_rel_gap=options.mip_rel_gap,
+        )
+    except InfeasibleError:
+        return None
+    return extract_ilppar_candidate(inst, solution)
+
+
+def build_ilppar_model(
+    node: HierarchicalNode,
+    seq_class: str,
+    budget: int,
+    platform: Platform,
+    solution_sets: Mapping[int, SolutionSet],
+    options: Optional[IlpParOptions] = None,
+) -> Optional[IlpParInstance]:
+    """Construct the ILPPAR model for one node without solving it.
+
+    Returns ``None`` when no parallel structure is expressible (the same
+    early-outs as :func:`ilp_parallelize_node`).
     """
     options = options or IlpParOptions()
     children = node.topological_children()
@@ -397,20 +453,32 @@ def ilp_parallelize_node(
     else:
         model.minimize(accum[join])
 
-    try:
-        solution = model.solve(
-            backend=options.backend,
-            collector=collector,
-            time_limit=options.time_limit_s,
-            mip_rel_gap=options.mip_rel_gap,
-        )
-    except InfeasibleError:
-        return None
+    return IlpParInstance(
+        model=model,
+        node=node,
+        seq_class=seq_class,
+        classes=classes,
+        children=children,
+        cand_table=cand_table,
+        tasks=tasks,
+        extras=extras,
+        join=join,
+        x=x,
+        p=p,
+        map_tc=map_tc,
+        accum_join=accum[join],
+    )
 
-    exec_time = float(solution[accum[join]])
+
+def extract_ilppar_candidate(
+    inst: IlpParInstance, solution
+) -> SolutionCandidate:
+    """Decode a solved :class:`IlpParInstance` into a candidate."""
+    exec_time = float(solution[inst.accum_join])
     return _extract_candidate(
-        node, seq_class, classes, children, cand_table, tasks, extras, join,
-        x, p, map_tc, solution, exec_time,
+        inst.node, inst.seq_class, inst.classes, inst.children, inst.cand_table,
+        inst.tasks, inst.extras, inst.join, inst.x, inst.p, inst.map_tc,
+        solution, exec_time,
     )
 
 

@@ -8,21 +8,40 @@ within a class, with a decreasing processor budget ``i`` (paper lines
 14-20), so the parallel set offers the parent level a spectrum of
 time/processor trade-offs. The most efficient root candidate (for the
 platform's main class) is the implemented solution.
+
+The walk is organized by levels (deepest first): all budget sweeps of one
+level are mutually independent, so they are expressed as
+:class:`repro.core.schedule.Sweep` chains and executed through a
+:class:`repro.ilp.service.SolverService` — serially at ``jobs=1``, fanned
+out to a process pool at ``jobs>1``, and memoized either way when caching
+is enabled. Candidates are merged into the solution sets in deterministic
+(node, class, budget) order, so the result is bit-identical to the
+original recursive implementation regardless of ``jobs``/cache state.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.homogeneous import homogeneous_parallelize_node
-from repro.core.ilppar import IlpParOptions, ilp_parallelize_node
+from repro.core.homogeneous import build_homopar_model, extract_homopar_candidate
+from repro.core.ilppar import (
+    IlpParOptions,
+    build_ilppar_model,
+    extract_ilppar_candidate,
+)
+from repro.core.schedule import Sweep, SolveJob, collect_levels, run_sweeps
 from repro.core.solution import SolutionCandidate, SolutionSet
 from repro.htg.graph import HTG
 from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.ilp.model import SolveStatus
+from repro.ilp.service import SolverService, SolveSpec
 from repro.ilp.stats import StatsCollector
 from repro.platforms.description import Platform
+
+#: Default on-disk cache location when ``cache=True`` without a directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 
 @dataclass
@@ -39,6 +58,17 @@ class ParallelizeOptions:
     #: "time" (paper objective) or "energy" (future-work extension).
     objective: str = "time"
     energy_deadline_factor: float = 1.0
+    #: Worker processes for independent ILP solves; ``1`` solves serially
+    #: in-process. Results are identical for any value.
+    jobs: int = 1
+    #: Enable structural memoization of ILP solves; on-disk entries go to
+    #: ``cache_dir`` (default ``.repro_cache/``) and persist across runs.
+    cache: bool = False
+    cache_dir: Optional[str] = None
+    #: In-memory memoization layer (within one run); independent of
+    #: ``cache`` so repeated identical subtrees are deduplicated even
+    #: without a persistent store.
+    memory_cache: bool = True
 
     def ilp_options(self) -> IlpParOptions:
         return IlpParOptions(
@@ -47,6 +77,14 @@ class ParallelizeOptions:
             mip_rel_gap=self.mip_rel_gap,
             objective=self.objective,
             energy_deadline_factor=self.energy_deadline_factor,
+        )
+
+    def make_service(self) -> SolverService:
+        cache_dir = None
+        if self.cache:
+            cache_dir = self.cache_dir or DEFAULT_CACHE_DIR
+        return SolverService(
+            jobs=self.jobs, cache_dir=cache_dir, memory_cache=self.memory_cache
         )
 
 
@@ -81,12 +119,20 @@ class _BaseParallelizer:
     def __init__(self, platform: Platform, options: Optional[ParallelizeOptions] = None):
         self.platform = platform
         self.options = options or ParallelizeOptions()
+        # The fastest class is a pure function of the platform; computing
+        # it per node made _worth_parallelizing O(classes) on every node.
+        self._fastest_class = max(
+            platform.processor_classes, key=lambda pc: pc.effective_mhz
+        )
 
     def parallelize(self, htg: HTG) -> ParallelizeResult:
         start = time.perf_counter()
         stats = StatsCollector()
         solution_sets: Dict[int, SolutionSet] = {}
-        self._parallelize_node(htg.get_root_node(), solution_sets, stats)
+        with self.options.make_service() as service:
+            for level in collect_levels(htg.get_root_node()):
+                self._process_level(level, solution_sets, stats, service)
+            stats.pool = service.pool_stats()
         best = self._select_best(htg, solution_sets)
         wall = time.perf_counter() - start
         return ParallelizeResult(
@@ -99,6 +145,59 @@ class _BaseParallelizer:
             approach=self.approach,
         )
 
+    # -- level engine ---------------------------------------------------------
+
+    def _process_level(
+        self,
+        level: List[HTGNode],
+        solution_sets: Dict[int, SolutionSet],
+        stats: StatsCollector,
+        service: SolverService,
+    ) -> None:
+        work = []
+        for node in level:
+            sset = SolutionSet()
+            self._seed_sequential(node, sset)
+            sweeps: List[Sweep] = []
+            if (
+                isinstance(node, HierarchicalNode)
+                and node.children
+                and self._worth_parallelizing(node)
+            ):
+                sweeps = self._node_sweeps(node, solution_sets)
+            work.append((node, sset, sweeps))
+
+        all_sweeps = [sweep for _n, _s, sweeps in work for sweep in sweeps]
+        if all_sweeps:
+            run_sweeps(all_sweeps, service)
+
+        # Merge in construction order — (node, class, budget) — which is
+        # exactly the insertion order of the recursive implementation.
+        for node, sset, sweeps in work:
+            for sweep in sweeps:
+                for candidate in sweep.candidates:
+                    sset.add(candidate)
+                stats.merge(sweep.collector)
+            solution_sets[node.uid] = sset
+
+    def _solve_spec(self, prev_objective: Optional[float]) -> SolveSpec:
+        """Spec for the next solve of a budget sweep.
+
+        ``prev_objective`` — the previous (larger) budget's optimum — is a
+        valid *lower* bound for the shrunken feasible region, letting the
+        branch-and-bound backend stop as soon as it matches it. It is a
+        search accelerator only, never a cutoff: seeding it as an
+        incumbent would prune the true optimum (budgets decrease, so
+        objectives only get worse along a sweep).
+        """
+        opts = self.options
+        return SolveSpec(
+            backend=opts.backend,
+            time_limit_s=opts.time_limit_s,
+            mip_rel_gap=opts.mip_rel_gap,
+            lower_bound=prev_objective if opts.backend == "bnb" else None,
+        )
+
     # -- template methods ---------------------------------------------------
 
     approach = "base"
@@ -106,36 +205,18 @@ class _BaseParallelizer:
     def _seed_sequential(self, node: HTGNode, sset: SolutionSet) -> None:
         raise NotImplementedError
 
-    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+    def _node_sweeps(
+        self, node: HierarchicalNode, solution_sets: Dict[int, SolutionSet]
+    ) -> List[Sweep]:
         raise NotImplementedError
 
     def _select_best(self, htg, solution_sets) -> SolutionCandidate:
         raise NotImplementedError
 
-    # -- recursion ------------------------------------------------------------
-
-    def _parallelize_node(
-        self,
-        node: HTGNode,
-        solution_sets: Dict[int, SolutionSet],
-        stats: StatsCollector,
-    ) -> None:
-        if isinstance(node, HierarchicalNode):
-            for child in node.children:
-                self._parallelize_node(child, solution_sets, stats)
-        sset = SolutionSet()
-        self._seed_sequential(node, sset)
-        if isinstance(node, HierarchicalNode) and node.children:
-            if self._worth_parallelizing(node):
-                self._run_ilps(node, solution_sets, sset, stats)
-        solution_sets[node.uid] = sset
-
     def _worth_parallelizing(self, node: HierarchicalNode) -> bool:
-        fastest = max(
-            self.platform.processor_classes, key=lambda pc: pc.effective_mhz
-        )
         return (
-            fastest.time_us(node.total_cycles()) >= self.options.min_parallelize_us
+            self._fastest_class.time_us(node.total_cycles())
+            >= self.options.min_parallelize_us
         )
 
 
@@ -156,23 +237,45 @@ class HeterogeneousParallelizer(_BaseParallelizer):
                 )
             )
 
-    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+    def _node_sweeps(self, node, solution_sets) -> List[Sweep]:
+        sweeps = []
         for pc in self.platform.processor_classes:
-            budget = self.platform.total_cores
-            while budget > 1:
-                candidate = ilp_parallelize_node(
-                    node,
-                    pc.name,
-                    budget,
-                    self.platform,
-                    solution_sets,
-                    collector=stats,
-                    options=self.options.ilp_options(),
+            sweeps.append(
+                Sweep(
+                    label=f"n{node.uid}|{pc.name}",
+                    make_gen=lambda out, seq_class=pc.name: self._sweep_gen(
+                        node, seq_class, solution_sets, out
+                    ),
                 )
-                if candidate is None:
-                    break
-                sset.add(candidate)
-                budget = min(budget - 1, candidate.num_tasks - 1)
+            )
+        return sweeps
+
+    def _sweep_gen(self, node, seq_class, solution_sets, out):
+        budget = self.platform.total_cores
+        prev_objective: Optional[float] = None
+        while budget > 1:
+            inst = build_ilppar_model(
+                node, seq_class, budget, self.platform, solution_sets,
+                options=self.options.ilp_options(),
+            )
+            if inst is None:
+                return
+            solution = yield SolveJob(
+                inst.model,
+                self._solve_spec(prev_objective),
+                tag=f"n{node.uid}|{seq_class}",
+            )
+            if solution is None:
+                return
+            candidate = extract_ilppar_candidate(inst, solution)
+            out.append(candidate)
+            if solution.status is SolveStatus.OPTIMAL:
+                # Only a proven optimum is a sound bound for the next
+                # (smaller) budget; a timeout incumbent may overshoot it.
+                prev_objective = solution.objective
+            else:
+                prev_objective = None
+            budget = min(budget - 1, candidate.num_tasks - 1)
 
     def _select_best(self, htg, solution_sets) -> SolutionCandidate:
         main = self.platform.main_class.name
@@ -207,21 +310,38 @@ class HomogeneousParallelizer(_BaseParallelizer):
             )
         )
 
-    def _run_ilps(self, node, solution_sets, sset, stats) -> None:
+    def _node_sweeps(self, node, solution_sets) -> List[Sweep]:
+        return [
+            Sweep(
+                label=f"n{node.uid}|{self.ref_class}",
+                make_gen=lambda out: self._sweep_gen(node, solution_sets, out),
+            )
+        ]
+
+    def _sweep_gen(self, node, solution_sets, out):
         budget = self.platform.total_cores
+        prev_objective: Optional[float] = None
         while budget > 1:
-            candidate = homogeneous_parallelize_node(
-                node,
-                budget,
-                self.platform,
-                solution_sets,
-                collector=stats,
+            inst = build_homopar_model(
+                node, budget, self.platform, solution_sets,
                 options=self.options.ilp_options(),
                 ref_class=self.ref_class,
             )
-            if candidate is None:
-                break
-            sset.add(candidate)
+            if inst is None:
+                return
+            solution = yield SolveJob(
+                inst.model,
+                self._solve_spec(prev_objective),
+                tag=f"n{node.uid}|{self.ref_class}",
+            )
+            if solution is None:
+                return
+            candidate = extract_homopar_candidate(inst, solution)
+            out.append(candidate)
+            if solution.status is SolveStatus.OPTIMAL:
+                prev_objective = solution.objective
+            else:
+                prev_objective = None
             budget = min(budget - 1, candidate.num_tasks - 1)
 
     def _select_best(self, htg, solution_sets) -> SolutionCandidate:

@@ -1,0 +1,140 @@
+"""Level scheduling of Algorithm 1's independent ILPs.
+
+The bottom-up walk (paper Algorithm 1) has two sources of exploitable
+independence:
+
+* **Across nodes / classes**: within one AHTG level the per-node,
+  per-main-task-class budget sweeps touch disjoint solution sets and only
+  *read* the (already final) sets of the level below.
+* **Within a sweep**: none — each budget's ILP consumes the previous
+  budget's candidate (``i = min(i-1, |tasks|-1)``), so a sweep is an
+  inherently serial chain.
+
+The scheduler models exactly that: a :class:`Sweep` is a generator that
+yields :class:`SolveJob` instances and receives solutions back (the serial
+chain); :func:`run_sweeps` drives many sweeps concurrently against a
+:class:`repro.ilp.service.SolverService`, parking a sweep while its job is
+in flight in a worker process and resuming whichever sweep's solve lands
+first. With a serial service (``jobs=1``) every submission resolves
+inline, making the engine a plain nested loop that replays the exact solve
+order of the recursive implementation — results are bit-identical either
+way, because the candidates produced by a sweep are accumulated per sweep
+and merged in deterministic (node, class, budget) order by the caller.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.htg.nodes import HierarchicalNode, HTGNode
+from repro.ilp.model import Model, Solution, SolveStatus
+from repro.ilp.service import SolverService, SolveSpec
+from repro.ilp.stats import StatsCollector
+
+
+@dataclass
+class SolveJob:
+    """One ILP solve requested by a sweep."""
+
+    model: Model
+    spec: SolveSpec
+    tag: str = ""
+
+
+#: A sweep body: yields jobs, receives the solution (``None`` when the
+#: model was infeasible), appends extracted candidates to the list it was
+#: constructed with.
+SweepGen = Generator[SolveJob, Optional[Solution], None]
+
+
+class Sweep:
+    """One budget sweep: a serial chain of solves with its own outputs.
+
+    ``make_gen`` is called with the sweep's candidate output list so the
+    generator can append extracted candidates as it goes; the engine never
+    interprets candidates, it only shuttles jobs and solutions. Keeping
+    candidates and statistics per sweep is what makes the concurrent
+    execution deterministic: completion order influences neither.
+    """
+
+    def __init__(self, label: str, make_gen: Callable[[list], SweepGen]):
+        self.label = label
+        self.candidates: list = []
+        self.collector = StatsCollector()
+        self.gen: SweepGen = make_gen(self.candidates)
+        self.pending = None  # PendingSolve while parked on a worker
+
+
+def collect_levels(root: HTGNode) -> List[List[HTGNode]]:
+    """Group the AHTG into levels, deepest first.
+
+    Within a level, nodes appear in depth-first discovery order, which
+    matches the child order the recursive walk used — the merge order of
+    sweep results (and thus every solution set) is therefore identical to
+    the recursive implementation's insertion order.
+    """
+    levels: Dict[int, List[HTGNode]] = {}
+
+    def visit(node: HTGNode, depth: int) -> None:
+        levels.setdefault(depth, []).append(node)
+        if isinstance(node, HierarchicalNode):
+            for child in node.children:
+                visit(child, depth + 1)
+
+    visit(root, 0)
+    return [levels[d] for d in sorted(levels, reverse=True)]
+
+
+def run_sweeps(sweeps: List[Sweep], service: SolverService) -> None:
+    """Drive ``sweeps`` to completion against ``service``.
+
+    Each sweep advances until its next job goes to a worker process (then
+    it parks) or its generator finishes. Whenever a worker finishes, the
+    owning sweep is resumed. Jobs that resolve synchronously — cache hits,
+    serial execution, degenerate models — are fed back immediately, so at
+    ``jobs=1`` this is an ordinary serial loop over the sweeps.
+    """
+    parked: Dict[object, Sweep] = {}  # future -> sweep
+
+    def advance(sweep: Sweep, value: Optional[Solution]) -> None:
+        while True:
+            try:
+                job = sweep.gen.send(value)
+            except StopIteration:
+                return
+            pending = service.submit(
+                job.model, job.spec, tag=job.tag, collector=sweep.collector
+            )
+            if pending.future is not None:
+                sweep.pending = pending
+                parked[pending.future] = sweep
+                return
+            value = _usable_or_none(pending.result(), pending.model.name)
+
+    for sweep in sweeps:
+        advance(sweep, None)
+
+    while parked:
+        done, _ = wait(list(parked), return_when=FIRST_COMPLETED)
+        for future in done:
+            sweep = parked.pop(future)
+            pending, sweep.pending = sweep.pending, None
+            solution = pending.result()
+            advance(sweep, _usable_or_none(solution, pending.model.name))
+
+
+def _usable_or_none(solution: Solution, name: str) -> Optional[Solution]:
+    """Map a service solution to the sweep protocol value.
+
+    Infeasible (including "nothing beats the cutoff") becomes ``None`` —
+    the sweep ends its budget loop, mirroring the recursive code catching
+    :class:`InfeasibleError`. Solver errors and unbounded verdicts raise,
+    as :meth:`repro.ilp.model.Model.solve` does.
+    """
+    if solution.usable:
+        return solution
+    if solution.status is SolveStatus.INFEASIBLE:
+        return None
+    raise RuntimeError(f"solver failed ({solution.status.value}) on {name!r}")

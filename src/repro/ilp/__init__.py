@@ -10,9 +10,12 @@ backends:
   :mod:`repro.ilp.simplex`.
 
 Both backends return provably optimal solutions for feasible bounded
-models; they are cross-checked against each other in the test suite.
-:mod:`repro.ilp.stats` records per-solve statistics (variable, constraint
-and solve-time counts) which feed the reproduction of the paper's Table I.
+models (or a best-found incumbent flagged ``FEASIBLE`` when a time limit
+strikes); they are cross-checked against each other in the test suite.
+:mod:`repro.ilp.service` layers memoization and process-pool execution on
+top of the backends. :mod:`repro.ilp.stats` records per-solve statistics
+(variable, constraint and solve-time counts) which feed the reproduction
+of the paper's Table I.
 """
 
 from repro.ilp.model import (
@@ -27,19 +30,24 @@ from repro.ilp.model import (
     Variable,
     lin_sum,
 )
-from repro.ilp.stats import SolveRecord, StatsCollector
+from repro.ilp.service import SolverService, SolveSpec, form_fingerprint
+from repro.ilp.stats import PoolStats, SolveRecord, StatsCollector
 
 __all__ = [
     "Constraint",
     "InfeasibleError",
     "LinExpr",
     "Model",
+    "PoolStats",
     "Sense",
     "SolveStatus",
     "Solution",
     "SolveRecord",
+    "SolveSpec",
+    "SolverService",
     "StatsCollector",
     "UnboundedError",
     "Variable",
+    "form_fingerprint",
     "lin_sum",
 ]

@@ -9,20 +9,40 @@ backend remains :mod:`repro.ilp.scipy_backend`.
 Branching strategy: most-fractional integer variable; depth-first with the
 "floor" child first (good for 0-1 packing-style models where variables tend
 to 0), pruning by the incumbent objective.
+
+Warm-start interface (used by the solver service's budget sweeps):
+
+* ``incumbent_obj`` seeds the incumbent objective as a *cutoff*: only
+  solutions strictly better than it are sought. If none exists the solve
+  reports :data:`SolveStatus.INFEASIBLE` ("nothing beats the cutoff") and
+  the caller keeps its incumbent.
+* ``lower_bound`` is a known valid lower bound on the optimum (e.g. the
+  optimum of a relaxation of the same model solved earlier). As soon as an
+  incumbent within ``mip_rel_gap`` of the bound is found the search stops
+  — the incumbent is provably optimal (within the gap).
+* ``time_limit`` / ``mip_rel_gap`` are honored: on timeout the best
+  incumbent is returned with :data:`SolveStatus.FEASIBLE`; a positive gap
+  relaxes the incumbent-pruning rule so the search terminates once the
+  proven gap is small enough.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.ilp.model import Model, Solution, SolveStatus
+from repro.ilp.model import MatrixForm, Model, Solution, SolveStatus
 from repro.ilp.simplex import solve_lp
 
 _INT_TOL = 1e-6
+
+#: Clock hook; tests monkeypatch this to exercise the time-limit path
+#: deterministically.
+_now = time.perf_counter
 
 
 @dataclass
@@ -38,31 +58,26 @@ class _Node:
 _SIMPLEX_SIZE_LIMIT = 80
 
 
-def solve_bnb(
-    model: Model,
+def solve_form_bnb(
+    form: MatrixForm,
     max_nodes: int = 200_000,
     use_scipy_lp: Optional[bool] = None,
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
-) -> Solution:
-    """Solve ``model`` by branch and bound.
+    incumbent_obj: Optional[float] = None,
+    lower_bound: Optional[float] = None,
+) -> Tuple[SolveStatus, Optional[np.ndarray]]:
+    """Branch-and-bound over a :class:`MatrixForm`; returns ``(status, x)``.
 
-    ``use_scipy_lp`` switches the relaxation engine to
-    ``scipy.optimize.linprog`` (keeping the pure-Python search); the
-    default picks the built-in simplex for small models and scipy's LP
-    above :data:`_SIMPLEX_SIZE_LIMIT` variables. ``time_limit`` and
-    ``mip_rel_gap`` are accepted for backend-interface compatibility; the
-    B&B always proves optimality and ignores them.
+    This is the process-pool-friendly core: it works purely on the matrix
+    data, so it can run in a worker process without shipping the ``Model``
+    object graph. ``x`` is the raw solution vector (integer entries not
+    yet rounded) and is ``None`` unless the status is ``OPTIMAL`` or
+    ``FEASIBLE``.
     """
-    del time_limit, mip_rel_gap
-    if use_scipy_lp is None:
-        use_scipy_lp = model.num_variables > _SIMPLEX_SIZE_LIMIT
-    form = model.to_matrix_form()
     n = len(form.c)
-    if n == 0:
-        from repro.ilp.scipy_backend import solve_scipy
-
-        return solve_scipy(model)
+    if use_scipy_lp is None:
+        use_scipy_lp = n > _SIMPLEX_SIZE_LIMIT
 
     a_ub, b_ub = _dense_rows(form.rows_ub, n)
     a_eq, b_eq = _dense_rows(form.rows_eq, n)
@@ -86,35 +101,45 @@ def solve_bnb(
         pre_a, pre_b = a_ub, b_ub
     pre = presolve(pre_a, pre_b, form.lb, form.ub, form.integrality)
     if pre.status == "infeasible":
-        return Solution(SolveStatus.INFEASIBLE, float("nan"))
+        return SolveStatus.INFEASIBLE, None
     assert pre.lb is not None and pre.ub is not None
 
     root = _Node(np.array(pre.lb, dtype=float), np.array(pre.ub, dtype=float), 0)
     stack: List[_Node] = [root]
-    best_obj = math.inf
+    best_obj = math.inf if incumbent_obj is None else float(incumbent_obj)
     best_x: Optional[np.ndarray] = None
     nodes_explored = 0
     root_unbounded = False
+    timed_out = False
+    start = _now()
+
+    def _prune_margin(ref: float) -> float:
+        return max(1e-9, mip_rel_gap * abs(ref)) if math.isfinite(ref) else 1e-9
 
     while stack:
+        if time_limit is not None and _now() - start > time_limit:
+            timed_out = True
+            break
         node = stack.pop()
         nodes_explored += 1
         if nodes_explored > max_nodes:
-            raise RuntimeError(f"branch-and-bound node limit exceeded on {model.name!r}")
+            raise RuntimeError("branch-and-bound node limit exceeded")
 
         result = relax(node.lb, node.ub)
         if result.status == "infeasible":
             continue
         if result.status == "unbounded":
+            # Only an unbounded *root* relaxation proves the MILP may be
+            # unbounded; a subproblem's relaxation reporting unbounded while
+            # the root was bounded is a numerical artifact of the restricted
+            # box and must not flip the verdict (the subtree is pruned
+            # conservatively — it offers no fractional point to branch on).
             if node.depth == 0:
                 root_unbounded = True
-            # An unbounded relaxation deeper in the tree still means the
-            # MILP itself may be unbounded; treat conservatively.
-            root_unbounded = root_unbounded or best_x is None
             continue
         assert result.x is not None
-        if result.objective >= best_obj - 1e-9:
-            continue  # bound: cannot improve the incumbent
+        if result.objective >= best_obj - _prune_margin(best_obj):
+            continue  # bound: cannot improve the incumbent (within the gap)
 
         frac_j = _most_fractional(result.x, int_mask)
         if frac_j < 0:
@@ -125,6 +150,12 @@ def solve_bnb(
             if obj < best_obj - 1e-9:
                 best_obj = obj
                 best_x = x
+                if lower_bound is not None and best_obj <= lower_bound + _prune_margin(
+                    lower_bound
+                ):
+                    # The incumbent meets a known valid lower bound: it is
+                    # provably optimal (within mip_rel_gap); stop searching.
+                    break
             continue
 
         xf = result.x[frac_j]
@@ -137,9 +168,54 @@ def solve_bnb(
         stack.append(floor_node)
 
     if best_x is None:
+        if timed_out:
+            return SolveStatus.ERROR, None
         if root_unbounded:
-            return Solution(SolveStatus.UNBOUNDED, float("nan"))
-        return Solution(SolveStatus.INFEASIBLE, float("nan"))
+            return SolveStatus.UNBOUNDED, None
+        return SolveStatus.INFEASIBLE, None
+    if timed_out:
+        return SolveStatus.FEASIBLE, best_x
+    return SolveStatus.OPTIMAL, best_x
+
+
+def solve_bnb(
+    model: Model,
+    max_nodes: int = 200_000,
+    use_scipy_lp: Optional[bool] = None,
+    time_limit: float | None = None,
+    mip_rel_gap: float = 0.0,
+    incumbent_obj: Optional[float] = None,
+    lower_bound: Optional[float] = None,
+) -> Solution:
+    """Solve ``model`` by branch and bound.
+
+    ``use_scipy_lp`` switches the relaxation engine to
+    ``scipy.optimize.linprog`` (keeping the pure-Python search); the
+    default picks the built-in simplex for small models and scipy's LP
+    above :data:`_SIMPLEX_SIZE_LIMIT` variables. See the module docstring
+    for the ``time_limit`` / ``mip_rel_gap`` / ``incumbent_obj`` /
+    ``lower_bound`` semantics.
+    """
+    form = model.to_matrix_form()
+    if model.num_variables == 0:
+        from repro.ilp.scipy_backend import solve_scipy
+
+        return solve_scipy(model)
+
+    try:
+        status, best_x = solve_form_bnb(
+            form,
+            max_nodes=max_nodes,
+            use_scipy_lp=use_scipy_lp,
+            time_limit=time_limit,
+            mip_rel_gap=mip_rel_gap,
+            incumbent_obj=incumbent_obj,
+            lower_bound=lower_bound,
+        )
+    except RuntimeError as exc:
+        raise RuntimeError(f"{exc} on {model.name!r}") from None
+    if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) or best_x is None:
+        return Solution(status, float("nan"))
 
     values = {}
     for var in model.variables:
@@ -148,7 +224,7 @@ def solve_bnb(
             x = float(round(x))
         values[var] = x
     objective = model.objective.value(values)
-    return Solution(SolveStatus.OPTIMAL, objective, values)
+    return Solution(status, objective, values)
 
 
 def _dense_rows(rows: List[Tuple[dict, float]], n: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -41,6 +41,8 @@ class SolveStatus(enum.Enum):
     """Outcome of a solver run."""
 
     OPTIMAL = "optimal"
+    #: A feasible incumbent returned on a time-limit hit (not proven optimal).
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
@@ -253,6 +255,14 @@ class Solution:
     objective: float
     values: Dict[Variable, float] = field(default_factory=dict)
 
+    @property
+    def usable(self) -> bool:
+        """True when the solve produced an assignment worth extracting."""
+        return (
+            self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+            and bool(self.values)
+        )
+
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]
 
@@ -452,7 +462,7 @@ class Model:
             raise InfeasibleError(f"model {self.name!r} is infeasible")
         if solution.status is SolveStatus.UNBOUNDED:
             raise UnboundedError(f"model {self.name!r} is unbounded")
-        if solution.status is not SolveStatus.OPTIMAL:
+        if solution.status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
             raise RuntimeError(f"solver failed on model {self.name!r}")
         return solution
 

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.ilp.model import Model, Solution, SolveStatus
+from repro.ilp.model import MatrixForm, Model, Solution, SolveStatus
 
 # scipy.optimize.milp status codes (see scipy docs).
 _STATUS_MAP = {
@@ -20,28 +20,19 @@ _STATUS_MAP = {
 }
 
 
-def solve_scipy(
-    model: Model,
+def solve_form_scipy(
+    form: MatrixForm,
     time_limit: Optional[float] = None,
     mip_rel_gap: float = 0.0,
-) -> Solution:
-    """Solve ``model`` exactly with HiGHS and return a :class:`Solution`.
+) -> Tuple[SolveStatus, Optional[np.ndarray]]:
+    """Solve a :class:`MatrixForm` with HiGHS; returns ``(status, x)``.
 
-    ``time_limit`` (seconds) and ``mip_rel_gap`` are passed through to
-    HiGHS; the defaults request a proven optimum.
+    This is the process-pool-friendly core used by the solver service: it
+    consumes only the matrix data (picklable), so it can run in a worker
+    process. A time-limit hit with an incumbent available is reported as
+    ``FEASIBLE`` with that incumbent; ``x`` is ``None`` for every other
+    non-optimal outcome.
     """
-    form = model.to_matrix_form()
-    n = len(form.c)
-    if n == 0:
-        # Degenerate constant model: feasible iff constant constraints hold.
-        for row, rhs in form.rows_ub:
-            if 0.0 > rhs + 1e-9:
-                return Solution(SolveStatus.INFEASIBLE, float("nan"))
-        for row, rhs in form.rows_eq:
-            if abs(rhs) > 1e-9:
-                return Solution(SolveStatus.INFEASIBLE, float("nan"))
-        return Solution(SolveStatus.OPTIMAL, form.obj_const, {})
-
     constraints = []
     a_ub, b_ub = form.sparse_ub()
     if a_ub.shape[0]:
@@ -73,15 +64,46 @@ def solve_scipy(
         )
 
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
-    if status is not SolveStatus.OPTIMAL or result.x is None:
+    if status is SolveStatus.OPTIMAL and result.x is not None:
+        return status, result.x
+    if result.status == 1 and result.x is not None:
+        # Iteration/time limit with an incumbent: usable, not proven optimal.
+        return SolveStatus.FEASIBLE, result.x
+    return status, None
+
+
+def solve_scipy(
+    model: Model,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
+) -> Solution:
+    """Solve ``model`` exactly with HiGHS and return a :class:`Solution`.
+
+    ``time_limit`` (seconds) and ``mip_rel_gap`` are passed through to
+    HiGHS; the defaults request a proven optimum.
+    """
+    form = model.to_matrix_form()
+    n = len(form.c)
+    if n == 0:
+        # Degenerate constant model: feasible iff constant constraints hold.
+        for row, rhs in form.rows_ub:
+            if 0.0 > rhs + 1e-9:
+                return Solution(SolveStatus.INFEASIBLE, float("nan"))
+        for row, rhs in form.rows_eq:
+            if abs(rhs) > 1e-9:
+                return Solution(SolveStatus.INFEASIBLE, float("nan"))
+        return Solution(SolveStatus.OPTIMAL, form.obj_const, {})
+
+    status, x = solve_form_scipy(form, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+    if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) or x is None:
         return Solution(status, float("nan"))
 
     values = {}
     for var in model.variables:
-        x = float(result.x[var.index])
+        value = float(x[var.index])
         if var.integer:
-            x = float(round(x))
-        values[var] = x
+            value = float(round(value))
+        values[var] = value
 
     objective = model.objective.value(values)
-    return Solution(SolveStatus.OPTIMAL, objective, values)
+    return Solution(status, objective, values)

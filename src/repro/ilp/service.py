@@ -1,0 +1,404 @@
+"""Solver service: parallel, memoized execution of ILP solves.
+
+The bottom-up parallelizer (Algorithm 1) generates many mutually
+independent ILP instances — sibling hierarchical nodes of one AHTG level,
+and the per-class budget sweeps within a node. This module provides the
+execution layer that exploits that independence:
+
+* **Process-pool fan-out.** A solve is shipped to a worker process as its
+  picklable :class:`repro.ilp.model.MatrixForm` (the model object graph
+  never crosses the process boundary); the worker returns the raw solution
+  vector, and the :class:`Solution` is reconstructed against the original
+  model in the parent. Both backends already derive their answer from the
+  matrix form, so the pooled path is bit-identical to the in-process path,
+  and ``jobs=1`` (the default) degenerates to a serial in-process solve.
+
+* **Structural memoization.** Solves are cached under a canonical
+  fingerprint of the fully ground model matrix plus the solver options.
+  The matrix is a pure function of the inputs the paper's ILP is built
+  from — subgraph structure, per-class child costs, edge byte volumes,
+  main-task class, processor budget — so structurally identical subtrees
+  (e.g. the chunks of one parallel loop, or repeated ``toolflow`` runs on
+  the same program) resolve to the same key. An in-memory layer serves
+  within-run repeats; an optional on-disk store under ``.repro_cache/``
+  (versioned by :data:`CACHE_SCHEMA`) persists across runs. A cache hit
+  is still recorded as a generated ILP so the Table-I statistics do not
+  depend on cache state.
+
+* **Warm starts.** Callers may attach a known valid ``lower_bound`` (for
+  the ``bnb`` backend) via :class:`SolveSpec`; the budget sweep uses the
+  previous budget's objective, which is a valid bound because shrinking
+  the processor budget only shrinks the feasible region. The bound is
+  excluded from the cache key — it provably does not change the returned
+  solution, only how fast it is found.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.ilp.model import MatrixForm, Model, Solution, SolveStatus
+from repro.ilp.stats import PoolStats
+
+#: Version key of the on-disk cache layout *and* the solve semantics.
+#: Bump whenever the model construction or a backend changes behavior;
+#: old entries become unreachable (different directory and fingerprint).
+CACHE_SCHEMA = "repro-ilp-v1"
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """Solver-side options of one ILP solve.
+
+    Everything except ``lower_bound`` is part of the cache key.
+    ``incumbent_obj`` (a cutoff — only strictly better solutions are
+    sought) changes the outcome and is keyed; ``lower_bound`` is a pure
+    early-termination aid and is not.
+    """
+
+    backend: str = "scipy"
+    time_limit_s: Optional[float] = None
+    mip_rel_gap: float = 0.0
+    incumbent_obj: Optional[float] = None
+    lower_bound: Optional[float] = None
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprint
+# ---------------------------------------------------------------------------
+
+
+def form_fingerprint(form: MatrixForm, spec: SolveSpec) -> str:
+    """Canonical hash of a ground model matrix + the keyed solver options."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "backend": spec.backend,
+        "time_limit": spec.time_limit_s,
+        "gap": spec.mip_rel_gap,
+        "incumbent": spec.incumbent_obj,
+        "minimize": form.minimize,
+        "obj_const": form.obj_const,
+        "c": [float(v) for v in form.c],
+        "lb": [float(v) for v in form.lb],
+        "ub": [float(v) for v in form.ub],
+        "int": [int(v) for v in form.integrality],
+        "rows_ub": [
+            [sorted((int(j), float(a)) for j, a in row.items()), float(rhs)]
+            for row, rhs in form.rows_ub
+        ],
+        "rows_eq": [
+            [sorted((int(j), float(a)) for j, a in row.items()), float(rhs)]
+            for row, rhs in form.rows_eq
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (module-level so it pickles under ProcessPoolExecutor)
+# ---------------------------------------------------------------------------
+
+
+def _execute_form(
+    form: MatrixForm, spec: SolveSpec
+) -> Tuple[str, Optional[List[float]], float]:
+    """Solve a matrix form; returns ``(status_name, x or None, seconds)``.
+
+    Runs in a worker process (or inline at ``jobs=1``). Never raises:
+    solver failures map to the ``"error"`` status so a crashed solve does
+    not take the whole run down.
+    """
+    start = time.perf_counter()
+    try:
+        if spec.backend == "scipy":
+            from repro.ilp.scipy_backend import solve_form_scipy
+
+            status, x = solve_form_scipy(
+                form, time_limit=spec.time_limit_s, mip_rel_gap=spec.mip_rel_gap
+            )
+        elif spec.backend == "bnb":
+            from repro.ilp.bnb import solve_form_bnb
+
+            status, x = solve_form_bnb(
+                form,
+                time_limit=spec.time_limit_s,
+                mip_rel_gap=spec.mip_rel_gap,
+                incumbent_obj=spec.incumbent_obj,
+                lower_bound=spec.lower_bound,
+            )
+        else:
+            raise ValueError(f"unknown backend {spec.backend!r}")
+    except Exception:
+        return SolveStatus.ERROR.value, None, time.perf_counter() - start
+    vector = None if x is None else [float(v) for v in x]
+    return status.value, vector, time.perf_counter() - start
+
+
+def _solution_from_vector(
+    model: Model, status: SolveStatus, x: Optional[List[float]]
+) -> Solution:
+    """Rebuild a :class:`Solution` against the original model objects.
+
+    Mirrors exactly what both backends do after solving — round integer
+    entries, evaluate the model objective — so the reconstructed solution
+    is identical to an in-process ``model.solve()``.
+    """
+    if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) or x is None:
+        return Solution(status, float("nan"))
+    values = {}
+    for var in model.variables:
+        value = float(x[var.index])
+        if var.integer:
+            value = float(round(value))
+        values[var] = value
+    return Solution(status, model.objective.value(values), values)
+
+
+# ---------------------------------------------------------------------------
+# Pending solve handle
+# ---------------------------------------------------------------------------
+
+
+class PendingSolve:
+    """Handle for one submitted solve.
+
+    ``future`` is ``None`` when the solve resolved synchronously (cache
+    hit, degenerate model, or serial execution); otherwise it is the pool
+    future the scheduler can wait on. :meth:`result` finalizes the solve:
+    it caches the outcome, records statistics, and returns the
+    reconstructed :class:`Solution`.
+    """
+
+    def __init__(
+        self,
+        service: "SolverService",
+        model: Model,
+        spec: SolveSpec,
+        tag: str,
+        collector,
+    ):
+        self._service = service
+        self._model = model
+        self._spec = spec
+        self._tag = tag
+        self._collector = collector
+        self._key: Optional[str] = None
+        self._solution: Optional[Solution] = None
+        self._resolved = False
+        self.future = None
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    def result(self) -> Solution:
+        if not self._resolved:
+            assert self.future is not None
+            raw = self.future.result()
+            self._service._note_completed()
+            self.future = None
+            self._finish(raw, cache_hit=False)
+        assert self._solution is not None
+        return self._solution
+
+    # -- internals -----------------------------------------------------------
+
+    def _start(self) -> None:
+        service = self._service
+        start = time.perf_counter()
+        if self._model.num_variables == 0:
+            from repro.ilp.scipy_backend import solve_scipy
+
+            solution = solve_scipy(self._model)
+            self._settle(solution, time.perf_counter() - start, cache_hit=False)
+            service.inline_solves += 1
+            return
+        form = self._model.to_matrix_form()
+        self._key = form_fingerprint(form, self._spec)
+        cached = service._cache_get(self._key)
+        if cached is not None:
+            status_name, x = cached
+            self._finish(
+                (status_name, x, time.perf_counter() - start), cache_hit=True
+            )
+            return
+        pool = service._ensure_pool()
+        if pool is None:
+            raw = _execute_form(form, self._spec)
+            service.inline_solves += 1
+            self._finish(raw, cache_hit=False)
+            return
+        self.future = pool.submit(_execute_form, form, self._spec)
+        service._note_dispatched()
+
+    def _finish(self, raw, cache_hit: bool) -> None:
+        status_name, x, seconds = raw
+        status = SolveStatus(status_name)
+        if cache_hit:
+            self._service.cache_hits += 1
+        elif self._key is not None:
+            self._service._cache_put(self._key, status, x)
+        solution = _solution_from_vector(self._model, status, x)
+        self._settle(solution, seconds, cache_hit)
+
+    def _settle(self, solution: Solution, seconds: float, cache_hit: bool) -> None:
+        self._solution = solution
+        self._resolved = True
+        if self._collector is not None:
+            self._collector.record(
+                model_name=self._model.name,
+                num_variables=self._model.num_variables,
+                num_constraints=self._model.num_constraints,
+                solve_seconds=seconds,
+                status=solution.status,
+                cache_hit=cache_hit,
+                tag=self._tag,
+            )
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class SolverService:
+    """Memoizing, optionally process-parallel ILP solve executor.
+
+    Args:
+        jobs: worker processes; ``1`` (default) solves inline with no pool.
+        cache_dir: directory of the on-disk cache store, or ``None`` to
+            keep memoization in-memory only.
+        memory_cache: enable the in-memory layer (identical subtrees
+            within one run resolve instantly). Safe to leave on: cache
+            hits return the exact vector the solver would produce.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        memory_cache: bool = True,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._mem: Optional[Dict[str, Tuple[str, Optional[List[float]]]]] = (
+            {} if memory_cache else None
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_unavailable = False
+        self.cache_hits = 0
+        self.inline_solves = 0
+        self.dispatched = 0
+        self._in_flight = 0
+        self.peak_in_flight = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self, model: Model, spec: SolveSpec, tag: str = "", collector=None
+    ) -> PendingSolve:
+        pending = PendingSolve(self, model, spec, tag, collector)
+        pending._start()
+        return pending
+
+    def solve(
+        self, model: Model, spec: SolveSpec, tag: str = "", collector=None
+    ) -> Solution:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(model, spec, tag=tag, collector=collector).result()
+
+    def pool_stats(self) -> PoolStats:
+        return PoolStats(
+            jobs=self.jobs,
+            dispatched=self.dispatched,
+            inline_solves=self.inline_solves,
+            cache_hits=self.cache_hits,
+            peak_in_flight=self.peak_in_flight,
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pool management -------------------------------------------------------
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.jobs <= 1 or self._pool_unavailable:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError, ValueError):
+                # Restricted environments (no /dev/shm, no fork): degrade
+                # to serial solving rather than failing the run.
+                self._pool_unavailable = True
+                return None
+        return self._pool
+
+    def _note_dispatched(self) -> None:
+        self.dispatched += 1
+        self._in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+
+    def _note_completed(self) -> None:
+        self._in_flight -= 1
+
+    # -- cache layers -----------------------------------------------------------
+
+    def _cache_get(self, key: str) -> Optional[Tuple[str, Optional[List[float]]]]:
+        if self._mem is not None and key in self._mem:
+            return self._mem[key]
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            value = (str(entry["status"]), entry["x"])
+        except (OSError, ValueError, KeyError):
+            return None
+        if self._mem is not None:
+            self._mem[key] = value
+        return value
+
+    def _cache_put(
+        self, key: str, status: SolveStatus, x: Optional[List[float]]
+    ) -> None:
+        value = (status.value, x)
+        if self._mem is not None:
+            self._mem[key] = value
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"status": status.value, "x": x}, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a read-only cache dir must not fail the solve
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / CACHE_SCHEMA / key[:2] / f"{key}.json"

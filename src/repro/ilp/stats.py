@@ -5,25 +5,50 @@ vs. heterogeneous), the parallelization wall time, the number of generated
 ILPs, and the total numbers of variables and constraints across all ILPs.
 :class:`StatsCollector` gathers exactly those quantities; the parallelizer
 threads one collector through every :meth:`repro.ilp.model.Model.solve`.
+
+On top of the Table-I quantities the collector tracks the solver-service
+telemetry introduced with the parallel solving layer: per-record cache
+hit/miss flags (a cache hit still counts as a *generated* ILP, keeping the
+Table-I numbers independent of caching), per-sweep tags for per-node solve
+times, and an optional :class:`PoolStats` snapshot describing process-pool
+utilization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.ilp.model import SolveStatus
 
 
 @dataclass(frozen=True)
 class SolveRecord:
-    """One ILP solve: model name, size, wall time and outcome."""
+    """One ILP solve: model name, size, wall time and outcome.
+
+    ``cache_hit`` marks solves answered from the solver-service cache
+    (``solve_seconds`` is then the lookup time); ``tag`` identifies the
+    sweep that generated the ILP (e.g. ``"node12|fast"``).
+    """
 
     model_name: str
     num_variables: int
     num_constraints: int
     solve_seconds: float
     status: SolveStatus
+    cache_hit: bool = False
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Process-pool utilization of one solver-service run."""
+
+    jobs: int
+    dispatched: int = 0
+    inline_solves: int = 0
+    cache_hits: int = 0
+    peak_in_flight: int = 0
 
 
 @dataclass
@@ -31,6 +56,9 @@ class StatsCollector:
     """Accumulates :class:`SolveRecord` entries across a parallelization run."""
 
     records: List[SolveRecord] = field(default_factory=list)
+    #: Pool utilization snapshot, attached by the parallelizer when a
+    #: solver service drove the run.
+    pool: Optional[PoolStats] = None
 
     def record(
         self,
@@ -39,9 +67,19 @@ class StatsCollector:
         num_constraints: int,
         solve_seconds: float,
         status: SolveStatus,
+        cache_hit: bool = False,
+        tag: str = "",
     ) -> None:
         self.records.append(
-            SolveRecord(model_name, num_variables, num_constraints, solve_seconds, status)
+            SolveRecord(
+                model_name,
+                num_variables,
+                num_constraints,
+                solve_seconds,
+                status,
+                cache_hit,
+                tag,
+            )
         )
 
     # -- Table I quantities ---------------------------------------------------
@@ -61,6 +99,23 @@ class StatsCollector:
     @property
     def total_solve_seconds(self) -> float:
         return sum(r.solve_seconds for r in self.records)
+
+    # -- solver-service telemetry ----------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if not r.cache_hit)
+
+    def solve_seconds_by_tag(self) -> Dict[str, float]:
+        """Aggregate solve wall time per sweep tag (per-node solve times)."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.tag] = out.get(r.tag, 0.0) + r.solve_seconds
+        return out
 
     def merge(self, other: "StatsCollector") -> None:
         self.records.extend(other.records)

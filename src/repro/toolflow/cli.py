@@ -42,6 +42,33 @@ def _resolve_platform(name: str, scenario: str) -> Platform:
     )
 
 
+def _solver_options(args: argparse.Namespace):
+    """Build :class:`ParallelizeOptions` from the shared solver flags."""
+    from repro.core.parallelize import ParallelizeOptions
+
+    return ParallelizeOptions(
+        jobs=args.jobs,
+        cache=args.cache or args.cache_dir is not None,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _add_solver_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="solve independent ILPs on N worker processes (default: 1, "
+        "serial; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize ILP solves on disk (default dir: .repro_cache/)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk solver cache directory (implies --cache)",
+    )
+
+
 def _cmd_parallelize(args: argparse.Namespace) -> int:
     from repro.codegen import annotate_solution
     from repro.codegen.mapping_spec import mapping_spec_json
@@ -51,7 +78,9 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
     platform = _resolve_platform(args.platform, args.scenario)
     with open(args.source, "r", encoding="utf-8") as handle:
         source = handle.read()
-    flow = ToolFlow(platform, approach=args.approach)
+    flow = ToolFlow(
+        platform, approach=args.approach, parallelize_options=_solver_options(args)
+    )
     outcome = flow.run(source, entry=args.entry)
 
     print(platform.describe())
@@ -69,6 +98,14 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
         f"{outcome.result.stats.total_constraints:,} constraints, "
         f"{outcome.result.stats.total_solve_seconds:.1f}s solve time)"
     )
+    pool = outcome.result.stats.pool
+    if pool is not None and (pool.jobs > 1 or pool.cache_hits):
+        print(
+            f"solver    : jobs={pool.jobs}, {pool.dispatched} pooled / "
+            f"{pool.inline_solves} inline solves, "
+            f"{pool.cache_hits} cache hits, "
+            f"peak {pool.peak_in_flight} in flight"
+        )
 
     if args.annotate:
         text = annotate_solution(outcome.result, program=outcome.program)
@@ -129,7 +166,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.toolflow.report import render_figure
 
     names = args.benchmarks.split(",") if args.benchmarks else None
-    print(render_figure(run_figure(args.figure, benchmarks=names)))
+    print(
+        render_figure(
+            run_figure(
+                args.figure, benchmarks=names,
+                parallelize_options=_solver_options(args),
+            )
+        )
+    )
     return 0
 
 
@@ -138,7 +182,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.toolflow.report import render_table1
 
     names = args.benchmarks.split(",") if args.benchmarks else None
-    print(render_table1(run_table1(benchmarks=names)))
+    print(
+        render_table1(
+            run_table1(benchmarks=names, parallelize_options=_solver_options(args))
+        )
+    )
     return 0
 
 
@@ -174,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full artifact bundle (annotated/OpenMP source, "
         "pre-mapping, DOT graphs, schedule, report) to DIR",
     )
+    _add_solver_args(par)
     par.set_defaults(func=_cmd_parallelize)
 
     ins = sub.add_parser("inspect", help="show the AHTG of a C file")
@@ -185,10 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=["7a", "7b", "8a", "8b"])
     fig.add_argument("--benchmarks")
+    _add_solver_args(fig)
     fig.set_defaults(func=_cmd_figure)
 
     tab = sub.add_parser("table1", help="regenerate Table I")
     tab.add_argument("--benchmarks")
+    _add_solver_args(tab)
     tab.set_defaults(func=_cmd_table1)
 
     lst = sub.add_parser("benchmarks", help="list bundled benchmarks")

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -87,6 +88,124 @@ class TestAgreement:
         a = m.solve(backend="scipy")
         b = m.solve(backend="bnb")
         assert a.objective == pytest.approx(1.5) == pytest.approx(b.objective)
+
+
+class TestBnbWarmStart:
+    def test_incumbent_obj_is_a_cutoff(self):
+        # minimize x over x in [3, 10]: optimum 3.
+        m = Model("cutoff")
+        x = m.add_var("x", 0, 10, integer=True)
+        m.add_constraint(x >= 3)
+        m.minimize(x)
+        assert solve_bnb(m, incumbent_obj=4.0).objective == pytest.approx(3.0)
+        # Nothing beats the cutoff at the optimum itself: the caller keeps
+        # its incumbent, reported as INFEASIBLE.
+        assert solve_bnb(m, incumbent_obj=3.0).status is SolveStatus.INFEASIBLE
+
+    def test_lower_bound_accelerates_without_changing_result(self):
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        plain = solve_bnb(m)
+        # The optimum of the minimized matrix form is -objective for a
+        # maximize model; handing it over must not change the answer.
+        warm = solve_bnb(m, lower_bound=-plain.objective)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(plain.objective)
+
+    def test_mip_rel_gap_returns_feasible_within_gap(self):
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        exact = solve_bnb(m).objective
+        approx = solve_bnb(m, mip_rel_gap=0.5)
+        assert approx.status is SolveStatus.OPTIMAL
+        assert not m.check(approx)
+        assert approx.objective >= (1 - 0.5) * exact - 1e-9
+        assert approx.objective <= exact + 1e-9
+
+    def test_time_limit_returns_incumbent_as_feasible(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+        from repro.ilp.simplex import LPResult
+
+        # Deterministic clock: the timeout strikes on the third loop check,
+        # after the floor child has produced an incumbent.
+        ticks = iter([0.0, 0.0, 0.0, 100.0])
+        monkeypatch.setattr(bnb_mod, "_now", lambda: next(ticks))
+
+        def fake_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub):
+            if ub[0] == 0:  # floor child: integral incumbent y = 0
+                return LPResult("optimal", np.array([0.0]), 0.0)
+            return LPResult("optimal", np.array([0.5]), 0.5)  # root: branch
+
+        monkeypatch.setattr(bnb_mod, "solve_lp", fake_lp)
+        m = Model("timeout")
+        y = m.add_var("y", 0, 10, integer=True)
+        m.add_constraint(y <= 10)
+        m.minimize(y)
+        sol = solve_bnb(m, time_limit=5.0, use_scipy_lp=False)
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol[y] == 0.0
+
+    def test_time_limit_without_incumbent_is_an_error(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+
+        ticks = iter([0.0, 100.0])
+        monkeypatch.setattr(bnb_mod, "_now", lambda: next(ticks))
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        assert solve_bnb(m, time_limit=5.0).status is SolveStatus.ERROR
+
+
+class TestBnbUnboundedVerdict:
+    """Regression: only the *root* relaxation may prove unboundedness.
+
+    A restricted subproblem box can make the simplex report "unbounded"
+    as a numerical artifact; the old ``root_unbounded or best_x is None``
+    logic then flipped a bounded MILP's verdict to UNBOUNDED.
+    """
+
+    def _model(self):
+        m = Model("interior-unbounded")
+        y = m.add_var("y", 0, 10, integer=True)
+        m.add_constraint(y <= 10)
+        m.minimize(-y)
+        return m, y
+
+    def test_interior_unbounded_child_does_not_flip_verdict(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+        from repro.ilp.simplex import LPResult
+
+        def fake_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub):
+            if ub[0] == 0:  # floor child: the numerical artifact
+                return LPResult("unbounded")
+            if lb[0] >= 1:  # ceil child: integral optimum
+                return LPResult("optimal", np.array([10.0]), -10.0)
+            return LPResult("optimal", np.array([0.5]), -0.5)  # root
+
+        monkeypatch.setattr(bnb_mod, "solve_lp", fake_lp)
+        m, y = self._model()
+        sol = solve_bnb(m, use_scipy_lp=False)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol[y] == 10.0
+
+    def test_all_children_pruned_is_infeasible_not_unbounded(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+        from repro.ilp.simplex import LPResult
+
+        def fake_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub):
+            if ub[0] == 0 or lb[0] >= 1:
+                return LPResult("unbounded")
+            return LPResult("optimal", np.array([0.5]), -0.5)
+
+        monkeypatch.setattr(bnb_mod, "solve_lp", fake_lp)
+        m, _y = self._model()
+        assert solve_bnb(m, use_scipy_lp=False).status is SolveStatus.INFEASIBLE
+
+    def test_root_unbounded_still_detected(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+        from repro.ilp.simplex import LPResult
+
+        monkeypatch.setattr(
+            bnb_mod, "solve_lp", lambda *args: LPResult("unbounded")
+        )
+        m, _y = self._model()
+        assert solve_bnb(m, use_scipy_lp=False).status is SolveStatus.UNBOUNDED
 
 
 @st.composite

@@ -1,0 +1,160 @@
+"""Solver service: parallel determinism, memoization, cache invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ilp.service as service_mod
+from repro.core.parallelize import HeterogeneousParallelizer, ParallelizeOptions
+from repro.ilp import Model, SolveStatus, lin_sum
+from repro.ilp.service import SolverService, SolveSpec, form_fingerprint
+from repro.platforms import config_a, config_b
+from repro.toolflow.experiments import prepare_benchmark
+
+
+def _signature(result):
+    """Everything observable about a parallelization outcome."""
+    candidates = []
+    for uid in sorted(result.solution_sets):
+        for cand in result.solution_sets[uid].all():
+            candidates.append(
+                (
+                    uid,
+                    cand.main_class,
+                    cand.exec_time_us,
+                    cand.is_sequential,
+                    tuple(sorted(cand.used_procs.items())),
+                    tuple(
+                        (seg.index, seg.role, seg.proc_class,
+                         tuple(ch.uid for ch in seg.children))
+                        for seg in cand.segments
+                    ),
+                )
+            )
+    stats = result.stats
+    return (
+        result.best.exec_time_us,
+        tuple(candidates),
+        stats.num_ilps,
+        stats.total_variables,
+        stats.total_constraints,
+    )
+
+
+def _run(name, platform, **options):
+    _program, htg = prepare_benchmark(name, platform.total_cores)
+    parallelizer = HeterogeneousParallelizer(platform, ParallelizeOptions(**options))
+    return parallelizer.parallelize(htg)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("bench", ["fir_256", "mult_10"])
+    def test_jobs4_matches_serial(self, bench):
+        platform = config_a("accelerator")
+        serial = _run(bench, platform, jobs=1)
+        pooled = _run(bench, platform, jobs=4)
+        assert _signature(pooled) == _signature(serial)
+        # The pool must actually have been exercised (or cleanly fallen
+        # back to inline solving in pool-less sandboxes).
+        pool = pooled.stats.pool
+        assert pool is not None and pool.jobs == 4
+        assert pool.dispatched + pool.inline_solves == pooled.stats.num_ilps
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        platform = config_a("accelerator")
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+        monkeypatch.setattr(service_mod, "ProcessPoolExecutor", broken_pool)
+        result = _run("fir_256", platform, jobs=4)
+        assert _signature(result) == _signature(_run("fir_256", platform, jobs=1))
+        assert result.stats.pool.dispatched == 0
+        assert result.stats.pool.inline_solves == result.stats.num_ilps
+
+
+class TestCache:
+    def test_warm_disk_cache_hits_everything(self, tmp_path):
+        platform = config_a("accelerator")
+        cold = _run("fir_256", platform, cache=True, cache_dir=str(tmp_path))
+        warm = _run("fir_256", platform, cache=True, cache_dir=str(tmp_path))
+        assert _signature(warm) == _signature(cold)
+        assert cold.stats.cache_hits == 0
+        assert warm.stats.cache_hits == warm.stats.num_ilps
+        # Table-I accounting is caching-invariant: hits still count as ILPs.
+        assert warm.stats.num_ilps == cold.stats.num_ilps
+
+    def test_schema_bump_invalidates_disk_entries(self, tmp_path, monkeypatch):
+        platform = config_a("accelerator")
+        _run("fir_256", platform, cache=True, cache_dir=str(tmp_path))
+        monkeypatch.setattr(service_mod, "CACHE_SCHEMA", "repro-ilp-vNEXT")
+        rerun = _run("fir_256", platform, cache=True, cache_dir=str(tmp_path))
+        assert rerun.stats.cache_hits == 0
+
+    def test_platform_change_misses(self, tmp_path):
+        a = config_a("accelerator")
+        b = config_b("accelerator")
+        _run("fir_256", a, cache=True, cache_dir=str(tmp_path))
+        other = _run("fir_256", b, cache=True, cache_dir=str(tmp_path))
+        assert other.stats.cache_hits == 0
+
+    def test_memory_cache_dedupes_identical_models(self):
+        with SolverService(jobs=1, memory_cache=True) as service:
+            def make_model():
+                m = Model("twin")
+                xs = [m.add_binary(f"x{i}") for i in range(3)]
+                m.add_constraint(lin_sum(xs) <= 2)
+                m.maximize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+                return m
+
+            first = service.solve(make_model(), SolveSpec())
+            second = service.solve(make_model(), SolveSpec())
+            assert first.status is SolveStatus.OPTIMAL
+            assert second.objective == first.objective
+            assert service.cache_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        m = Model("single")
+        x = m.add_binary("x")
+        m.maximize(x)
+        spec = SolveSpec()
+        key = form_fingerprint(m.to_matrix_form(), spec)
+        with SolverService(cache_dir=str(tmp_path), memory_cache=False) as service:
+            path = service._disk_path(key)
+            path.parent.mkdir(parents=True)
+            path.write_text("not json", encoding="utf-8")
+            solution = service.solve(m, spec)
+            assert solution.status is SolveStatus.OPTIMAL
+            assert service.cache_hits == 0
+
+
+class TestFingerprint:
+    def _model(self, cap):
+        m = Model("fp")
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constraint(lin_sum(xs) <= cap)
+        m.maximize(lin_sum(xs))
+        return m.to_matrix_form()
+
+    def test_stable_for_identical_models(self):
+        assert form_fingerprint(self._model(2), SolveSpec()) == form_fingerprint(
+            self._model(2), SolveSpec()
+        )
+
+    def test_sensitive_to_model_and_keyed_options(self):
+        base = form_fingerprint(self._model(2), SolveSpec())
+        assert form_fingerprint(self._model(1), SolveSpec()) != base
+        assert form_fingerprint(self._model(2), SolveSpec(backend="bnb")) != base
+        assert (
+            form_fingerprint(self._model(2), SolveSpec(mip_rel_gap=0.1)) != base
+        )
+        assert (
+            form_fingerprint(self._model(2), SolveSpec(incumbent_obj=-1.0)) != base
+        )
+
+    def test_lower_bound_is_not_keyed(self):
+        # A pure search accelerator must share the cache entry of the
+        # unaccelerated solve — it provably returns the same solution.
+        assert form_fingerprint(
+            self._model(2), SolveSpec(lower_bound=-3.0)
+        ) == form_fingerprint(self._model(2), SolveSpec())
