@@ -1,0 +1,162 @@
+"""Simplex-kernel microbenchmark over the figure-run ILPPAR instances.
+
+Captures the distinct ILPPAR matrix forms produced by the two-benchmark
+figure run (``fir_256`` + ``mult_10``, cold cache, jobs=1) and drives the
+pure-Python branch-and-bound over each kernel-sized form twice — with the
+warm-basis protocol enabled (the default) and disabled — so the pivot
+savings of parent-basis reuse are measured on the real instances, not on
+synthetic LPs. Every kernel objective is cross-checked against HiGHS
+(``scipy.optimize.milp``) on the same form.
+
+Results are written to the repo-root ``BENCH_ilp.json`` (schema documented
+in ``docs/BENCHMARKS.md``). The test **fails** when
+
+* any kernel objective diverges from HiGHS by more than the stored
+  tolerance, or
+* warm-path pivots regress beyond the per-benchmark thresholds stored in
+  ``benchmarks/ilp_kernel_thresholds.json`` (recorded with ~1.5x headroom
+  over the measured totals), or
+* warm-basis reuse stops delivering the required total pivot reduction.
+
+Capture uses the scipy backend so the harvesting pass is cheap; the model
+shrinking (dominance pruning, symmetry rows, ordering presolve) is applied
+at model-build time and therefore benchmarked regardless of backend.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+import numpy as np
+
+import repro.ilp.service as service
+from repro.core.parallelize import HeterogeneousParallelizer, ParallelizeOptions
+from repro.ilp.bnb import BnbStats, _SIMPLEX_SIZE_LIMIT, solve_form_bnb
+from repro.ilp.model import MatrixForm, SolveStatus
+from repro.ilp.scipy_backend import solve_form_scipy
+from repro.platforms import config_a
+from repro.toolflow.experiments import prepare_benchmark
+
+BENCHMARKS = ["fir_256", "mult_10"]
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+THRESHOLDS_PATH = pathlib.Path(__file__).parent / "ilp_kernel_thresholds.json"
+REPORT_PATH = REPO_ROOT / "BENCH_ilp.json"
+
+
+def _capture_forms(name: str, platform) -> List[MatrixForm]:
+    """Run the parallelizer once (scipy backend, cold cache) and harvest
+    every distinct ILPPAR matrix form it submits to the solver service."""
+    _program, htg = prepare_benchmark(name, platform.total_cores)
+    captured: List[MatrixForm] = []
+    original = service._execute_form
+
+    def capture(form, spec):
+        captured.append(form)
+        return original(form, service.SolveSpec(backend="scipy"))
+
+    service._execute_form = capture
+    try:
+        opts = ParallelizeOptions(
+            backend="scipy", jobs=1, cache=None, memory_cache=True
+        )
+        HeterogeneousParallelizer(platform, opts).parallelize(htg)
+    finally:
+        service._execute_form = original
+
+    seen = set()
+    forms = []
+    for form in captured:
+        key = (len(form.c), len(form.rows_ub), len(form.rows_eq))
+        if key not in seen:
+            seen.add(key)
+            forms.append(form)
+    return forms
+
+
+def _objective(form: MatrixForm, x) -> float:
+    return float(np.asarray(form.c, dtype=float) @ x) + form.obj_const
+
+
+def _bench_one(name: str, platform) -> Dict:
+    forms = _capture_forms(name, platform)
+    kernel_forms = [f for f in forms if len(f.c) <= _SIMPLEX_SIZE_LIMIT]
+
+    warm = BnbStats()
+    cold = BnbStats()
+    max_diff = 0.0
+    wall = 0.0
+    for form in kernel_forms:
+        start = time.perf_counter()
+        status_w, x_w = solve_form_bnb(form, use_scipy_lp=False, stats=warm)
+        wall += time.perf_counter() - start
+        status_c, x_c = solve_form_bnb(
+            form, use_scipy_lp=False, stats=cold, warm_start=False
+        )
+        status_h, x_h, _info = solve_form_scipy(form)
+        assert status_w == status_c == status_h, (
+            f"{name}: backend verdicts diverge on a {len(form.c)}-var form: "
+            f"warm={status_w} cold={status_c} highs={status_h}"
+        )
+        if status_h is SolveStatus.OPTIMAL:
+            max_diff = max(max_diff, abs(_objective(form, x_w) - _objective(form, x_h)))
+            max_diff = max(max_diff, abs(_objective(form, x_c) - _objective(form, x_h)))
+
+    return {
+        "forms_captured": len(forms),
+        "kernel_forms": len(kernel_forms),
+        "pivots": warm.pivots,
+        "pivots_cold": cold.pivots,
+        "nodes": warm.nodes,
+        "lp_solves": warm.lp_solves,
+        "warm_lp_solves": warm.warm_lp_solves,
+        "warm_lp_hits": warm.warm_lp_hits,
+        "warm_hit_rate": (
+            round(warm.warm_lp_hits / warm.warm_lp_solves, 4)
+            if warm.warm_lp_solves
+            else 0.0
+        ),
+        "wall_seconds": round(wall, 3),
+        "max_objective_diff_vs_highs": max_diff,
+    }
+
+
+def test_simplex_kernel_microbench():
+    thresholds = json.loads(THRESHOLDS_PATH.read_text(encoding="utf-8"))
+    platform = config_a("accelerator")
+
+    per_bench = {name: _bench_one(name, platform) for name in BENCHMARKS}
+    totals = {
+        key: sum(entry[key] for entry in per_bench.values())
+        for key in ("kernel_forms", "pivots", "pivots_cold", "nodes")
+    }
+    totals["pivot_reduction"] = (
+        round(totals["pivots_cold"] / totals["pivots"], 2) if totals["pivots"] else 0.0
+    )
+    report = {
+        "schema": "repro-bench-ilp-v1",
+        "benchmarks": per_bench,
+        "totals": totals,
+    }
+    REPORT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    # -- acceptance gates -------------------------------------------------
+    for name, entry in per_bench.items():
+        assert entry["max_objective_diff_vs_highs"] <= thresholds["max_objective_diff"], (
+            f"{name}: kernel objective diverges from HiGHS by "
+            f"{entry['max_objective_diff_vs_highs']:.3e}"
+        )
+        limit = thresholds["max_pivots"][name]
+        assert entry["pivots"] <= limit, (
+            f"{name}: warm-path pivots regressed: {entry['pivots']} > {limit}"
+        )
+    if totals["pivots"]:
+        assert totals["pivot_reduction"] >= thresholds["min_pivot_reduction"], (
+            f"warm-basis reuse below required reduction: "
+            f"{totals['pivot_reduction']}x < {thresholds['min_pivot_reduction']}x"
+        )

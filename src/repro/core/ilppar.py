@@ -123,6 +123,44 @@ def ilp_parallelize_node(
     return extract_ilppar_candidate(inst, solution)
 
 
+def _dominance_prune(
+    entries: List[Tuple[str, SolutionCandidate]], classes: Sequence[str]
+) -> List[Tuple[str, SolutionCandidate]]:
+    """Drop candidates dominated by a same-class alternative.
+
+    A candidate enters the ILP only through its execution time, its
+    per-class processor usage, and its energy (cost, budget and objective
+    coefficients) — always gated by the class-consistency rows, which
+    compare same-class candidates only. So if another candidate of the
+    *same* class is no worse on every one of those metrics, any solution
+    using the dominated one can swap in the dominator without raising the
+    objective or violating a budget: the dominated candidate is never
+    needed for the optimum and is removed before the model is built.
+
+    Among metric-identical candidates the first (lowest index) survives,
+    keeping the pruned table deterministic.
+    """
+    metrics = [
+        (cand.exec_time_us, cand.energy_nj)
+        + tuple(cand.used_procs_of(c) for c in classes)
+        for _cname, cand in entries
+    ]
+    kept: List[Tuple[str, SolutionCandidate]] = []
+    for i, (cname, _cand) in enumerate(entries):
+        dominated = False
+        for j, (oname, _other) in enumerate(entries):
+            if j == i or oname != cname:
+                continue
+            if all(a <= b for a, b in zip(metrics[j], metrics[i])) and (
+                metrics[j] != metrics[i] or j < i
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(entries[i])
+    return kept
+
+
 def build_ilppar_model(
     node: HierarchicalNode,
     seq_class: str,
@@ -149,7 +187,7 @@ def build_ilppar_model(
     ec = max(1.0, node.exec_count)
     tco = platform.task_creation_overhead_us
 
-    # Candidate tables per child: list of (class, candidate).
+    # Candidate tables per child: list of (class, candidate), dominance-pruned.
     cand_table: List[List[Tuple[str, SolutionCandidate]]] = []
     for child in children:
         sset = solution_sets.get(child.uid)
@@ -161,7 +199,7 @@ def build_ilppar_model(
                 entries.append((cname, cand))
         if not entries:
             raise ValueError(f"child {child.label!r} has no candidates")
-        cand_table.append(entries)
+        cand_table.append(_dominance_prune(entries, classes))
 
     # Task layout: 0 = fork (main, pre-spawn), 1..E = extra, E+1 = join (main).
     fork = 0
@@ -202,6 +240,33 @@ def build_ilppar_model(
             model.add_constraint(used[t] >= x[ni][t], name=f"used{t}_n{ni}")
         if t + 1 in used:
             model.add_constraint(used[t] >= used[t + 1], name=f"used_order_{t}")
+
+    # -- symmetry breaking over interchangeable extra-task slots ----------------
+    # Extra tasks are exchangeable: any permutation of the slots (with their
+    # class choices) yields an equivalent solution, so B&B would explore each
+    # assignment up to (num_extra)! times. Two reductions pick one canonical
+    # representative per equivalence class without excluding any objective
+    # value:
+    # * ``used_prefix``: ``used[t]`` may be 1 only when some child actually
+    #   lands on slot t. With the existing ``used[t] >= x[ni][t]`` and
+    #   ``used_order`` rows this makes ``used`` the exact occupancy
+    #   indicator and forces occupied slots to form a prefix — a solution
+    #   with gaps renumbers order-preservingly to one without, with
+    #   identical costs (a wastefully-reserved empty slot only ever adds
+    #   task-creation overhead and budget usage, so dropping it never
+    #   loses the optimum).
+    # * ``idle_class``: an idle slot's class choice appears in no cost,
+    #   consistency, or budget term (all are gated by ``x``/``used``), so
+    #   pin it to the first class instead of letting the solver branch
+    #   over |classes| indistinguishable relabelings.
+    for t in extras:
+        model.add_constraint(
+            used[t] <= lin_sum(x[ni][t] for ni in range(len(children))),
+            name=f"used_prefix_{t}",
+        )
+        model.add_constraint(
+            map_tc[(t, classes[0])] + used[t] >= 1, name=f"idle_class_{t}"
+        )
 
     # -- Eq. 17-18: candidate class consistent with the hosting task's class ----
     for ni in range(len(children)):

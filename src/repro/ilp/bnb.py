@@ -36,7 +36,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.ilp.model import MatrixForm, Model, Solution, SolveStatus
-from repro.ilp.simplex import solve_lp
+from repro.ilp.simplex import SimplexBasis, solve_lp
 
 _INT_TOL = 1e-6
 
@@ -46,15 +46,37 @@ _now = time.perf_counter
 
 
 @dataclass
+class BnbStats:
+    """Mutable search counters, accumulated across one ``solve_form_bnb``.
+
+    ``pivots`` counts simplex iterations over all LP relaxations (0 for
+    the scipy relaxation path before scipy reports them, see
+    ``_make_scipy_relaxation``); ``warm_lp_solves`` counts relaxations
+    that were *offered* a parent basis and ``warm_lp_hits`` how many the
+    kernel actually accepted.
+    """
+
+    nodes: int = 0
+    pivots: int = 0
+    lp_solves: int = 0
+    warm_lp_solves: int = 0
+    warm_lp_hits: int = 0
+
+
+@dataclass
 class _Node:
     lb: np.ndarray
     ub: np.ndarray
     depth: int
+    basis: Optional[SimplexBasis] = None
 
 
-#: Above this variable count the dense tableau simplex becomes the
-#: bottleneck; the relaxation switches to scipy's LP while the search
-#: stays pure Python.
+#: Above this variable count the revised simplex's dense basis inverse
+#: stops paying for itself against scipy's HiGHS (measured crossover on
+#: the ILPPAR model family: ~20x faster at 35 variables, ~4x slower at
+#: 126); the relaxation switches to scipy's LP while the search stays
+#: pure Python. Below the limit the warm-basis protocol re-solves child
+#: relaxations in a handful of dual pivots.
 _SIMPLEX_SIZE_LIMIT = 80
 
 
@@ -66,6 +88,8 @@ def solve_form_bnb(
     mip_rel_gap: float = 0.0,
     incumbent_obj: Optional[float] = None,
     lower_bound: Optional[float] = None,
+    stats: Optional[BnbStats] = None,
+    warm_start: bool = True,
 ) -> Tuple[SolveStatus, Optional[np.ndarray]]:
     """Branch-and-bound over a :class:`MatrixForm`; returns ``(status, x)``.
 
@@ -73,7 +97,10 @@ def solve_form_bnb(
     data, so it can run in a worker process without shipping the ``Model``
     object graph. ``x`` is the raw solution vector (integer entries not
     yet rounded) and is ``None`` unless the status is ``OPTIMAL`` or
-    ``FEASIBLE``.
+    ``FEASIBLE``. ``stats``, when given, is filled in-place with search
+    counters. ``warm_start=False`` disables parent-basis reuse (every
+    relaxation solves cold) — used by the kernel microbenchmark to
+    measure the pivot savings of the warm-basis protocol.
     """
     n = len(form.c)
     if use_scipy_lp is None:
@@ -87,7 +114,11 @@ def solve_form_bnb(
     if use_scipy_lp:
         relax = _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq)
     else:
-        relax = lambda lb, ub: solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+        def relax(lb, ub, basis=None):
+            if basis is None:
+                return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+            return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub, basis=basis)
 
     # Root presolve: bound tightening over the inequality system (equality
     # rows contribute both directions). Only shrinks the box, so optima
@@ -103,8 +134,24 @@ def solve_form_bnb(
     if pre.status == "infeasible":
         return SolveStatus.INFEASIBLE, None
     assert pre.lb is not None and pre.ub is not None
+    pre_lb = np.array(pre.lb, dtype=float)
+    pre_ub = np.array(pre.ub, dtype=float)
 
-    root = _Node(np.array(pre.lb, dtype=float), np.array(pre.ub, dtype=float), 0)
+    # Fully-fixed instance: presolve pinned every variable, so the unique
+    # candidate point decides the solve without any LP relaxation at all.
+    if n and np.all(pre_ub - pre_lb <= 1e-9):
+        x = pre_lb.copy()
+        feasible = (
+            not a_ub.shape[0] or bool(np.all(a_ub @ x <= b_ub + 1e-7))
+        ) and (not a_eq.shape[0] or bool(np.all(np.abs(a_eq @ x - b_eq) <= 1e-7)))
+        if not feasible:
+            return SolveStatus.INFEASIBLE, None
+        obj = float(c @ x)
+        if incumbent_obj is not None and obj >= float(incumbent_obj) - 1e-9:
+            return SolveStatus.INFEASIBLE, None  # nothing beats the cutoff
+        return SolveStatus.OPTIMAL, x
+
+    root = _Node(pre_lb, pre_ub, 0)
     stack: List[_Node] = [root]
     best_obj = math.inf if incumbent_obj is None else float(incumbent_obj)
     best_x: Optional[np.ndarray] = None
@@ -125,7 +172,18 @@ def solve_form_bnb(
         if nodes_explored > max_nodes:
             raise RuntimeError("branch-and-bound node limit exceeded")
 
-        result = relax(node.lb, node.ub)
+        if use_scipy_lp or node.basis is None:
+            result = relax(node.lb, node.ub)
+        else:
+            result = relax(node.lb, node.ub, node.basis)
+        if stats is not None:
+            stats.nodes = nodes_explored
+            stats.lp_solves += 1
+            stats.pivots += getattr(result, "pivots", 0)
+            if not use_scipy_lp and node.basis is not None:
+                stats.warm_lp_solves += 1
+                if getattr(result, "warm_used", False):
+                    stats.warm_lp_hits += 1
         if result.status == "infeasible":
             continue
         if result.status == "unbounded":
@@ -159,9 +217,13 @@ def solve_form_bnb(
             continue
 
         xf = result.x[frac_j]
-        floor_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        # Each child tightens one bound of the parent's box, so the
+        # parent's optimal basis stays dual-feasible for it — the child's
+        # relaxation warm-starts from it and re-solves in a few dual pivots.
+        child_basis = getattr(result, "basis", None) if warm_start else None
+        floor_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, child_basis)
         floor_node.ub[frac_j] = math.floor(xf)
-        ceil_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        ceil_node = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, child_basis)
         ceil_node.lb[frac_j] = math.ceil(xf)
         # DFS, exploring the floor branch first.
         stack.append(ceil_node)
@@ -202,6 +264,7 @@ def solve_bnb(
 
         return solve_scipy(model)
 
+    stats = BnbStats()
     try:
         status, best_x = solve_form_bnb(
             form,
@@ -211,11 +274,19 @@ def solve_bnb(
             mip_rel_gap=mip_rel_gap,
             incumbent_obj=incumbent_obj,
             lower_bound=lower_bound,
+            stats=stats,
         )
     except RuntimeError as exc:
         raise RuntimeError(f"{exc} on {model.name!r}") from None
     if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) or best_x is None:
-        return Solution(status, float("nan"))
+        return Solution(
+            status,
+            float("nan"),
+            iterations=stats.pivots,
+            nodes=stats.nodes,
+            warm_lp_solves=stats.warm_lp_solves,
+            warm_lp_hits=stats.warm_lp_hits,
+        )
 
     values = {}
     for var in model.variables:
@@ -224,7 +295,15 @@ def solve_bnb(
             x = float(round(x))
         values[var] = x
     objective = model.objective.value(values)
-    return Solution(status, objective, values)
+    return Solution(
+        status,
+        objective,
+        values,
+        iterations=stats.pivots,
+        nodes=stats.nodes,
+        warm_lp_solves=stats.warm_lp_solves,
+        warm_lp_hits=stats.warm_lp_hits,
+    )
 
 
 def _dense_rows(rows: List[Tuple[dict, float]], n: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -240,13 +319,18 @@ def _dense_rows(rows: List[Tuple[dict, float]], n: int) -> Tuple[np.ndarray, np.
 
 
 def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> int:
-    """Index of the integer variable farthest from integrality, or -1."""
+    """Index of the integer variable farthest from integrality, or -1.
+
+    Ties (within 1e-12) break toward the lowest variable index so the
+    branching order — and hence the reported solution when optima are
+    degenerate — is identical across platforms and job counts.
+    """
     best_j = -1
     best_dist = _INT_TOL
     for j in np.flatnonzero(int_mask):
         frac = x[j] - math.floor(x[j])
         dist = min(frac, 1.0 - frac)
-        if dist > best_dist:
+        if dist > best_dist + 1e-12:
             best_dist = dist
             best_j = int(j)
     return best_j
@@ -255,7 +339,7 @@ def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> int:
 def _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq):
     from scipy.optimize import linprog
 
-    def relax(lb, ub):
+    def relax(lb, ub, basis=None):
         bounds = list(zip(lb, ub))
         res = linprog(
             c,
@@ -268,12 +352,13 @@ def _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq):
         )
         from repro.ilp.simplex import LPResult
 
+        pivots = int(getattr(res, "nit", 0) or 0)
         if res.status == 2:
-            return LPResult("infeasible")
+            return LPResult("infeasible", pivots=pivots)
         if res.status == 3:
-            return LPResult("unbounded")
+            return LPResult("unbounded", pivots=pivots)
         if res.status != 0:
-            return LPResult("infeasible")
-        return LPResult("optimal", res.x, float(res.fun))
+            return LPResult("infeasible", pivots=pivots)
+        return LPResult("optimal", res.x, float(res.fun), pivots=pivots)
 
     return relax

@@ -249,11 +249,21 @@ class Constraint:
 
 @dataclass
 class Solution:
-    """Result of a model solve."""
+    """Result of a model solve.
+
+    ``iterations`` counts solver kernel iterations (simplex pivots for
+    the pure-Python backend), ``nodes`` branch-and-bound nodes, and the
+    ``warm_lp_*`` pair tracks how many LP relaxations were offered /
+    accepted a warm-start basis (always 0 for the scipy backend).
+    """
 
     status: SolveStatus
     objective: float
     values: Dict[Variable, float] = field(default_factory=dict)
+    iterations: int = 0
+    nodes: int = 0
+    warm_lp_solves: int = 0
+    warm_lp_hits: int = 0
 
     @property
     def usable(self) -> bool:
@@ -456,6 +466,11 @@ class Model:
                 num_constraints=self.num_constraints,
                 solve_seconds=elapsed,
                 status=solution.status,
+                objective=solution.objective,
+                iterations=solution.iterations,
+                nodes=solution.nodes,
+                warm_lp_solves=solution.warm_lp_solves,
+                warm_lp_hits=solution.warm_lp_hits,
             )
 
         if solution.status is SolveStatus.INFEASIBLE:

@@ -9,6 +9,11 @@ Small, safe reductions applied before branch-and-bound:
   rounded inward;
 * **fixed-variable detection** — ``lb == ub`` variables are reported so
   the search never branches on them;
+* **ordering chains** — two-variable rows of the shape
+  ``a·x_i - a·x_j <= 0`` (``a > 0``) encode ``x_i <= x_j``; bounds
+  propagate along the chain to a fixpoint, so fixing one link of e.g.
+  the ILPPAR ``used_order`` prefix rows fixes the whole suffix/prefix
+  without any branching;
 * **infeasibility detection** — crossed bounds or unsatisfiable constant
   rows end the solve immediately.
 
@@ -36,6 +41,8 @@ class PresolveResult:
     fixed: Dict[int, float] = field(default_factory=dict)
     rounds: int = 0
     tightenings: int = 0
+    #: Variables pinned (lb == ub) by ordering-chain propagation alone.
+    implied_fixings: int = 0
 
 
 def presolve(
@@ -54,7 +61,23 @@ def presolve(
     a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if np.size(a_ub) else np.zeros((0, n))
     b_ub = np.asarray(b_ub, dtype=float).ravel()
 
+    # Ordering chains: rows "a·x_i - a·x_j <= 0" with a > 0 say x_i <= x_j.
+    order_pairs: List[Tuple[int, int]] = []
+    for row, rhs in zip(a_ub, b_ub):
+        if abs(rhs) > 1e-9:
+            continue
+        nz = np.flatnonzero(row)
+        if nz.size != 2:
+            continue
+        i, j = int(nz[0]), int(nz[1])
+        if abs(row[i] + row[j]) > 1e-12:
+            continue
+        if row[i] < 0:
+            i, j = j, i
+        order_pairs.append((i, j))
+
     tightenings = 0
+    implied_fixings = 0
     rounds = 0
     for _ in range(max_rounds):
         rounds += 1
@@ -79,15 +102,21 @@ def presolve(
                 if 0.0 > rhs + 1e-9:
                     return PresolveResult("infeasible", rounds=rounds)
                 continue
-            # minimum activity of the row
-            mins = np.where(row > 0, row * lb, row * ub)
+            # minimum activity of the row (0 * inf at zero coefficients is
+            # harmless: those entries are never read)
+            with np.errstate(invalid="ignore"):
+                mins = np.where(row > 0, row * lb, row * ub)
             min_activity = float(np.sum(mins[nonzero]))
             if min_activity > rhs + 1e-7:
                 return PresolveResult("infeasible", rounds=rounds)
             for j in nonzero:
                 a = row[j]
-                rest = min_activity - (mins[j])
-                slack = rhs - rest
+                # inf - inf is nan when the rest-activity is unbounded; the
+                # comparisons below are then False, correctly skipping the
+                # tightening.
+                with np.errstate(invalid="ignore"):
+                    rest = min_activity - (mins[j])
+                    slack = rhs - rest
                 if a > 0:
                     new_ub_j = slack / a
                     if new_ub_j < ub[j] - 1e-9:
@@ -101,6 +130,26 @@ def presolve(
                         changed = True
                         tightenings += 1
 
+        # ordering-chain propagation to a fixpoint (chains are short, and
+        # each sweep moves information one link, so iterate within the round)
+        while order_pairs:
+            chain_changed = False
+            for i, j in order_pairs:
+                if ub[j] < ub[i] - 1e-9:
+                    ub[i] = ub[j]
+                    tightenings += 1
+                    chain_changed = changed = True
+                    if abs(ub[i] - lb[i]) <= 1e-9:
+                        implied_fixings += 1
+                if lb[i] > lb[j] + 1e-9:
+                    lb[j] = lb[i]
+                    tightenings += 1
+                    chain_changed = changed = True
+                    if abs(ub[j] - lb[j]) <= 1e-9:
+                        implied_fixings += 1
+            if not chain_changed:
+                break
+
         if not changed:
             break
 
@@ -113,5 +162,11 @@ def presolve(
         if math.isfinite(lb[j]) and abs(ub[j] - lb[j]) <= 1e-9
     }
     return PresolveResult(
-        "reduced", lb=lb, ub=ub, fixed=fixed, rounds=rounds, tightenings=tightenings
+        "reduced",
+        lb=lb,
+        ub=ub,
+        fixed=fixed,
+        rounds=rounds,
+        tightenings=tightenings,
+        implied_fixings=implied_fixings,
     )

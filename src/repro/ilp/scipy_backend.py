@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -24,14 +24,17 @@ def solve_form_scipy(
     form: MatrixForm,
     time_limit: Optional[float] = None,
     mip_rel_gap: float = 0.0,
-) -> Tuple[SolveStatus, Optional[np.ndarray]]:
-    """Solve a :class:`MatrixForm` with HiGHS; returns ``(status, x)``.
+) -> Tuple[SolveStatus, Optional[np.ndarray], Dict[str, int]]:
+    """Solve a :class:`MatrixForm` with HiGHS; returns ``(status, x, info)``.
 
     This is the process-pool-friendly core used by the solver service: it
     consumes only the matrix data (picklable), so it can run in a worker
     process. A time-limit hit with an incumbent available is reported as
     ``FEASIBLE`` with that incumbent; ``x`` is ``None`` for every other
-    non-optimal outcome.
+    non-optimal outcome. ``info`` carries the solver kernel counters
+    (``nodes`` from HiGHS's ``mip_node_count``; ``iterations`` is 0
+    because ``scipy.optimize.milp`` does not expose a pivot count) so
+    Table-I accounting stays backend-invariant.
     """
     constraints = []
     a_ub, b_ub = form.sparse_ub()
@@ -63,13 +66,17 @@ def solve_form_scipy(
             options={**options, "presolve": False},
         )
 
+    info = {
+        "iterations": 0,
+        "nodes": int(getattr(result, "mip_node_count", 0) or 0),
+    }
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     if status is SolveStatus.OPTIMAL and result.x is not None:
-        return status, result.x
+        return status, result.x, info
     if result.status == 1 and result.x is not None:
         # Iteration/time limit with an incumbent: usable, not proven optimal.
-        return SolveStatus.FEASIBLE, result.x
-    return status, None
+        return SolveStatus.FEASIBLE, result.x, info
+    return status, None, info
 
 
 def solve_scipy(
@@ -94,9 +101,16 @@ def solve_scipy(
                 return Solution(SolveStatus.INFEASIBLE, float("nan"))
         return Solution(SolveStatus.OPTIMAL, form.obj_const, {})
 
-    status, x = solve_form_scipy(form, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+    status, x, info = solve_form_scipy(
+        form, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+    )
     if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) or x is None:
-        return Solution(status, float("nan"))
+        return Solution(
+            status,
+            float("nan"),
+            iterations=info["iterations"],
+            nodes=info["nodes"],
+        )
 
     values = {}
     for var in model.variables:
@@ -106,4 +120,10 @@ def solve_scipy(
         values[var] = value
 
     objective = model.objective.value(values)
-    return Solution(status, objective, values)
+    return Solution(
+        status,
+        objective,
+        values,
+        iterations=info["iterations"],
+        nodes=info["nodes"],
+    )

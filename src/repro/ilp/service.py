@@ -51,7 +51,12 @@ from repro.ilp.stats import PoolStats
 #: Version key of the on-disk cache layout *and* the solve semantics.
 #: Bump whenever the model construction or a backend changes behavior;
 #: old entries become unreachable (different directory and fingerprint).
-CACHE_SCHEMA = "repro-ilp-v1"
+#: v2: ILPPAR models gained dominance pruning + symmetry-breaking rows.
+CACHE_SCHEMA = "repro-ilp-v2"
+
+#: Kernel counters reported for solves that never ran a solver (cache
+#: hits, degenerate models).
+_ZERO_INFO = {"iterations": 0, "nodes": 0, "warm_lp_solves": 0, "warm_lp_hits": 0}
 
 
 @dataclass(frozen=True)
@@ -110,37 +115,48 @@ def form_fingerprint(form: MatrixForm, spec: SolveSpec) -> str:
 
 def _execute_form(
     form: MatrixForm, spec: SolveSpec
-) -> Tuple[str, Optional[List[float]], float]:
-    """Solve a matrix form; returns ``(status_name, x or None, seconds)``.
+) -> Tuple[str, Optional[List[float]], float, Dict[str, int]]:
+    """Solve a matrix form; returns ``(status_name, x or None, seconds, info)``.
 
     Runs in a worker process (or inline at ``jobs=1``). Never raises:
     solver failures map to the ``"error"`` status so a crashed solve does
-    not take the whole run down.
+    not take the whole run down. ``info`` carries the solver kernel
+    counters (``iterations``/``nodes``/``warm_lp_solves``/``warm_lp_hits``).
     """
     start = time.perf_counter()
+    info = dict(_ZERO_INFO)
     try:
         if spec.backend == "scipy":
             from repro.ilp.scipy_backend import solve_form_scipy
 
-            status, x = solve_form_scipy(
+            status, x, scipy_info = solve_form_scipy(
                 form, time_limit=spec.time_limit_s, mip_rel_gap=spec.mip_rel_gap
             )
+            info.update(scipy_info)
         elif spec.backend == "bnb":
-            from repro.ilp.bnb import solve_form_bnb
+            from repro.ilp.bnb import BnbStats, solve_form_bnb
 
+            stats = BnbStats()
             status, x = solve_form_bnb(
                 form,
                 time_limit=spec.time_limit_s,
                 mip_rel_gap=spec.mip_rel_gap,
                 incumbent_obj=spec.incumbent_obj,
                 lower_bound=spec.lower_bound,
+                stats=stats,
             )
+            info = {
+                "iterations": stats.pivots,
+                "nodes": stats.nodes,
+                "warm_lp_solves": stats.warm_lp_solves,
+                "warm_lp_hits": stats.warm_lp_hits,
+            }
         else:
             raise ValueError(f"unknown backend {spec.backend!r}")
     except Exception:
-        return SolveStatus.ERROR.value, None, time.perf_counter() - start
+        return SolveStatus.ERROR.value, None, time.perf_counter() - start, info
     vector = None if x is None else [float(v) for v in x]
-    return status.value, vector, time.perf_counter() - start
+    return status.value, vector, time.perf_counter() - start, info
 
 
 def _solution_from_vector(
@@ -231,8 +247,11 @@ class PendingSolve:
         cached = service._cache_get(self._key)
         if cached is not None:
             status_name, x = cached
+            # A cache hit ran no solver: kernel counters are genuinely 0,
+            # matching solve_seconds being the lookup time.
             self._finish(
-                (status_name, x, time.perf_counter() - start), cache_hit=True
+                (status_name, x, time.perf_counter() - start, dict(_ZERO_INFO)),
+                cache_hit=True,
             )
             return
         pool = service._ensure_pool()
@@ -245,13 +264,17 @@ class PendingSolve:
         service._note_dispatched()
 
     def _finish(self, raw, cache_hit: bool) -> None:
-        status_name, x, seconds = raw
+        status_name, x, seconds, info = raw
         status = SolveStatus(status_name)
         if cache_hit:
             self._service.cache_hits += 1
         elif self._key is not None:
             self._service._cache_put(self._key, status, x)
         solution = _solution_from_vector(self._model, status, x)
+        solution.iterations = info["iterations"]
+        solution.nodes = info["nodes"]
+        solution.warm_lp_solves = info["warm_lp_solves"]
+        solution.warm_lp_hits = info["warm_lp_hits"]
         self._settle(solution, seconds, cache_hit)
 
     def _settle(self, solution: Solution, seconds: float, cache_hit: bool) -> None:
@@ -266,6 +289,11 @@ class PendingSolve:
                 status=solution.status,
                 cache_hit=cache_hit,
                 tag=self._tag,
+                objective=solution.objective,
+                iterations=solution.iterations,
+                nodes=solution.nodes,
+                warm_lp_solves=solution.warm_lp_solves,
+                warm_lp_hits=solution.warm_lp_hits,
             )
 
 

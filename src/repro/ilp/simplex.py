@@ -1,15 +1,30 @@
-"""Dense two-phase primal simplex for small LPs.
+"""Bounded-variable revised simplex for small LPs.
 
 This is the self-contained LP engine under the pure-Python branch-and-bound
-backend (:mod:`repro.ilp.bnb`). It is written for clarity and robustness on
-the small relaxations produced per B&B node, not for large-scale speed:
+backend (:mod:`repro.ilp.bnb`). Unlike the earlier dense two-phase tableau
+implementation it
 
-* general variable bounds are normalized away (lower bounds are shifted
-  out, free variables are split, upper bounds become rows),
-* phase I drives artificial variables out of the basis,
-* Bland's anti-cycling rule guarantees termination.
+* handles general bounds ``lb <= x <= ub`` **natively** in the basis logic
+  — nonbasic variables rest at a finite bound and may "bound-flip" without
+  a basis change, so finite upper bounds cost no extra rows and free
+  variables need no positive/negative split;
+* prices with **Dantzig's rule** (most negative reduced cost) and falls
+  back to Bland's rule automatically when a long degenerate streak
+  suggests cycling, so it keeps the termination guarantee without paying
+  Bland's slow convergence on every solve;
+* is a **revised** simplex: it maintains the basis inverse explicitly and
+  updates it incrementally with an eta (product-form) transformation per
+  pivot, refactorizing from scratch every :data:`_REFACTOR_EVERY` pivots
+  to bound numerical drift;
+* supports **warm starts**: :func:`solve_lp` accepts the
+  :class:`SimplexBasis` returned by a previous solve of the same
+  constraint matrix under different bounds. A primal-feasible warm basis
+  resumes phase II directly; a primal-infeasible but dual-feasible basis
+  (the branch-and-bound case — a child node only tightened one variable
+  bound, which preserves reduced costs) is repaired by a bounded
+  **dual simplex**; anything else falls back to a cold two-phase solve.
 
-Numerical tolerances are deliberately loose (1e-9) because the
+Numerical tolerances are deliberately loose (1e-7/1e-9) because the
 parallelizer's models are integral and well-scaled.
 """
 
@@ -21,16 +36,58 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+#: Reduced-cost / zero tolerance.
 _TOL = 1e-9
+#: Primal bound-feasibility tolerance.
+_FEAS = 1e-7
+#: Minimum acceptable pivot magnitude.
+_PIVOT_TOL = 1e-8
+#: Rebuild the basis inverse from scratch this many pivots.
+_REFACTOR_EVERY = 100
+#: Consecutive degenerate pivots before Dantzig pricing yields to Bland.
+_DEGEN_LIMIT = 40
+#: Warm-start repair budget, in multiples of the row count: a parent basis
+#: is only worth reusing if it re-solves in few pivots; past this leash a
+#: cold two-phase solve is cheaper than fighting a degenerate crawl.
+_WARM_LEASH_FACTOR = 3
+
+# Column status codes.
+_AT_LOWER = 0
+_AT_UPPER = 1
+_BASIC = 2
+_FREE_NB = 3  # free nonbasic variable resting at 0
+
+
+@dataclass(frozen=True)
+class SimplexBasis:
+    """A reusable optimal basis: basic column per row + status per column.
+
+    Columns cover the structural variables followed by one slack per
+    constraint row, so a basis is valid for any solve over the *same*
+    constraint matrix — only the bounds may differ (the branch-and-bound
+    warm-start contract).
+    """
+
+    basic: Tuple[int, ...]
+    status: Tuple[int, ...]
 
 
 @dataclass
 class LPResult:
-    """Result of an LP solve: ``status`` in {'optimal', 'infeasible', 'unbounded'}."""
+    """Result of an LP solve: ``status`` in {'optimal', 'infeasible', 'unbounded'}.
+
+    ``basis`` is the final simplex basis of an optimal solve (``None``
+    when it is not reusable), ``pivots`` counts simplex iterations
+    including bound flips, and ``warm_used`` reports whether a supplied
+    warm basis was actually accepted (vs. a cold restart).
+    """
 
     status: str
     x: Optional[np.ndarray] = None
     objective: float = math.nan
+    basis: Optional[SimplexBasis] = None
+    pivots: int = 0
+    warm_used: bool = False
 
 
 def solve_lp(
@@ -41,11 +98,15 @@ def solve_lp(
     b_eq: np.ndarray,
     lb: np.ndarray,
     ub: np.ndarray,
+    basis: Optional[SimplexBasis] = None,
+    max_iter: int = 100_000,
 ) -> LPResult:
     """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x == b_eq``,
     ``lb <= x <= ub`` (entries may be ``±inf``).
 
-    Returns the optimum in the *original* variable space.
+    ``basis`` optionally warm-starts the solve from a previous optimal
+    basis of the same constraint matrix (see :class:`SimplexBasis`).
+    Returns the optimum in the original variable space.
     """
     c = np.asarray(c, dtype=float)
     n = c.shape[0]
@@ -59,227 +120,447 @@ def solve_lp(
     if np.any(lb > ub + _TOL):
         return LPResult("infeasible")
 
-    # --- normalize variables to x' >= 0 -------------------------------------
-    # x_j = lb_j + x'_j            when lb_j finite
-    # x_j = x'_j - x''_j           when lb_j = -inf (free split)
-    # finite ub becomes a row      x'_j <= ub_j - lb_j
-    col_map: List[Tuple[int, int]] = []  # (pos_col, neg_col or -1) per original var
-    num_cols = 0
-    for j in range(n):
-        if math.isinf(lb[j]):
-            col_map.append((num_cols, num_cols + 1))
-            num_cols += 2
-        else:
-            col_map.append((num_cols, -1))
-            num_cols += 1
-
-    def expand_matrix(a: np.ndarray) -> np.ndarray:
-        out = np.zeros((a.shape[0], num_cols))
-        for j in range(n):
-            pos, neg = col_map[j]
-            out[:, pos] = a[:, j]
-            if neg >= 0:
-                out[:, neg] = -a[:, j]
-        return out
-
-    shift = np.where(np.isinf(lb), 0.0, lb)
-
-    rows_a: List[np.ndarray] = []
-    rows_b: List[float] = []
-    rows_sense: List[str] = []  # 'le' or 'eq'
-
-    if a_ub.shape[0]:
-        a_ub_x = expand_matrix(a_ub)
-        b_ub_x = b_ub - a_ub @ shift
-        for i in range(a_ub.shape[0]):
-            rows_a.append(a_ub_x[i])
-            rows_b.append(float(b_ub_x[i]))
-            rows_sense.append("le")
-    if a_eq.shape[0]:
-        a_eq_x = expand_matrix(a_eq)
-        b_eq_x = b_eq - a_eq @ shift
-        for i in range(a_eq.shape[0]):
-            rows_a.append(a_eq_x[i])
-            rows_b.append(float(b_eq_x[i]))
-            rows_sense.append("eq")
-    for j in range(n):
-        if not math.isinf(ub[j]):
-            pos, neg = col_map[j]
-            row = np.zeros(num_cols)
-            row[pos] = 1.0
-            if neg >= 0:
-                row[neg] = -1.0
-            rows_a.append(row)
-            rows_b.append(float(ub[j] - shift[j]))
-            rows_sense.append("le")
-
-    c_x = np.zeros(num_cols)
-    for j in range(n):
-        pos, neg = col_map[j]
-        c_x[pos] = c[j]
-        if neg >= 0:
-            c_x[neg] = -c[j]
-    obj_shift = float(c @ shift)
-
-    result = _simplex_standard(c_x, rows_a, rows_b, rows_sense)
-    if result.status != "optimal":
-        return result
-
-    x = np.empty(n)
-    assert result.x is not None
-    for j in range(n):
-        pos, neg = col_map[j]
-        val = result.x[pos] - (result.x[neg] if neg >= 0 else 0.0)
-        x[j] = val + shift[j]
-    return LPResult("optimal", x, result.objective + obj_shift)
-
-
-def _simplex_standard(
-    c: np.ndarray,
-    rows_a: List[np.ndarray],
-    rows_b: List[float],
-    rows_sense: List[str],
-) -> LPResult:
-    """Two-phase simplex on ``min c@x, A x {<=,==} b, x >= 0``."""
-    n = c.shape[0]
-    m = len(rows_a)
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
     if m == 0:
-        # Unconstrained nonnegative LP: optimum at 0 unless some c_j < 0.
-        if np.any(c < -_TOL):
-            return LPResult("unbounded")
-        return LPResult("optimal", np.zeros(n), 0.0)
+        return _solve_box(c, lb, ub)
 
-    # Build tableau with slacks for <= rows and artificials where needed.
-    num_slacks = sum(1 for s in rows_sense if s == "le")
-    a = np.zeros((m, n + num_slacks))
-    b = np.zeros(m)
-    slack_idx = 0
-    slack_col_of_row = [-1] * m
-    for i in range(m):
-        a[i, :n] = rows_a[i]
-        b[i] = rows_b[i]
-        if rows_sense[i] == "le":
-            col = n + slack_idx
-            a[i, col] = 1.0
-            slack_col_of_row[i] = col
-            slack_idx += 1
-        if b[i] < 0:
-            a[i] = -a[i]
-            b[i] = -b[i]
+    # Equality form: [A_ub; A_eq] x + I s = b with slack bounds [0, inf)
+    # for <= rows and [0, 0] for == rows (a fixed slack never enters).
+    a_full = np.hstack([np.vstack([a_ub, a_eq]), np.eye(m)])
+    b = np.concatenate([b_ub, b_eq])
+    lo = np.concatenate([lb, np.zeros(m)])
+    hi = np.concatenate([ub, np.full(m_ub, math.inf), np.zeros(m_eq)])
+    cost = np.concatenate([c, np.zeros(m)])
 
-    total = a.shape[1]
-    # Artificial variables: one per row unless the row's slack can serve as
-    # the initial basic variable (slack coefficient +1 after sign fix).
-    basis = [-1] * m
-    art_cols: List[int] = []
-    art_data: List[np.ndarray] = []
-    for i in range(m):
-        sc = slack_col_of_row[i]
-        if sc >= 0 and a[i, sc] > 0.5:
-            basis[i] = sc
-        else:
-            col = total + len(art_cols)
-            art_cols.append(col)
-            column = np.zeros(m)
-            column[i] = 1.0
-            art_data.append(column)
-            basis[i] = col
-
-    if art_cols:
-        tab = np.hstack([a] + [col.reshape(m, 1) for col in art_data])
-    else:
-        tab = a
-    width = tab.shape[1]
-
-    # ---- phase I: minimize sum of artificials --------------------------------
-    if art_cols:
-        phase1_c = np.zeros(width)
-        for col in art_cols:
-            phase1_c[col] = 1.0
-        status, obj = _run_simplex(tab, b, phase1_c, basis)
-        if status == "unbounded":  # cannot happen for phase I, defensive
-            return LPResult("infeasible")
-        if obj > 1e-7:
-            return LPResult("infeasible")
-        # Drive any remaining artificial out of the basis.
-        for i in range(m):
-            if basis[i] in art_cols:
-                pivoted = False
-                for j in range(total):
-                    if abs(tab[i, j]) > _TOL:
-                        _pivot(tab, b, i, j, basis)
-                        pivoted = True
-                        break
-                if not pivoted:
-                    # Redundant row; harmless.
-                    basis[i] = basis[i]
-
-    # ---- phase II -----------------------------------------------------------
-    phase2_c = np.zeros(width)
-    phase2_c[: c.shape[0]] = c
-    # Forbid artificials from re-entering by giving them huge cost columns:
-    for col in art_cols:
-        tab[:, col] = 0.0
-    status, obj = _run_simplex(tab, b, phase2_c, basis, blocked=set(art_cols))
-    if status == "unbounded":
-        return LPResult("unbounded")
-
-    x = np.zeros(width)
-    for i in range(m):
-        x[basis[i]] = b[i]
-    return LPResult("optimal", x[:n], float(phase2_c @ x))
+    kernel = _Kernel(a_full, b, lo, hi, cost, n, max_iter)
+    return kernel.solve(basis)
 
 
-def _pivot(tab: np.ndarray, b: np.ndarray, row: int, col: int, basis: List[int]) -> None:
-    pivot_val = tab[row, col]
-    tab[row] /= pivot_val
-    b[row] /= pivot_val
-    for i in range(tab.shape[0]):
-        if i != row and abs(tab[i, col]) > _TOL:
-            factor = tab[i, col]
-            tab[i] -= factor * tab[row]
-            b[i] -= factor * b[row]
-    basis[row] = col
+def _solve_box(c: np.ndarray, lb: np.ndarray, ub: np.ndarray) -> LPResult:
+    """Unconstrained box LP: optimum at a bound per the cost sign."""
+    n = c.shape[0]
+    x = np.zeros(n)
+    status = np.full(n, _FREE_NB, dtype=np.int8)
+    for j in range(n):
+        if c[j] > _TOL:
+            if math.isinf(lb[j]):
+                return LPResult("unbounded")
+            x[j] = lb[j]
+            status[j] = _AT_LOWER
+        elif c[j] < -_TOL:
+            if math.isinf(ub[j]):
+                return LPResult("unbounded")
+            x[j] = ub[j]
+            status[j] = _AT_UPPER
+        elif not math.isinf(lb[j]):
+            x[j] = lb[j]
+            status[j] = _AT_LOWER
+        elif not math.isinf(ub[j]):
+            x[j] = ub[j]
+            status[j] = _AT_UPPER
+    return LPResult(
+        "optimal", x, float(c @ x), SimplexBasis((), tuple(int(s) for s in status))
+    )
 
 
-def _run_simplex(
-    tab: np.ndarray,
-    b: np.ndarray,
-    c: np.ndarray,
-    basis: List[int],
-    blocked: Optional[set] = None,
-    max_iter: int = 100_000,
-) -> Tuple[str, float]:
-    """Run primal simplex iterations in place; returns (status, objective)."""
-    m, width = tab.shape
-    blocked = blocked or set()
-    for _ in range(max_iter):
-        # Reduced costs: c_j - c_B @ B^-1 A_j  (tab already holds B^-1 A).
-        cb = c[basis]
-        reduced = c - cb @ tab
-        entering = -1
-        for j in range(width):  # Bland's rule: first negative reduced cost
-            if j in blocked:
+class _Kernel:
+    """One bounded-variable revised simplex solve over the equality form."""
+
+    def __init__(self, a, b, lo, hi, cost, n_struct, max_iter):
+        self.a = a
+        self.b = b
+        self.lo = lo
+        self.hi = hi
+        self.cost = cost
+        self.n_struct = n_struct
+        self.m, self.ncols = a.shape
+        self.max_iter = max_iter
+        self.pivots = 0
+        self.pivots_since_refactor = 0
+        self.bland = False
+        self._degen_streak = 0
+        # State set by _cold_start / _try_warm_start:
+        self.basic: List[int] = []
+        self.status = np.zeros(self.ncols, dtype=np.int8)
+        self.binv = np.eye(self.m)
+        self.xb = np.zeros(self.m)
+        self.n_art = 0  # artificial columns appended past ncols
+
+    # -- public entry --------------------------------------------------------
+
+    def solve(self, warm: Optional[SimplexBasis]) -> LPResult:
+        warm_used = False
+        leash = max(200, _WARM_LEASH_FACTOR * self.m)
+        if warm is not None and self._try_warm_start(warm):
+            warm_used = True
+            if not self._primal_feasible():
+                verdict = self._dual(limit=leash)
+                if verdict == "infeasible":
+                    return LPResult("infeasible", pivots=self.pivots, warm_used=True)
+                if verdict == "stalled":  # degenerate crawl: cold restart
+                    warm_used = False
+            if warm_used:
+                verdict = self._primal(self._phase2_cost(), limit=leash)
+                if verdict == "unbounded":
+                    return LPResult("unbounded", pivots=self.pivots, warm_used=True)
+                if verdict == "optimal":
+                    return self._extract(warm_used=True)
+                warm_used = False  # stalled: cold restart below
+
+        verdict = self._cold_start()
+        if verdict == "infeasible":
+            return LPResult("infeasible", pivots=self.pivots, warm_used=warm_used)
+        verdict = self._primal(self._phase2_cost())
+        if verdict == "unbounded":
+            return LPResult("unbounded", pivots=self.pivots, warm_used=warm_used)
+        if verdict != "optimal":
+            raise RuntimeError("simplex iteration limit exceeded")
+        return self._extract(warm_used=warm_used)
+
+    # -- start procedures -----------------------------------------------------
+
+    def _initial_status(self) -> np.ndarray:
+        status = np.empty(self.ncols, dtype=np.int8)
+        for j in range(self.ncols):
+            if not math.isinf(self.lo[j]):
+                status[j] = _AT_LOWER
+            elif not math.isinf(self.hi[j]):
+                status[j] = _AT_UPPER
+            else:
+                status[j] = _FREE_NB
+        return status
+
+    def _nonbasic_value(self, j: int) -> float:
+        st = self.status[j]
+        if st == _AT_LOWER:
+            return self.lo[j]
+        if st == _AT_UPPER:
+            return self.hi[j]
+        return 0.0
+
+    def _nonbasic_vector(self) -> np.ndarray:
+        """Values of all columns with basic entries zeroed."""
+        val = np.where(
+            self.status == _AT_LOWER,
+            self.lo,
+            np.where(self.status == _AT_UPPER, self.hi, 0.0),
+        )
+        val = np.where(np.isfinite(val), val, 0.0)
+        val[self.status == _BASIC] = 0.0
+        return val
+
+    def _matrix(self) -> np.ndarray:
+        if self.n_art:
+            return self._a_ext
+        return self.a
+
+    def _recompute_xb(self) -> None:
+        mat = self._matrix()
+        val = self._nonbasic_vector()
+        self.xb = self.binv @ (self.b - mat @ val)
+
+    def _refactor(self) -> bool:
+        mat = self._matrix()
+        cols = mat[:, self.basic]
+        try:
+            self.binv = np.linalg.inv(cols)
+        except np.linalg.LinAlgError:
+            return False
+        self._recompute_xb()
+        return True
+
+    def _try_warm_start(self, warm: SimplexBasis) -> bool:
+        if len(warm.basic) != self.m or len(warm.status) != self.ncols:
+            return False
+        basic = list(warm.basic)
+        if len(set(basic)) != self.m or any(
+            j < 0 or j >= self.ncols for j in basic
+        ):
+            return False
+        status = np.array(warm.status, dtype=np.int8)
+        if set(np.flatnonzero(status == _BASIC).tolist()) != set(basic):
+            return False
+        # Re-anchor nonbasic statuses to the *current* bounds: a bound that
+        # became infinite cannot host a resting variable.
+        for j in range(self.ncols):
+            if status[j] == _BASIC:
                 continue
-            if reduced[j] < -_TOL:
-                entering = j
-                break
-        if entering < 0:
-            obj = float(cb @ b)
-            return "optimal", obj
-        # Ratio test (Bland: smallest basis index among ties).
-        leaving = -1
-        best_ratio = math.inf
-        for i in range(m):
-            if tab[i, entering] > _TOL:
-                ratio = b[i] / tab[i, entering]
-                if ratio < best_ratio - _TOL or (
-                    abs(ratio - best_ratio) <= _TOL
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving < 0:
-            return "unbounded", -math.inf
-        _pivot(tab, b, leaving, entering, basis)
-    raise RuntimeError("simplex iteration limit exceeded")
+            if status[j] == _AT_LOWER and math.isinf(self.lo[j]):
+                status[j] = _AT_UPPER if not math.isinf(self.hi[j]) else _FREE_NB
+            elif status[j] == _AT_UPPER and math.isinf(self.hi[j]):
+                status[j] = _AT_LOWER if not math.isinf(self.lo[j]) else _FREE_NB
+        self.basic = basic
+        self.status = status
+        self.n_art = 0
+        return self._refactor()
+
+    def _cold_start(self) -> str:
+        """Phase I: artificial columns with unit costs drive infeasibility out."""
+        self.status = self._initial_status()
+        val = np.where(
+            self.status == _AT_LOWER,
+            self.lo,
+            np.where(self.status == _AT_UPPER, self.hi, 0.0),
+        )
+        val = np.where(np.isfinite(val), val, 0.0)
+        residual = self.b - self.a @ val
+        signs = np.where(residual < 0.0, -1.0, 1.0)
+        self._a_ext = np.hstack([self.a, np.diag(signs)])
+        self.n_art = self.m
+        self.basic = [self.ncols + i for i in range(self.m)]
+        self.binv = np.diag(signs)  # inverse of a sign-diagonal is itself
+        self.xb = np.abs(residual)
+        self.status = np.concatenate(
+            [self.status, np.full(self.m, _BASIC, dtype=np.int8)]
+        )
+        self.lo = np.concatenate([self.lo, np.zeros(self.m)])
+        self.hi = np.concatenate([self.hi, np.full(self.m, math.inf)])
+
+        phase1 = np.zeros(self.ncols + self.m)
+        phase1[self.ncols :] = 1.0
+        verdict = self._primal(phase1)
+        if verdict != "optimal":
+            raise RuntimeError("phase-I simplex failed to terminate")
+        if float(phase1[self.basic] @ self.xb) > 1e-7:
+            self._strip_artificials()
+            return "infeasible"
+        self._eliminate_basic_artificials()
+        self._strip_artificials()
+        return "feasible"
+
+    def _eliminate_basic_artificials(self) -> None:
+        """Pivot zero-valued artificials out of the basis where possible."""
+        for i in range(self.m):
+            if self.basic[i] < self.ncols:
+                continue
+            row = self.binv[i] @ self.a  # tableau row over real columns
+            candidates = [
+                j
+                for j in range(self.ncols)
+                if self.status[j] != _BASIC and abs(row[j]) > _PIVOT_TOL
+            ]
+            if not candidates:
+                continue  # redundant row; artificial stays pinned at 0
+            j = candidates[0]
+            w = self.binv @ self._matrix()[:, j]
+            self.status[self.basic[i]] = _AT_LOWER
+            self.status[j] = _BASIC
+            self.basic[i] = j
+            self.xb[i] = self._nonbasic_value(j)  # degenerate: value unchanged (0)
+            self._eta_update(w, i)
+            self.pivots += 1
+        self._recompute_xb()
+
+    def _strip_artificials(self) -> None:
+        """Freeze any artificial still in the basis at zero and drop the rest."""
+        if not self.n_art:
+            return
+        # Columns that remain basic (redundant rows) are kept but pinned.
+        self.lo[self.ncols :] = 0.0
+        self.hi[self.ncols :] = 0.0
+
+    def _phase2_cost(self) -> np.ndarray:
+        if self.n_art:
+            return np.concatenate([self.cost, np.zeros(self.n_art)])
+        return self.cost
+
+    def _primal_feasible(self) -> bool:
+        lo_b = self.lo[self.basic]
+        hi_b = self.hi[self.basic]
+        return bool(
+            np.all(self.xb >= lo_b - _FEAS) and np.all(self.xb <= hi_b + _FEAS)
+        )
+
+    # -- primal simplex --------------------------------------------------------
+
+    def _primal(self, cvec: np.ndarray, limit: Optional[int] = None) -> str:
+        mat = self._matrix()
+        width = mat.shape[1]
+        movable = (self.hi[:width] - self.lo[:width]) > _TOL
+        for _ in range(limit if limit is not None else self.max_iter):
+            y = cvec[self.basic] @ self.binv
+            d = cvec - y @ mat
+            nonbasic = self.status[:width] != _BASIC
+            can_inc = (
+                nonbasic
+                & movable
+                & ((self.status[:width] == _AT_LOWER) | (self.status[:width] == _FREE_NB))
+                & (d < -_TOL)
+            )
+            can_dec = (
+                nonbasic
+                & movable
+                & ((self.status[:width] == _AT_UPPER) | (self.status[:width] == _FREE_NB))
+                & (d > _TOL)
+            )
+            score = np.where(can_inc, -d, np.where(can_dec, d, -math.inf))
+            if self.bland:
+                eligible = np.flatnonzero(score > 0.0)
+                if eligible.size == 0:
+                    return "optimal"
+                q = int(eligible[0])
+            else:
+                q = int(np.argmax(score))
+                if score[q] <= 0.0:
+                    return "optimal"
+            direction = 1.0 if can_inc[q] else -1.0
+
+            w = self.binv @ mat[:, q]
+            dw = direction * w
+            lo_b = self.lo[self.basic]
+            hi_b = self.hi[self.basic]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                dec = np.where(dw > _PIVOT_TOL, (self.xb - lo_b) / dw, math.inf)
+                inc = np.where(dw < -_PIVOT_TOL, (self.xb - hi_b) / dw, math.inf)
+            ratios = np.minimum(dec, inc)
+            ratios = np.where(np.isnan(ratios), math.inf, ratios)
+            ratios = np.maximum(ratios, 0.0)
+            r = -1
+            t = math.inf
+            if ratios.size:
+                best = float(np.min(ratios))
+                if best < math.inf:
+                    ties = np.flatnonzero(ratios <= best + _TOL)
+                    # Deterministic anti-cycling tie-break: lowest basic index.
+                    r = int(min(ties, key=lambda i: self.basic[i]))
+                    t = float(ratios[r])
+            flip_limit = self.hi[q] - self.lo[q]  # inf when either bound is
+            if flip_limit < t:
+                # Bound flip: the entering variable traverses its whole range
+                # and rests at the opposite bound; the basis is unchanged.
+                self.xb = self.xb - flip_limit * dw
+                self.status[q] = _AT_UPPER if direction > 0 else _AT_LOWER
+                self._count_pivot(flip_limit)
+                continue
+            if r < 0:
+                return "unbounded"
+            self._pivot(q, r, w, t, direction)
+        return "stalled"
+
+    # -- dual simplex ----------------------------------------------------------
+
+    def _dual(self, limit: Optional[int] = None) -> str:
+        """Bounded dual simplex: restore primal feasibility from a
+        dual-feasible basis (the warm-start repair path)."""
+        cvec = self._phase2_cost()
+        mat = self._matrix()
+        width = mat.shape[1]
+        movable = (self.hi[:width] - self.lo[:width]) > _TOL
+        for _ in range(limit if limit is not None else self.max_iter):
+            lo_b = self.lo[self.basic]
+            hi_b = self.hi[self.basic]
+            below = lo_b - self.xb
+            above = self.xb - hi_b
+            viol = np.maximum(below, above)
+            viol = np.where(np.isfinite(viol), viol, -math.inf)
+            if self.bland:
+                rows = np.flatnonzero(viol > _FEAS)
+                if rows.size == 0:
+                    return "optimal"
+                r = int(min(rows, key=lambda i: self.basic[i]))
+            else:
+                r = int(np.argmax(viol))
+                if viol[r] <= _FEAS:
+                    return "optimal"
+            is_below = below[r] >= above[r]
+            delta = self.xb[r] - (lo_b[r] if is_below else hi_b[r])
+
+            y = cvec[self.basic] @ self.binv
+            d = cvec - y @ mat
+            alpha = self.binv[r] @ mat
+            nonbasic = self.status[:width] != _BASIC
+            at_lo = (self.status[:width] == _AT_LOWER) | (self.status[:width] == _FREE_NB)
+            at_hi = (self.status[:width] == _AT_UPPER) | (self.status[:width] == _FREE_NB)
+            if is_below:  # leaving variable exits at its lower bound
+                eligible = nonbasic & movable & (
+                    (at_lo & (alpha < -_PIVOT_TOL)) | (at_hi & (alpha > _PIVOT_TOL))
+                )
+            else:  # exits at its upper bound
+                eligible = nonbasic & movable & (
+                    (at_lo & (alpha > _PIVOT_TOL)) | (at_hi & (alpha < -_PIVOT_TOL))
+                )
+            idx = np.flatnonzero(eligible)
+            if idx.size == 0:
+                return "infeasible"
+            with np.errstate(divide="ignore", invalid="ignore"):
+                steps = np.abs(d[idx] / alpha[idx])
+            best = float(np.min(steps))
+            ties = idx[np.flatnonzero(steps <= best + _TOL)]
+            q = int(ties[0])  # lowest index: deterministic, Bland-like
+
+            w = self.binv @ mat[:, q]
+            theta = delta / w[r]
+            leave_status = _AT_LOWER if is_below else _AT_UPPER
+            new_val = self._nonbasic_value(q) + theta
+            self.status[self.basic[r]] = leave_status
+            self.status[q] = _BASIC
+            self.xb = self.xb - theta * w
+            self.basic[r] = q
+            self.xb[r] = new_val
+            self._eta_update(w, r)
+            self._count_pivot(abs(theta))
+        return "stalled"
+
+    # -- pivot machinery -------------------------------------------------------
+
+    def _pivot(self, q: int, r: int, w: np.ndarray, t: float, direction: float) -> None:
+        p = self.basic[r]
+        dw_r = direction * w[r]
+        # The leaving variable hits the bound the ratio test limited it to.
+        self.status[p] = _AT_LOWER if dw_r > 0 else _AT_UPPER
+        entering_val = self._nonbasic_value(q) + direction * t
+        self.xb = self.xb - (direction * t) * w
+        self.status[q] = _BASIC
+        self.basic[r] = q
+        self.xb[r] = entering_val
+        self._eta_update(w, r)
+        self._count_pivot(t)
+
+    def _eta_update(self, w: np.ndarray, r: int) -> None:
+        """Product-form update: B_new^-1 = E_r(w) @ B^-1."""
+        pivot_val = w[r]
+        self.binv[r] /= pivot_val
+        others = np.arange(self.m) != r
+        self.binv[others] -= np.outer(w[others], self.binv[r])
+        self.pivots_since_refactor += 1
+        if self.pivots_since_refactor >= _REFACTOR_EVERY:
+            self.pivots_since_refactor = 0
+            self._refactor()
+
+    def _count_pivot(self, step: float) -> None:
+        self.pivots += 1
+        if step <= 1e-10:
+            self._degen_streak += 1
+            if self._degen_streak > _DEGEN_LIMIT:
+                self.bland = True
+        else:
+            # Real progress: the anti-cycling guarantee is no longer needed,
+            # so return to Dantzig pricing (Bland converges far too slowly
+            # to leave on for the rest of the solve).
+            self._degen_streak = 0
+            self.bland = False
+
+    # -- extraction ------------------------------------------------------------
+
+    def _extract(self, warm_used: bool) -> LPResult:
+        width = self._matrix().shape[1]
+        x_full = np.where(
+            self.status[:width] == _AT_LOWER,
+            self.lo[:width],
+            np.where(self.status[:width] == _AT_UPPER, self.hi[:width], 0.0),
+        )
+        x_full = np.where(np.isfinite(x_full), x_full, 0.0)
+        for i, j in enumerate(self.basic):
+            x_full[j] = self.xb[i]
+        x = x_full[: self.n_struct].copy()
+        objective = float(self.cost[: self.n_struct] @ x)
+        basis = None
+        if all(j < self.ncols for j in self.basic):
+            basis = SimplexBasis(
+                tuple(int(j) for j in self.basic),
+                tuple(int(s) for s in self.status[: self.ncols]),
+            )
+        return LPResult(
+            "optimal", x, objective, basis, pivots=self.pivots, warm_used=warm_used
+        )

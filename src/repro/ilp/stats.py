@@ -27,8 +27,14 @@ class SolveRecord:
     """One ILP solve: model name, size, wall time and outcome.
 
     ``cache_hit`` marks solves answered from the solver-service cache
-    (``solve_seconds`` is then the lookup time); ``tag`` identifies the
-    sweep that generated the ILP (e.g. ``"node12|fast"``).
+    (``solve_seconds`` is then the lookup time, and the kernel counters
+    below are 0 — no solver ran); ``tag`` identifies the sweep that
+    generated the ILP (e.g. ``"node12|fast"``).
+
+    ``iterations`` / ``nodes`` are solver kernel counters (simplex pivots
+    and branch-and-bound nodes — backend-invariant accounting for
+    Table I), and the ``warm_lp_*`` pair tracks warm-start basis reuse in
+    the pure-Python backend.
     """
 
     model_name: str
@@ -38,6 +44,11 @@ class SolveRecord:
     status: SolveStatus
     cache_hit: bool = False
     tag: str = ""
+    objective: float = float("nan")
+    iterations: int = 0
+    nodes: int = 0
+    warm_lp_solves: int = 0
+    warm_lp_hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,6 +80,11 @@ class StatsCollector:
         status: SolveStatus,
         cache_hit: bool = False,
         tag: str = "",
+        objective: float = float("nan"),
+        iterations: int = 0,
+        nodes: int = 0,
+        warm_lp_solves: int = 0,
+        warm_lp_hits: int = 0,
     ) -> None:
         self.records.append(
             SolveRecord(
@@ -79,6 +95,11 @@ class StatsCollector:
                 status,
                 cache_hit,
                 tag,
+                objective,
+                iterations,
+                nodes,
+                warm_lp_solves,
+                warm_lp_hits,
             )
         )
 
@@ -101,6 +122,30 @@ class StatsCollector:
         return sum(r.solve_seconds for r in self.records)
 
     # -- solver-service telemetry ----------------------------------------------
+
+    @property
+    def total_iterations(self) -> int:
+        """Total solver kernel iterations (simplex pivots) across records."""
+        return sum(r.iterations for r in self.records)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total branch-and-bound nodes across records."""
+        return sum(r.nodes for r in self.records)
+
+    @property
+    def total_warm_lp_solves(self) -> int:
+        return sum(r.warm_lp_solves for r in self.records)
+
+    @property
+    def total_warm_lp_hits(self) -> int:
+        return sum(r.warm_lp_hits for r in self.records)
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of warm-start offers the LP kernel accepted (0.0 if none)."""
+        offered = self.total_warm_lp_solves
+        return self.total_warm_lp_hits / offered if offered else 0.0
 
     @property
     def cache_hits(self) -> int:

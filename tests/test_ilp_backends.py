@@ -208,6 +208,130 @@ class TestBnbUnboundedVerdict:
         assert solve_bnb(m, use_scipy_lp=False).status is SolveStatus.UNBOUNDED
 
 
+class TestBnbPresolveFastPaths:
+    """Instances decided by presolve must never reach the simplex."""
+
+    def _raising_lp(self, monkeypatch):
+        from repro.ilp import bnb as bnb_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simplex must not be invoked")
+
+        monkeypatch.setattr(bnb_mod, "solve_lp", boom)
+
+    def test_all_variables_fixed_returns_without_simplex(self, monkeypatch):
+        self._raising_lp(monkeypatch)
+        m = Model("fixed")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x <= 0)
+        m.add_constraint(y <= 0)
+        m.minimize(x + y)
+        sol = solve_bnb(m, use_scipy_lp=False)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)
+        assert sol[x] == 0.0 and sol[y] == 0.0
+
+    def test_all_fixed_infeasible_point_detected(self, monkeypatch):
+        self._raising_lp(monkeypatch)
+        m = Model("fixed-infeasible")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x <= 0)
+        m.add_constraint(y <= 0)
+        m.add_constraint(x + y >= 1)  # unsatisfiable at the fixed point
+        m.minimize(x + y)
+        assert solve_bnb(m, use_scipy_lp=False).status is SolveStatus.INFEASIBLE
+
+    def test_all_fixed_respects_incumbent_cutoff(self, monkeypatch):
+        self._raising_lp(monkeypatch)
+        m = Model("fixed-cutoff")
+        x = m.add_binary("x")
+        m.add_constraint(x <= 0)
+        m.minimize(x)
+        assert (
+            solve_bnb(m, use_scipy_lp=False, incumbent_obj=0.0).status
+            is SolveStatus.INFEASIBLE
+        )
+
+    def test_infeasible_constant_row_returns_without_simplex(self, monkeypatch):
+        self._raising_lp(monkeypatch)
+        from repro.ilp.bnb import solve_form_bnb
+        from repro.ilp.model import MatrixForm
+
+        form = MatrixForm(
+            c=np.array([1.0]),
+            rows_ub=[({}, -1.0)],  # 0 <= -1: constant and infeasible
+            rows_eq=[],
+            lb=np.zeros(1),
+            ub=np.ones(1),
+            integrality=np.ones(1),
+            obj_const=0.0,
+            minimize=True,
+        )
+        status, x = solve_form_bnb(form, use_scipy_lp=False)
+        assert status is SolveStatus.INFEASIBLE
+        assert x is None
+
+    def test_crossed_bounds_return_without_simplex(self, monkeypatch):
+        self._raising_lp(monkeypatch)
+        m = Model("crossed")
+        x = m.add_var("x", 0, 5, integer=True)
+        m.add_constraint(x >= 4)
+        m.add_constraint(x <= 2)
+        m.minimize(x)
+        assert solve_bnb(m, use_scipy_lp=False).status is SolveStatus.INFEASIBLE
+
+
+class TestDeterministicBranching:
+    def test_most_fractional_ties_break_by_lowest_index(self):
+        from repro.ilp.bnb import _most_fractional
+
+        mask = np.array([True, True, True])
+        assert _most_fractional(np.array([0.5, 0.5, 0.5]), mask) == 0
+        # near-ties within 1e-12 also go to the lowest index
+        assert _most_fractional(np.array([0.5, 0.5 + 1e-13, 0.5]), mask) == 0
+        # a genuinely more fractional variable still wins
+        assert _most_fractional(np.array([0.3, 0.5, 0.4]), mask) == 1
+        # continuous variables are never branched on
+        assert (
+            _most_fractional(np.array([0.5, 0.5]), np.array([False, True])) == 1
+        )
+
+
+class TestSolveStats:
+    def test_bnb_reports_kernel_counters(self):
+        m = _knapsack([6, 5, 4, 3], [3, 2, 2, 2], 5)
+        sol = solve_bnb(m, use_scipy_lp=False)
+        assert sol.nodes >= 1
+        assert sol.iterations > 0
+        # children inherit the parent basis, so warm offers happen whenever
+        # the search branches at all
+        if sol.nodes > 1:
+            assert sol.warm_lp_solves > 0
+            assert sol.warm_lp_hits <= sol.warm_lp_solves
+
+    def test_scipy_backend_reports_counters(self):
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        sol = solve_scipy(m)
+        assert sol.nodes >= 0
+        assert sol.iterations == 0  # scipy.optimize.milp exposes no pivot count
+        assert sol.warm_lp_solves == 0
+
+    def test_collector_receives_counters(self):
+        from repro.ilp.stats import StatsCollector
+
+        collector = StatsCollector()
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        m.solve(backend="bnb", collector=collector)
+        (record,) = collector.records
+        assert record.iterations > 0
+        assert record.nodes >= 1
+        assert record.objective == pytest.approx(9.0)
+        assert collector.total_iterations == record.iterations
+        assert collector.total_nodes == record.nodes
+
+
 @st.composite
 def random_binary_program(draw):
     """A random small 0-1 program with bounded coefficients."""

@@ -66,6 +66,38 @@ class TestPresolve:
         assert result.ub[0] <= 2.0 + 1e-9
         assert result.ub[1] <= 2.0 + 1e-9
 
+    def test_empty_constraint_matrix(self):
+        result = presolve(
+            np.zeros((0, 3)), np.zeros(0),
+            np.zeros(3), np.array([1.0, 2.0, 3.0]), np.zeros(3),
+        )
+        assert result.status == "reduced"
+        assert result.ub == pytest.approx([1.0, 2.0, 3.0])
+        assert result.fixed == {}
+
+    def test_ordering_chain_propagates_upper_bounds(self):
+        # x0 <= x1 <= x2 (prefix rows a la ILPPAR used_order) and x2 <= 0:
+        # the whole chain collapses to 0 without any branching.
+        a = np.array([
+            [1.0, -1.0, 0.0],
+            [0.0, 1.0, -1.0],
+            [0.0, 0.0, 1.0],
+        ])
+        b = np.array([0.0, 0.0, 0.0])
+        result = presolve(a, b, np.zeros(3), np.ones(3), np.ones(3))
+        assert result.status == "reduced"
+        assert result.fixed == {0: 0.0, 1: 0.0, 2: 0.0}
+        assert result.implied_fixings >= 2
+
+    def test_ordering_chain_propagates_lower_bounds(self):
+        # x0 <= x1 with x0 fixed to 1 forces x1 = 1.
+        a = np.array([[1.0, -1.0], [-1.0, 0.0]])
+        b = np.array([0.0, -1.0])  # second row: x0 >= 1
+        result = presolve(a, b, np.zeros(2), np.ones(2), np.ones(2))
+        assert result.status == "reduced"
+        assert result.fixed == {0: 1.0, 1: 1.0}
+        assert result.implied_fixings >= 1
+
     @settings(max_examples=40, deadline=None)
     @given(
         st.lists(

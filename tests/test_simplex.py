@@ -1,4 +1,4 @@
-"""Tests for the self-contained two-phase simplex LP solver."""
+"""Tests for the self-contained bounded-variable revised simplex LP solver."""
 
 import math
 
@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from scipy.optimize import linprog
 
-from repro.ilp.simplex import solve_lp
+from repro.ilp.simplex import SimplexBasis, solve_lp
 
 _EMPTY = np.zeros((0, 0))
 
@@ -91,6 +91,120 @@ class TestBasics:
         )
         assert res.status == "optimal"
         assert res.objective == pytest.approx(-0.05)
+
+
+class TestWarmStart:
+    def _args(self, c, a, b, lb, ub):
+        n = len(c)
+        return (
+            np.asarray(c, dtype=float),
+            np.asarray(a, dtype=float),
+            np.asarray(b, dtype=float),
+            np.zeros((0, n)),
+            np.zeros(0),
+            np.asarray(lb, dtype=float),
+            np.asarray(ub, dtype=float),
+        )
+
+    def test_warm_resolve_after_bound_tightening(self):
+        # Parent: min -x-2y st x+y<=3, box [0,2]^2 -> (1,2), obj -5.
+        cold = solve_lp(*self._args([-1, -2], [[1, 1]], [3], [0, 0], [2, 2]))
+        assert cold.status == "optimal"
+        assert cold.basis is not None
+        # Child tightens y's upper bound (a B&B floor branch): the parent
+        # basis stays dual-feasible and must be accepted.
+        warm = solve_lp(
+            *self._args([-1, -2], [[1, 1]], [3], [0, 0], [2, 1]),
+            basis=cold.basis,
+        )
+        assert warm.status == "optimal"
+        assert warm.warm_used
+        assert warm.objective == pytest.approx(-4)  # (2, 1)
+        # the whole point: a handful of pivots, not a fresh two-phase solve
+        assert warm.pivots <= cold.pivots
+
+    def test_warm_start_detects_child_infeasibility(self):
+        cold = solve_lp(*self._args([1], [[-1]], [-2], [0], [10]))  # x >= 2
+        assert cold.basis is not None
+        warm = solve_lp(
+            *self._args([1], [[-1]], [-2], [0], [1]), basis=cold.basis
+        )
+        assert warm.status == "infeasible"
+
+    def test_invalid_basis_falls_back_to_cold(self):
+        bogus = SimplexBasis(basic=(0, 1, 2), status=(2, 2))
+        res = solve_lp(
+            *self._args([-1, -2], [[1, 1]], [3], [0, 0], [2, 2]), basis=bogus
+        )
+        assert res.status == "optimal"
+        assert not res.warm_used
+        assert res.objective == pytest.approx(-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_warm_equals_cold_on_random_children(self, data):
+        a, b, c, ub = data.draw(random_lp())
+        n = len(c)
+        parent = solve_lp(*self._args(c, a, b, [0] * n, ub))
+        assert parent.status == "optimal"
+        if parent.basis is None:
+            return
+        j = data.draw(st.integers(0, n - 1))
+        tight_ub = list(map(float, ub))
+        tight_ub[j] = math.floor(parent.x[j] / 2.0)
+        warm = solve_lp(
+            *self._args(c, a, b, [0] * n, tight_ub), basis=parent.basis
+        )
+        cold = solve_lp(*self._args(c, a, b, [0] * n, tight_ub))
+        assert warm.status == cold.status
+        if cold.status == "optimal":
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+
+
+class TestGeneralBounds:
+    """The bounded-variable kernel handles lb != 0 and == rows natively."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+            min_size=1,
+            max_size=3,
+        ),
+        st.lists(st.integers(-4, 0), min_size=3, max_size=3),
+        st.lists(st.integers(1, 5), min_size=3, max_size=3),
+        st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+    )
+    def test_negative_lower_bounds_match_highs(self, a, lb, width, c):
+        ub = [l + w for l, w in zip(lb, width)]
+        b = [10] * len(a)
+        ours = _solve(c, a, b, lb=lb, ub=ub)
+        ref = linprog(
+            c,
+            A_ub=np.array(a, dtype=float),
+            b_ub=np.array(b, dtype=float),
+            bounds=list(zip(lb, ub)),
+            method="highs",
+        )
+        if ref.status == 2:
+            assert ours.status == "infeasible"
+        else:
+            assert ref.status == 0
+            assert ours.status == "optimal"
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_equality_with_shifted_bounds(self):
+        # min x+y st x+y == 3, x in [-1, 2], y in [0, 5]
+        res = _solve(
+            [1, 1], a_eq=[[1, 1]], b_eq=[3], lb=[-1, 0], ub=[2, 5]
+        )
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(3)
+
+    def test_pivot_count_reported(self):
+        res = _solve([-1, -2], [[1, 1]], [3], ub=[2, 2])
+        assert res.pivots > 0
+        assert not res.warm_used
 
 
 @st.composite
