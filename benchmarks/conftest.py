@@ -15,6 +15,11 @@ Environment:
 
 * ``REPRO_BENCH_SUBSET`` — comma-separated benchmark names to restrict a
   run (e.g. ``REPRO_BENCH_SUBSET=fir_256,mult_10``); default: all ten.
+* ``REPRO_BENCH_JOBS`` — worker processes for the shared solver service
+  each figure/table regeneration runs against (default 1, serial;
+  results are bit-identical for any value).
+* ``REPRO_BENCH_BATCH`` — small-instance batch size of pooled dispatch
+  (default 8; 1 ships every solve individually).
 """
 
 from __future__ import annotations
@@ -33,12 +38,35 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 #: section -> benchmark -> approach -> metrics, flushed at session end.
 _PIPELINE: Dict[str, dict] = {}
 
+#: section -> SuiteStats.as_dict() of the shared-service run (if any).
+_SUITES: Dict[str, dict] = {}
+
 
 def selected_benchmarks():
     subset = os.environ.get("REPRO_BENCH_SUBSET", "").strip()
     if subset:
         return [name.strip() for name in subset.split(",") if name.strip()]
     return benchmark_names()
+
+
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1") or 1))
+
+
+def bench_parallelize_options():
+    """Solver options from the environment, or ``None`` at the defaults.
+
+    Returning ``None`` for the default configuration keeps the
+    default-option run cache of :mod:`repro.toolflow.experiments` in
+    play (Table I reuses Figure 7(a) cells within one session).
+    """
+    jobs = bench_jobs()
+    batch = max(1, int(os.environ.get("REPRO_BENCH_BATCH", "8") or 8))
+    if jobs <= 1 and batch == 8:
+        return None
+    from repro.core.parallelize import ParallelizeOptions
+
+    return ParallelizeOptions(jobs=jobs, batch_size=batch)
 
 
 def write_report(filename: str, text: str) -> None:
@@ -70,13 +98,26 @@ def record_pipeline_row(section: str, benchmark: str, metrics: dict) -> None:
     _PIPELINE.setdefault(section, {})[benchmark] = metrics
 
 
+def record_suite(section: str, suite) -> None:
+    """Attach a section's shared-service :class:`SuiteStats` snapshot.
+
+    ``suite`` may be ``None`` (every cell served from the run cache); the
+    section is then simply absent from the ``suites`` block.
+    """
+    if suite is not None:
+        _SUITES[section] = suite.as_dict()
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _PIPELINE:
+    if not _PIPELINE and not _SUITES:
         return
     OUT_DIR.mkdir(exist_ok=True)
     payload = {
+        "schema": "repro-bench-pipeline-v2",
         "subset": os.environ.get("REPRO_BENCH_SUBSET", "") or "all",
+        "jobs": bench_jobs(),
         "sections": _PIPELINE,
+        "suites": _SUITES,
     }
     (OUT_DIR / "BENCH_pipeline.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

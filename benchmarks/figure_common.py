@@ -7,7 +7,12 @@ from typing import Sequence
 from repro.toolflow.experiments import FigureResult, run_figure
 from repro.toolflow.report import render_figure
 
-from benchmarks.conftest import record_pipeline, write_report
+from benchmarks.conftest import (
+    bench_parallelize_options,
+    record_pipeline,
+    record_suite,
+    write_report,
+)
 
 
 def regenerate_figure(
@@ -15,15 +20,19 @@ def regenerate_figure(
 ) -> FigureResult:
     """Run one figure's sweep under pytest-benchmark (single round)."""
     result_box = {}
+    options = bench_parallelize_options()
 
     def run():
-        result_box["figure"] = run_figure(figure, benchmarks=names)
+        result_box["figure"] = run_figure(
+            figure, benchmarks=names, parallelize_options=options
+        )
         return result_box["figure"]
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     fig = result_box["figure"]
     write_report(f"figure_{figure}.txt", render_figure(fig))
     record_pipeline(f"figure_{figure}", fig.runs)
+    record_suite(f"figure_{figure}", fig.suite)
     benchmark.extra_info["homogeneous_avg_speedup"] = round(
         fig.average_speedup("homogeneous"), 3
     )
@@ -31,6 +40,13 @@ def regenerate_figure(
         fig.average_speedup("heterogeneous"), 3
     )
     benchmark.extra_info["theoretical_limit"] = fig.theoretical_limit
+    if fig.suite is not None:
+        benchmark.extra_info["suite_wall_seconds"] = round(
+            fig.suite.wall_seconds, 3
+        )
+        benchmark.extra_info["worker_utilization"] = round(
+            fig.suite.worker_utilization, 3
+        )
     return fig
 
 

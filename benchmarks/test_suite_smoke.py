@@ -1,0 +1,88 @@
+"""Suite-orchestration smoke: a reduced figure run through one shared service.
+
+Runs Figure 7(a) on the benchmark subset twice — serially (``jobs=1``)
+and through the shared solver service with two workers and batched
+compact dispatch — and gates on:
+
+* **bit-identical results**: speedups, estimated speedups and task counts
+  must match the serial run exactly (the determinism contract of
+  ``core/schedule.py``);
+* the pipeline thresholds in ``benchmarks/pipeline_thresholds.json``:
+  pooled suite wall time vs. serial, worker utilization, and compact-wire
+  bytes shipped per dispatched solve.
+
+The threshold checks only apply when the pool actually came up; in
+sandboxes without process pools the run must still complete (inline
+fallback) and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.parallelize import ParallelizeOptions
+from repro.toolflow.experiments import run_figure
+
+from benchmarks.conftest import record_suite
+
+THRESHOLDS_PATH = pathlib.Path(__file__).parent / "pipeline_thresholds.json"
+
+
+def test_suite_smoke_jobs2(benchmark, benchmarks_under_test):
+    thresholds = json.loads(THRESHOLDS_PATH.read_text(encoding="utf-8"))
+    # jobs=1 options (not None) bypass the default-option run cache, so
+    # the serial reference really executes even if another benchmark
+    # module already ran these cells in this session.
+    serial = run_figure(
+        "7a", benchmarks=benchmarks_under_test,
+        parallelize_options=ParallelizeOptions(jobs=1),
+    )
+    box = {}
+
+    def run():
+        box["fig"] = run_figure(
+            "7a", benchmarks=benchmarks_under_test,
+            parallelize_options=ParallelizeOptions(jobs=2),
+        )
+        return box["fig"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    pooled = box["fig"]
+
+    for name in benchmarks_under_test:
+        for approach in ("homogeneous", "heterogeneous"):
+            s = serial.runs[name][approach]
+            p = pooled.runs[name][approach]
+            assert p.speedup == s.speedup, (name, approach)
+            assert p.estimated_speedup == s.estimated_speedup, (name, approach)
+            assert p.parallel_us == s.parallel_us, (name, approach)
+            assert p.num_tasks == s.num_tasks, (name, approach)
+            assert p.stats.num_ilps == s.stats.num_ilps, (name, approach)
+            assert p.stats.total_variables == s.stats.total_variables
+            assert p.stats.total_constraints == s.stats.total_constraints
+
+    suite = pooled.suite
+    assert suite is not None and serial.suite is not None
+    record_suite("suite_smoke_jobs2", suite)
+    benchmark.extra_info["suite_wall_seconds"] = round(suite.wall_seconds, 3)
+    benchmark.extra_info["worker_utilization"] = round(
+        suite.worker_utilization, 3
+    )
+
+    pool = suite.pool
+    if pool.dispatched:  # pool came up: gate on the orchestration thresholds
+        limit = (
+            thresholds["max_suite_wall_factor_vs_serial"]
+            * serial.suite.wall_seconds
+            + thresholds["wall_slack_seconds"]
+        )
+        assert suite.wall_seconds <= limit, (
+            f"pooled suite took {suite.wall_seconds:.1f}s "
+            f"(serial {serial.suite.wall_seconds:.1f}s, limit {limit:.1f}s)"
+        )
+        assert suite.worker_utilization >= thresholds["min_worker_utilization"]
+        per_solve = pool.bytes_shipped / pool.dispatched
+        assert per_solve <= thresholds["max_bytes_per_dispatched_solve"], (
+            f"{per_solve:.0f} bytes/solve over the compact wire"
+        )

@@ -11,19 +11,28 @@ the ILP-count factor should land in the paper's 2.4-7.4x band.
 from repro.toolflow.experiments import run_table1
 from repro.toolflow.report import render_table1
 
-from benchmarks.conftest import record_pipeline_row, write_report
+from benchmarks.conftest import (
+    bench_parallelize_options,
+    record_pipeline_row,
+    record_suite,
+    write_report,
+)
 
 
 def test_table_1(benchmark, benchmarks_under_test):
     box = {}
+    options = bench_parallelize_options()
 
     def run():
-        box["table"] = run_table1(benchmarks=benchmarks_under_test)
+        box["table"] = run_table1(
+            benchmarks=benchmarks_under_test, parallelize_options=options
+        )
         return box["table"]
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     table = box["table"]
     write_report("table_1.txt", render_table1(table))
+    record_suite("table_1", table.suite)
     for row in table.rows:
         record_pipeline_row(
             "table_1", row.benchmark,

@@ -17,13 +17,27 @@ out to a process pool at ``jobs>1``, and memoized either way when caching
 is enabled. Candidates are merged into the solution sets in deterministic
 (node, class, budget) order, so the result is bit-identical to the
 original recursive implementation regardless of ``jobs``/cache state.
+
+Two execution shapes are offered on top of the same level engine:
+
+* :meth:`_BaseParallelizer.parallelize` — run one AHTG to completion
+  (creating a private service unless ``options.service`` injects a shared
+  one).
+* :meth:`_BaseParallelizer.start_session` — return a non-blocking
+  :class:`ParallelizeSession` implementing the cooperative driver
+  protocol of :mod:`repro.core.schedule`. A suite runner creates one
+  session per benchmark cell against one shared service and drains them
+  together with :func:`repro.core.schedule.drive`, so the ILPs of many
+  runs interleave in one global queue and fill each other's level-barrier
+  straggler tails.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.homogeneous import build_homopar_model, extract_homopar_candidate
 from repro.core.ilppar import (
@@ -31,7 +45,14 @@ from repro.core.ilppar import (
     build_ilppar_model,
     extract_ilppar_candidate,
 )
-from repro.core.schedule import Sweep, SolveJob, collect_levels, run_sweeps
+from repro.core.schedule import (
+    PendingSolve,
+    Sweep,
+    SweepSet,
+    SolveJob,
+    collect_levels,
+    drive,
+)
 from repro.core.solution import SolutionCandidate, SolutionSet
 from repro.htg.graph import HTG
 from repro.htg.nodes import HierarchicalNode, HTGNode
@@ -69,6 +90,19 @@ class ParallelizeOptions:
     #: ``cache`` so repeated identical subtrees are deduplicated even
     #: without a persistent store.
     memory_cache: bool = True
+    #: Small-instance batching of pooled solves: up to ``batch_size``
+    #: instances of at most ``batch_max_vars`` variables ship as one
+    #: worker task. ``batch_size=1`` disables grouping (each solve is
+    #: still dispatched in the compact wire format).
+    batch_size: int = 8
+    batch_max_vars: int = 96
+    #: Externally owned shared :class:`SolverService`. When set, every
+    #: ``parallelize()`` run with these options executes against it —
+    #: sharing its process pool, in-memory memo table and on-disk cache —
+    #: and the ``jobs``/``cache*``/``batch*`` fields above are ignored
+    #: (they describe the service this object would *create*). The
+    #: injector keeps ownership: the run never closes it.
+    service: Optional[SolverService] = field(default=None, repr=False, compare=False)
 
     def ilp_options(self) -> IlpParOptions:
         return IlpParOptions(
@@ -84,8 +118,36 @@ class ParallelizeOptions:
         if self.cache:
             cache_dir = self.cache_dir or DEFAULT_CACHE_DIR
         return SolverService(
-            jobs=self.jobs, cache_dir=cache_dir, memory_cache=self.memory_cache
+            jobs=self.jobs,
+            cache_dir=cache_dir,
+            memory_cache=self.memory_cache,
+            batch_size=self.batch_size,
+            batch_max_vars=self.batch_max_vars,
         )
+
+
+@contextmanager
+def shared_service(
+    options: Optional[ParallelizeOptions],
+) -> Iterator[ParallelizeOptions]:
+    """Context manager yielding options bound to one long-lived service.
+
+    When ``options`` already injects a service, it is yielded unchanged
+    (the caller's owner keeps ownership). Otherwise a service is created
+    from the options, a copy with it injected is yielded, and the service
+    is closed on exit — the idiom every multi-run caller (experiment
+    suites, parameter sweeps) uses to share one pool and one memo table
+    across all of its runs.
+    """
+    options = options or ParallelizeOptions()
+    if options.service is not None:
+        yield options
+        return
+    service = options.make_service()
+    try:
+        yield replace(options, service=service)
+    finally:
+        service.close()
 
 
 @dataclass
@@ -126,34 +188,38 @@ class _BaseParallelizer:
         )
 
     def parallelize(self, htg: HTG) -> ParallelizeResult:
-        start = time.perf_counter()
-        stats = StatsCollector()
-        solution_sets: Dict[int, SolutionSet] = {}
-        with self.options.make_service() as service:
-            for level in collect_levels(htg.get_root_node()):
-                self._process_level(level, solution_sets, stats, service)
-            stats.pool = service.pool_stats()
-        best = self._select_best(htg, solution_sets)
-        wall = time.perf_counter() - start
-        return ParallelizeResult(
-            best=best,
-            solution_sets=solution_sets,
-            stats=stats,
-            wall_seconds=wall,
-            htg=htg,
-            platform=self.platform,
-            approach=self.approach,
-        )
+        service = self.options.service
+        owned = service is None
+        if owned:
+            service = self.options.make_service()
+        try:
+            session = self.start_session(htg, service)
+            drive([session], service)
+            return session.result
+        finally:
+            if owned:
+                service.close()
+
+    def start_session(
+        self, htg: HTG, service: SolverService
+    ) -> "ParallelizeSession":
+        """Begin a non-blocking run of Algorithm 1 against ``service``.
+
+        The returned session has already advanced as far as it can
+        without waiting on a worker (with a serial service that is the
+        whole run); drain it — possibly together with other sessions
+        sharing the service — via :func:`repro.core.schedule.drive`.
+        """
+        return ParallelizeSession(self, htg, service)
 
     # -- level engine ---------------------------------------------------------
 
-    def _process_level(
-        self,
-        level: List[HTGNode],
-        solution_sets: Dict[int, SolutionSet],
-        stats: StatsCollector,
-        service: SolverService,
-    ) -> None:
+    _LevelWork = List[Tuple[HTGNode, SolutionSet, List[Sweep]]]
+
+    def _build_level(
+        self, level: List[HTGNode], solution_sets: Dict[int, SolutionSet]
+    ) -> "_BaseParallelizer._LevelWork":
+        """Seed sequential candidates and construct the level's sweeps."""
         work = []
         for node in level:
             sset = SolutionSet()
@@ -166,13 +232,17 @@ class _BaseParallelizer:
             ):
                 sweeps = self._node_sweeps(node, solution_sets)
             work.append((node, sset, sweeps))
+        return work
 
-        all_sweeps = [sweep for _n, _s, sweeps in work for sweep in sweeps]
-        if all_sweeps:
-            run_sweeps(all_sweeps, service)
-
+    @staticmethod
+    def _merge_level(
+        work: "_BaseParallelizer._LevelWork",
+        solution_sets: Dict[int, SolutionSet],
+        stats: StatsCollector,
+    ) -> None:
         # Merge in construction order — (node, class, budget) — which is
-        # exactly the insertion order of the recursive implementation.
+        # exactly the insertion order of the recursive implementation,
+        # regardless of the order the solves completed in.
         for node, sset, sweeps in work:
             for sweep in sweeps:
                 for candidate in sweep.candidates:
@@ -217,6 +287,105 @@ class _BaseParallelizer:
         return (
             self._fastest_class.time_us(node.total_cycles())
             >= self.options.min_parallelize_us
+        )
+
+
+class ParallelizeSession:
+    """One in-flight parallelization run, advanced cooperatively.
+
+    Implements the driver protocol of :func:`repro.core.schedule.drive`
+    (``done`` / ``parked()`` / ``resume(pending)``): the session walks the
+    AHTG levels deepest-first, keeps the level barrier *within* the run
+    (a level's sweeps read the finalized solution sets of the level
+    below), but never blocks the caller — while this run's last sweeps of
+    a level drag on, the shared drain loop keeps other sessions' solves
+    flowing through the same service. On ``resume`` the session refills
+    as far as it can: it merges a finished level in deterministic (node,
+    class, budget) order, builds the next level's sweeps, and submits
+    their first jobs, so new work reaches the service queue the moment it
+    becomes available.
+
+    With a serial service the constructor runs the whole session to
+    completion inline, replaying the exact solve order of the recursive
+    implementation.
+    """
+
+    def __init__(
+        self,
+        parallelizer: "_BaseParallelizer",
+        htg: HTG,
+        service: SolverService,
+    ):
+        self._parallelizer = parallelizer
+        self._htg = htg
+        self._service = service
+        self._start_time = time.perf_counter()
+        self._stats = StatsCollector()
+        self._solution_sets: Dict[int, SolutionSet] = {}
+        self._levels = collect_levels(htg.get_root_node())
+        self._level_idx = 0
+        self._work: Optional[_BaseParallelizer._LevelWork] = None
+        self._sweepset: Optional[SweepSet] = None
+        self._result: Optional[ParallelizeResult] = None
+        self._advance()
+
+    # -- cooperative driver protocol -----------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def parked(self):
+        return self._sweepset.parked() if self._sweepset is not None else ()
+
+    def resume(self, pending: PendingSolve) -> None:
+        assert self._sweepset is not None
+        self._sweepset.resume(pending)
+        self._advance()
+
+    @property
+    def result(self) -> ParallelizeResult:
+        assert self._result is not None, "session still has solves in flight"
+        return self._result
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        while True:
+            if self._sweepset is not None:
+                if not self._sweepset.done:
+                    return  # parked on a worker; drive() resumes us
+                assert self._work is not None
+                self._parallelizer._merge_level(
+                    self._work, self._solution_sets, self._stats
+                )
+                self._sweepset = None
+                self._work = None
+            if self._level_idx >= len(self._levels):
+                self._finalize()
+                return
+            level = self._levels[self._level_idx]
+            self._level_idx += 1
+            self._work = self._parallelizer._build_level(
+                level, self._solution_sets
+            )
+            sweeps = [sweep for _n, _s, sws in self._work for sweep in sws]
+            self._sweepset = SweepSet(sweeps, self._service)
+
+    def _finalize(self) -> None:
+        # With a shared service the pool snapshot is cumulative across
+        # every run it served so far; suite-level callers report the
+        # definitive totals through SuiteStats instead.
+        self._stats.pool = self._service.pool_stats()
+        best = self._parallelizer._select_best(self._htg, self._solution_sets)
+        self._result = ParallelizeResult(
+            best=best,
+            solution_sets=self._solution_sets,
+            stats=self._stats,
+            wall_seconds=time.perf_counter() - self._start_time,
+            htg=self._htg,
+            platform=self._parallelizer.platform,
+            approach=self._parallelizer.approach,
         )
 
 

@@ -12,25 +12,32 @@ independence:
 
 The scheduler models exactly that: a :class:`Sweep` is a generator that
 yields :class:`SolveJob` instances and receives solutions back (the serial
-chain); :func:`run_sweeps` drives many sweeps concurrently against a
-:class:`repro.ilp.service.SolverService`, parking a sweep while its job is
-in flight in a worker process and resuming whichever sweep's solve lands
-first. With a serial service (``jobs=1``) every submission resolves
-inline, making the engine a plain nested loop that replays the exact solve
-order of the recursive implementation — results are bit-identical either
-way, because the candidates produced by a sweep are accumulated per sweep
-and merged in deterministic (node, class, budget) order by the caller.
+chain); a :class:`SweepSet` advances many sweeps concurrently against a
+:class:`repro.ilp.service.SolverService` *without blocking* — a sweep is
+parked while its solve is queued or on a worker process, and resumed when
+the solve lands. :func:`drive` is the blocking drain loop: it flushes the
+service's batch queue and waits on the union of every driver's parked
+futures, resuming whichever solve finishes first — across sweeps, levels,
+**and entire parallelization runs**, so the straggler tail of one run's
+level barrier is filled with another run's ILPs when several runs share
+one service (see :class:`repro.core.parallelize.ParallelizeSession`).
+
+With a serial service (``jobs=1``) every submission resolves inline,
+making the engine a plain nested loop that replays the exact solve order
+of the recursive implementation — results are bit-identical either way,
+because the candidates produced by a sweep are accumulated per sweep and
+merged in deterministic (node, class, budget) order by the caller.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.htg.nodes import HierarchicalNode, HTGNode
 from repro.ilp.model import Model, Solution, SolveStatus
-from repro.ilp.service import SolverService, SolveSpec
+from repro.ilp.service import PendingSolve, SolverService, SolveSpec
 from repro.ilp.stats import StatsCollector
 
 
@@ -64,7 +71,7 @@ class Sweep:
         self.candidates: list = []
         self.collector = StatsCollector()
         self.gen: SweepGen = make_gen(self.candidates)
-        self.pending = None  # PendingSolve while parked on a worker
+        self.pending: Optional[PendingSolve] = None  # while parked
 
 
 def collect_levels(root: HTGNode) -> List[List[HTGNode]]:
@@ -87,42 +94,106 @@ def collect_levels(root: HTGNode) -> List[List[HTGNode]]:
     return [levels[d] for d in sorted(levels, reverse=True)]
 
 
-def run_sweeps(sweeps: List[Sweep], service: SolverService) -> None:
-    """Drive ``sweeps`` to completion against ``service``.
+class SweepSet:
+    """Non-blocking driver of a set of mutually independent sweeps.
 
-    Each sweep advances until its next job goes to a worker process (then
-    it parks) or its generator finishes. Whenever a worker finishes, the
-    owning sweep is resumed. Jobs that resolve synchronously — cache hits,
-    serial execution, degenerate models — are fed back immediately, so at
-    ``jobs=1`` this is an ordinary serial loop over the sweeps.
+    Construction advances every sweep until it parks on an unresolved
+    :class:`PendingSolve` (queued or on a worker) or its generator
+    finishes; with a serial service that completes the whole set
+    synchronously. The cooperative protocol — :attr:`done`,
+    :meth:`parked`, :meth:`resume` — is what :func:`drive` drains; a
+    :class:`~repro.core.parallelize.ParallelizeSession` exposes the same
+    protocol by delegating to its current level's sweep set.
     """
-    parked: Dict[object, Sweep] = {}  # future -> sweep
 
-    def advance(sweep: Sweep, value: Optional[Solution]) -> None:
+    def __init__(self, sweeps: List[Sweep], service: SolverService):
+        self.service = service
+        self.sweeps = sweeps
+        self._blocked: Dict[PendingSolve, Sweep] = {}
+        for sweep in sweeps:
+            self._advance(sweep, None)
+
+    @property
+    def done(self) -> bool:
+        return not self._blocked
+
+    def parked(self) -> Iterable[PendingSolve]:
+        """The unresolved pending solves this set is waiting on."""
+        return self._blocked.keys()
+
+    def resume(self, pending: PendingSolve) -> None:
+        """Feed a finished solve back into its sweep and advance it."""
+        sweep = self._blocked.pop(pending)
+        sweep.pending = None
+        solution = pending.result()
+        self._advance(sweep, _usable_or_none(solution, pending.model.name))
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self, sweep: Sweep, value: Optional[Solution]) -> None:
         while True:
             try:
                 job = sweep.gen.send(value)
             except StopIteration:
                 return
-            pending = service.submit(
+            pending = self.service.submit(
                 job.model, job.spec, tag=job.tag, collector=sweep.collector
             )
-            if pending.future is not None:
+            if not pending.resolved:
                 sweep.pending = pending
-                parked[pending.future] = sweep
+                self._blocked[pending] = sweep
                 return
             value = _usable_or_none(pending.result(), pending.model.name)
 
-    for sweep in sweeps:
-        advance(sweep, None)
 
-    while parked:
-        done, _ = wait(list(parked), return_when=FIRST_COMPLETED)
+def drive(drivers: List, service: SolverService) -> None:
+    """Drain cooperative drivers against ``service`` until all are done.
+
+    A driver is anything with the :class:`SweepSet` protocol (``done``,
+    ``parked()``, ``resume(pending)``) — sweep sets and parallelization
+    sessions alike. Each round flushes the service (assigning batched
+    pool futures to every queued solve, largest-instance-first), blocks
+    on the union of all drivers' futures, and resumes every solve whose
+    batch completed. Because one batch future can carry solves of
+    several drivers, a single completion may resume sweeps in multiple
+    concurrent runs — that is the cross-run straggler filling.
+    """
+    while True:
+        service.flush()
+        futures: Dict[object, List[Tuple[object, PendingSolve]]] = {}
+        resumed_inline = False
+        for driver in drivers:
+            if driver.done:
+                continue
+            for pending in list(driver.parked()):
+                if pending.resolved:
+                    # flush() fell back to in-process solving (pool died
+                    # or never came up): feed the result straight back.
+                    driver.resume(pending)
+                    resumed_inline = True
+                    continue
+                assert pending.future is not None, "flush() left a solve queued"
+                futures.setdefault(pending.future, []).append((driver, pending))
+        if resumed_inline:
+            continue  # the resumes may have queued fresh jobs
+        if not futures:
+            break
+        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
         for future in done:
-            sweep = parked.pop(future)
-            pending, sweep.pending = sweep.pending, None
-            solution = pending.result()
-            advance(sweep, _usable_or_none(solution, pending.model.name))
+            for driver, pending in futures[future]:
+                driver.resume(pending)
+
+
+def run_sweeps(sweeps: List[Sweep], service: SolverService) -> None:
+    """Drive ``sweeps`` to completion against ``service`` (blocking).
+
+    Each sweep advances until its next job is parked (queued for a batch
+    or already on a worker) or its generator finishes; finished workers
+    resume the owning sweeps. Jobs that resolve synchronously — cache
+    hits, serial execution, degenerate models — are fed back immediately,
+    so at ``jobs=1`` this is an ordinary serial loop over the sweeps.
+    """
+    drive([SweepSet(sweeps, service)], service)
 
 
 def _usable_or_none(solution: Solution, name: str) -> Optional[Solution]:

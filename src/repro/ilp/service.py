@@ -1,17 +1,26 @@
-"""Solver service: parallel, memoized execution of ILP solves.
+"""Solver service: parallel, memoized, batched execution of ILP solves.
 
 The bottom-up parallelizer (Algorithm 1) generates many mutually
 independent ILP instances — sibling hierarchical nodes of one AHTG level,
-and the per-class budget sweeps within a node. This module provides the
-execution layer that exploits that independence:
+the per-class budget sweeps within a node, and (through the suite
+orchestration layer) the runs of *other* benchmark cells executing
+concurrently against the same service. This module provides the execution
+layer that exploits that independence:
 
-* **Process-pool fan-out.** A solve is shipped to a worker process as its
-  picklable :class:`repro.ilp.model.MatrixForm` (the model object graph
-  never crosses the process boundary); the worker returns the raw solution
-  vector, and the :class:`Solution` is reconstructed against the original
-  model in the parent. Both backends already derive their answer from the
-  matrix form, so the pooled path is bit-identical to the in-process path,
-  and ``jobs=1`` (the default) degenerates to a serial in-process solve.
+* **Deferred, batched process-pool fan-out.** A solve is packed into a
+  compact CSR/numpy wire format (:class:`CompactForm` — the model object
+  graph never crosses the process boundary, and neither does the pickled
+  dict-of-rows :class:`repro.ilp.model.MatrixForm` anymore) and parked in
+  a submit queue. :meth:`SolverService.flush` drains the queue
+  largest-instance-first (LPT-style makespan shrinking), groups small
+  instances into single worker tasks to amortize IPC, and ships each
+  batch to a worker process; the worker returns the raw solution vectors
+  and the :class:`Solution` objects are reconstructed against the
+  original models in the parent. Both backends already derive their
+  answer from the matrix form — and the packed form preserves the exact
+  row/term ordering of the original — so the pooled path is bit-identical
+  to the in-process path, and ``jobs=1`` (the default) degenerates to a
+  serial in-process solve with no queueing at all.
 
 * **Structural memoization.** Solves are cached under a canonical
   fingerprint of the fully ground model matrix plus the solver options.
@@ -23,7 +32,11 @@ execution layer that exploits that independence:
   within-run repeats; an optional on-disk store under ``.repro_cache/``
   (versioned by :data:`CACHE_SCHEMA`) persists across runs. A cache hit
   is still recorded as a generated ILP so the Table-I statistics do not
-  depend on cache state.
+  depend on cache state. Queued solves additionally dedupe *in flight*:
+  a second submission of a fingerprint that is already queued or on a
+  worker attaches to the first as a follower and resolves from its
+  result, exactly as it would have resolved from the memo table had the
+  two solves run serially.
 
 * **Warm starts.** Callers may attach a known valid ``lower_bound`` (for
   the ``bnb`` backend) via :class:`SolveSpec`; the budget sweep uses the
@@ -31,6 +44,12 @@ execution layer that exploits that independence:
   the processor budget only shrinks the feasible region. The bound is
   excluded from the cache key — it provably does not change the returned
   solution, only how fast it is found.
+
+One long-lived service can (and for suite runs should) be shared across
+many parallelization runs: the pool is spun up once, the memo table and
+the on-disk store serve every run, and the cooperative schedulers of
+:mod:`repro.core.schedule` interleave the ILPs of concurrent runs in this
+service's single global queue.
 """
 
 from __future__ import annotations
@@ -43,7 +62,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ilp.model import MatrixForm, Model, Solution, SolveStatus
 from repro.ilp.stats import PoolStats
@@ -109,13 +128,132 @@ def form_fingerprint(form: MatrixForm, spec: SolveSpec) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Worker entry point (module-level so it pickles under ProcessPoolExecutor)
+# Compact wire format
 # ---------------------------------------------------------------------------
 
 
-def _execute_form(
-    form: MatrixForm, spec: SolveSpec
-) -> Tuple[str, Optional[List[float]], float, Dict[str, int]]:
+@dataclass
+class CompactForm:
+    """CSR/numpy-buffer encoding of a :class:`MatrixForm` for cheap IPC.
+
+    The dict-of-rows representation pickles each coefficient as a boxed
+    Python float keyed by a boxed int; this encoding ships seven flat
+    numpy buffers instead (pickled as raw memory). Within-row term order
+    is preserved exactly (the CSR ``indices`` are stored in the original
+    dict insertion order, *not* sorted), so ``unpack`` rebuilds a
+    :class:`MatrixForm` whose backend behavior — including pivot order in
+    the pure-Python simplex — is identical to the original's.
+    """
+
+    num_vars: int
+    c: "object"
+    lb: "object"
+    ub: "object"
+    integrality: "object"
+    obj_const: float
+    minimize: bool
+    ub_indptr: "object"
+    ub_indices: "object"
+    ub_data: "object"
+    ub_rhs: "object"
+    eq_indptr: "object"
+    eq_indices: "object"
+    eq_data: "object"
+    eq_rhs: "object"
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes shipped over IPC (numpy buffers only)."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.c, self.lb, self.ub, self.integrality,
+                self.ub_indptr, self.ub_indices, self.ub_data, self.ub_rhs,
+                self.eq_indptr, self.eq_indices, self.eq_data, self.eq_rhs,
+            )
+        )
+
+
+def _pack_rows(rows: Sequence[Tuple[Dict[int, float], float]]):
+    import numpy as np
+
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    rhs = np.zeros(len(rows))
+    nnz = sum(len(row) for row, _ in rows)
+    indices = np.zeros(nnz, dtype=np.int64)
+    data = np.zeros(nnz)
+    pos = 0
+    for i, (row, b) in enumerate(rows):
+        rhs[i] = b
+        for j, a in row.items():
+            indices[pos] = j
+            data[pos] = a
+            pos += 1
+        indptr[i + 1] = pos
+    return indptr, indices, data, rhs
+
+
+def _unpack_rows(indptr, indices, data, rhs) -> List[Tuple[Dict[int, float], float]]:
+    rows = []
+    for i in range(len(rhs)):
+        lo, hi = indptr[i], indptr[i + 1]
+        row = {
+            int(indices[p]): float(data[p]) for p in range(lo, hi)
+        }
+        rows.append((row, float(rhs[i])))
+    return rows
+
+
+def pack_form(form: MatrixForm) -> CompactForm:
+    """Encode a matrix form into the compact wire format."""
+    import numpy as np
+
+    ub_indptr, ub_indices, ub_data, ub_rhs = _pack_rows(form.rows_ub)
+    eq_indptr, eq_indices, eq_data, eq_rhs = _pack_rows(form.rows_eq)
+    return CompactForm(
+        num_vars=len(form.c),
+        c=np.ascontiguousarray(form.c, dtype=float),
+        lb=np.ascontiguousarray(form.lb, dtype=float),
+        ub=np.ascontiguousarray(form.ub, dtype=float),
+        integrality=np.ascontiguousarray(form.integrality, dtype=np.int8),
+        obj_const=float(form.obj_const),
+        minimize=bool(form.minimize),
+        ub_indptr=ub_indptr, ub_indices=ub_indices,
+        ub_data=ub_data, ub_rhs=ub_rhs,
+        eq_indptr=eq_indptr, eq_indices=eq_indices,
+        eq_data=eq_data, eq_rhs=eq_rhs,
+    )
+
+
+def unpack_form(compact: CompactForm) -> MatrixForm:
+    """Decode the compact wire format back into a :class:`MatrixForm`."""
+    import numpy as np
+
+    return MatrixForm(
+        c=np.asarray(compact.c, dtype=float),
+        rows_ub=_unpack_rows(
+            compact.ub_indptr, compact.ub_indices, compact.ub_data, compact.ub_rhs
+        ),
+        rows_eq=_unpack_rows(
+            compact.eq_indptr, compact.eq_indices, compact.eq_data, compact.eq_rhs
+        ),
+        lb=np.asarray(compact.lb, dtype=float),
+        ub=np.asarray(compact.ub, dtype=float),
+        integrality=np.asarray(compact.integrality, dtype=np.int64),
+        obj_const=compact.obj_const,
+        minimize=compact.minimize,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level so they pickle under ProcessPoolExecutor)
+# ---------------------------------------------------------------------------
+
+#: One solve's raw outcome: ``(status_name, x or None, seconds, info)``.
+RawResult = Tuple[str, Optional[List[float]], float, Dict[str, int]]
+
+
+def _execute_form(form: MatrixForm, spec: SolveSpec) -> RawResult:
     """Solve a matrix form; returns ``(status_name, x or None, seconds, info)``.
 
     Runs in a worker process (or inline at ``jobs=1``). Never raises:
@@ -159,6 +297,19 @@ def _execute_form(
     return status.value, vector, time.perf_counter() - start, info
 
 
+def _execute_batch(
+    items: List[Tuple[CompactForm, SolveSpec]]
+) -> List[RawResult]:
+    """Worker entry point: solve a batch of compact forms sequentially.
+
+    Batching amortizes the per-task IPC and scheduling overhead across
+    several small instances; per-member wall times are measured inside
+    :func:`_execute_form`, so the batch envelope adds nothing to the
+    recorded solve seconds.
+    """
+    return [_execute_form(unpack_form(compact), spec) for compact, spec in items]
+
+
 def _solution_from_vector(
     model: Model, status: SolveStatus, x: Optional[List[float]]
 ) -> Solution:
@@ -187,11 +338,19 @@ def _solution_from_vector(
 class PendingSolve:
     """Handle for one submitted solve.
 
-    ``future`` is ``None`` when the solve resolved synchronously (cache
-    hit, degenerate model, or serial execution); otherwise it is the pool
-    future the scheduler can wait on. :meth:`result` finalizes the solve:
-    it caches the outcome, records statistics, and returns the
-    reconstructed :class:`Solution`.
+    A pending solve is in one of three states:
+
+    * **resolved** — answered synchronously (cache hit, degenerate model,
+      serial execution, or pool fallback); :attr:`resolved` is True.
+    * **queued** — parked in the service's submit queue waiting for a
+      :meth:`SolverService.flush`; ``future`` is still ``None``.
+    * **dispatched** — part of a batch on a worker process; ``future`` is
+      the batch's pool future and ``batch_index`` selects this solve's
+      slot in the batch result.
+
+    :meth:`result` finalizes the solve from any state: it flushes the
+    queue if necessary, waits for the worker, caches the outcome, records
+    statistics, and returns the reconstructed :class:`Solution`.
     """
 
     def __init__(
@@ -208,9 +367,19 @@ class PendingSolve:
         self._tag = tag
         self._collector = collector
         self._key: Optional[str] = None
+        self._form: Optional[MatrixForm] = None
         self._solution: Optional[Solution] = None
         self._resolved = False
+        #: Queued pendings with this fingerprint that resolve from our raw
+        #: result instead of dispatching a duplicate solve.
+        self._followers: List["PendingSolve"] = []
+        #: True when this solve resolves from another in-flight solve's
+        #: result — recorded as a cache hit, exactly as the serial
+        #: execution order would have produced.
+        self._piggybacked = False
+        self._pooled = False
         self.future = None
+        self.batch_index = 0
 
     @property
     def resolved(self) -> bool:
@@ -220,13 +389,24 @@ class PendingSolve:
     def model(self) -> Model:
         return self._model
 
+    @property
+    def num_variables(self) -> int:
+        return self._model.num_variables
+
     def result(self) -> Solution:
         if not self._resolved:
-            assert self.future is not None
-            raw = self.future.result()
-            self._service._note_completed()
-            self.future = None
-            self._finish(raw, cache_hit=False)
+            if self.future is None:
+                # Still queued: force a flush so the batch gets dispatched.
+                self._service.flush()
+            if not self._resolved:
+                assert self.future is not None
+                raw = self.future.result()[self.batch_index]
+                self._service._note_completed()
+                self.future = None
+                if self._piggybacked:
+                    self._finish_from_leader(raw)
+                else:
+                    self._finish(raw, cache_hit=False)
         assert self._solution is not None
         return self._solution
 
@@ -254,28 +434,70 @@ class PendingSolve:
                 cache_hit=True,
             )
             return
-        pool = service._ensure_pool()
-        if pool is None:
+        if service.jobs <= 1 or service._pool_unavailable:
             raw = _execute_form(form, self._spec)
             service.inline_solves += 1
             self._finish(raw, cache_hit=False)
             return
-        self.future = pool.submit(_execute_form, form, self._spec)
-        service._note_dispatched()
+        leader = service._in_flight_leaders.get(self._key)
+        if leader is not None:
+            # Identical solve already queued or on a worker: ride along.
+            self._piggybacked = True
+            leader._followers.append(self)
+            if leader.future is not None:
+                self.future = leader.future
+                self.batch_index = leader.batch_index
+                service._note_dispatched(piggyback=True)
+            return
+        self._form = form
+        service._enqueue(self)
 
-    def _finish(self, raw, cache_hit: bool) -> None:
+    def _run_inline(self) -> None:
+        """Pool-fallback path: solve a queued form in-process."""
+        assert self._form is not None
+        raw = _execute_form(self._form, self._spec)
+        self._form = None
+        self._service.inline_solves += 1
+        self._finish(raw, cache_hit=False)
+
+    def _finish(self, raw: RawResult, cache_hit: bool) -> None:
         status_name, x, seconds, info = raw
         status = SolveStatus(status_name)
+        service = self._service
         if cache_hit:
-            self._service.cache_hits += 1
+            service.cache_hits += 1
         elif self._key is not None:
-            self._service._cache_put(self._key, status, x)
+            service._cache_put(self._key, status, x)
+        if self._key is not None:
+            service._in_flight_leaders.pop(self._key, None)
+        if self._pooled and not cache_hit:
+            service.busy_seconds += seconds
         solution = _solution_from_vector(self._model, status, x)
         solution.iterations = info["iterations"]
         solution.nodes = info["nodes"]
         solution.warm_lp_solves = info["warm_lp_solves"]
         solution.warm_lp_hits = info["warm_lp_hits"]
         self._settle(solution, seconds, cache_hit)
+        for follower in self._followers:
+            if not follower._resolved and follower.future is None:
+                # Never dispatched (we finished before a flush reached the
+                # follower): resolve it here, as the memo table would have.
+                follower._finish_from_leader(raw)
+        self._followers = []
+
+    def _finish_from_leader(self, raw: RawResult) -> None:
+        """Resolve from an identical in-flight solve's raw result.
+
+        Recorded as a cache hit with zero solve time and zero kernel
+        counters — the exact accounting the serial execution order
+        produces when the second identical solve hits the memo table.
+        """
+        status_name, x, _seconds, _info = raw
+        self._service.cache_hits += 1
+        solution = _solution_from_vector(
+            self._model, SolveStatus(status_name), x
+        )
+        self._settle(solution, 0.0, cache_hit=True)
 
     def _settle(self, solution: Solution, seconds: float, cache_hit: bool) -> None:
         self._solution = solution
@@ -303,7 +525,7 @@ class PendingSolve:
 
 
 class SolverService:
-    """Memoizing, optionally process-parallel ILP solve executor.
+    """Memoizing, batching, optionally process-parallel ILP solve executor.
 
     Args:
         jobs: worker processes; ``1`` (default) solves inline with no pool.
@@ -312,6 +534,18 @@ class SolverService:
         memory_cache: enable the in-memory layer (identical subtrees
             within one run resolve instantly). Safe to leave on: cache
             hits return the exact vector the solver would produce.
+        batch_size: maximum number of *small* instances grouped into one
+            worker task. ``1`` disables batching (every solve ships as
+            its own task, still in the compact wire format).
+        batch_max_vars: instances with at most this many variables are
+            considered small enough to batch; larger ones always ship as
+            singleton tasks so one long solve never delays the results
+            of the quick ones sharing its batch.
+
+    One service may serve many parallelization runs concurrently; the
+    cooperative schedulers in :mod:`repro.core.schedule` park on the
+    futures handed out by :meth:`flush` and interleave all runs' solves
+    through this one queue.
     """
 
     def __init__(
@@ -319,17 +553,29 @@ class SolverService:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         memory_cache: bool = True,
+        batch_size: int = 8,
+        batch_max_vars: int = 96,
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.batch_size = max(1, int(batch_size))
+        self.batch_max_vars = max(0, int(batch_max_vars))
         self._mem: Optional[Dict[str, Tuple[str, Optional[List[float]]]]] = (
             {} if memory_cache else None
         )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_unavailable = False
+        self._closed = False
+        self._queue: List[PendingSolve] = []
+        self._in_flight_leaders: Dict[str, PendingSolve] = {}
         self.cache_hits = 0
         self.inline_solves = 0
         self.dispatched = 0
+        self.batches = 0
+        self.max_batch_size = 0
+        self.peak_queue_depth = 0
+        self.bytes_shipped = 0
+        self.busy_seconds = 0.0
         self._in_flight = 0
         self.peak_in_flight = 0
 
@@ -338,6 +584,11 @@ class SolverService:
     def submit(
         self, model: Model, spec: SolveSpec, tag: str = "", collector=None
     ) -> PendingSolve:
+        """Submit one solve; may resolve synchronously or park in the queue.
+
+        Queued solves are not on a worker yet — call :meth:`flush` (the
+        schedulers do this right before blocking) to dispatch them.
+        """
         pending = PendingSolve(self, model, spec, tag, collector)
         pending._start()
         return pending
@@ -346,7 +597,44 @@ class SolverService:
         self, model: Model, spec: SolveSpec, tag: str = "", collector=None
     ) -> Solution:
         """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(model, spec, tag=tag, collector=collector).result()
+        pending = self.submit(model, spec, tag=tag, collector=collector)
+        if not pending.resolved:
+            self.flush()
+        return pending.result()
+
+    def flush(self) -> None:
+        """Dispatch every queued solve to the pool as prioritized batches.
+
+        The queue is drained largest-instance-first (by variable count;
+        submission order breaks ties, keeping the order deterministic),
+        so long solves start as early as possible and the tail of one
+        level/run is filled by whatever else is queued. Small instances
+        — at most :attr:`batch_max_vars` variables — are grouped into
+        batches of up to :attr:`batch_size`; each batch is one worker
+        task and one round of IPC.
+        """
+        if not self._queue:
+            return
+        queue, self._queue = self._queue, []
+        pool = self._ensure_pool()
+        if pool is None:
+            # The pool died (or never came up) after these solves were
+            # queued: degrade to in-process solving in submission order.
+            for pending in queue:
+                pending._run_inline()
+            return
+        queue.sort(key=lambda p: -p.num_variables)
+        batch: List[PendingSolve] = []
+        for pending in queue:
+            if pending.num_variables > self.batch_max_vars:
+                self._dispatch(pool, [pending])
+            else:
+                batch.append(pending)
+                if len(batch) >= self.batch_size:
+                    self._dispatch(pool, batch)
+                    batch = []
+        if batch:
+            self._dispatch(pool, batch)
 
     def pool_stats(self) -> PoolStats:
         return PoolStats(
@@ -355,9 +643,20 @@ class SolverService:
             inline_solves=self.inline_solves,
             cache_hits=self.cache_hits,
             peak_in_flight=self.peak_in_flight,
+            batches=self.batches,
+            max_batch_size=self.max_batch_size,
+            peak_queue_depth=self.peak_queue_depth,
+            bytes_shipped=self.bytes_shipped,
+            busy_seconds=self.busy_seconds,
         )
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran (ownership checks in shared setups)."""
+        return self._closed
+
     def close(self) -> None:
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -383,8 +682,36 @@ class SolverService:
                 return None
         return self._pool
 
-    def _note_dispatched(self) -> None:
-        self.dispatched += 1
+    def _enqueue(self, pending: PendingSolve) -> None:
+        self._queue.append(pending)
+        assert pending._key is not None
+        self._in_flight_leaders[pending._key] = pending
+        self.peak_queue_depth = max(self.peak_queue_depth, len(self._queue))
+
+    def _dispatch(self, pool: ProcessPoolExecutor, members: List[PendingSolve]) -> None:
+        payload = []
+        for index, pending in enumerate(members):
+            assert pending._form is not None
+            compact = pack_form(pending._form)
+            pending._form = None
+            pending._pooled = True
+            pending.batch_index = index
+            self.bytes_shipped += compact.nbytes
+            payload.append((compact, pending._spec))
+        future = pool.submit(_execute_batch, payload)
+        self.batches += 1
+        self.max_batch_size = max(self.max_batch_size, len(members))
+        for pending in members:
+            pending.future = future
+            self._note_dispatched()
+            for follower in pending._followers:
+                follower.future = future
+                follower.batch_index = pending.batch_index
+                self._note_dispatched(piggyback=True)
+
+    def _note_dispatched(self, piggyback: bool = False) -> None:
+        if not piggyback:
+            self.dispatched += 1
         self._in_flight += 1
         self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
 
@@ -426,7 +753,6 @@ class SolverService:
             os.replace(tmp, path)
         except OSError:
             pass  # a read-only cache dir must not fail the solve
-
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / CACHE_SCHEMA / key[:2] / f"{key}.json"

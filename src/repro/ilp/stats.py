@@ -53,13 +53,64 @@ class SolveRecord:
 
 @dataclass(frozen=True)
 class PoolStats:
-    """Process-pool utilization of one solver-service run."""
+    """Process-pool utilization of one solver-service run.
+
+    Beyond the original dispatch counters this carries the batched-dispatch
+    telemetry of the suite orchestration layer: how deep the submit queue
+    got before a flush (``peak_queue_depth``), how many worker tasks were
+    actually shipped (``batches``) and how large the largest one was
+    (``max_batch_size``), the total compact-form payload that crossed the
+    process boundary (``bytes_shipped``), and the summed in-worker solve
+    time (``busy_seconds``) from which worker utilization is derived.
+    """
 
     jobs: int
     dispatched: int = 0
     inline_solves: int = 0
     cache_hits: int = 0
     peak_in_flight: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    peak_queue_depth: int = 0
+    bytes_shipped: int = 0
+    busy_seconds: float = 0.0
+
+    def utilization(self, wall_seconds: float) -> float:
+        """Fraction of worker capacity kept busy over ``wall_seconds``."""
+        capacity = wall_seconds * max(1, self.jobs)
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SuiteStats:
+    """Shared-service telemetry of one multi-cell experiment suite."""
+
+    wall_seconds: float
+    cells: int
+    pool: PoolStats
+
+    @property
+    def worker_utilization(self) -> float:
+        return self.pool.utilization(self.wall_seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready flat view (``BENCH_pipeline.json`` suite block)."""
+        p = self.pool
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cells": self.cells,
+            "jobs": p.jobs,
+            "dispatched": p.dispatched,
+            "inline_solves": p.inline_solves,
+            "cache_hits": p.cache_hits,
+            "peak_in_flight": p.peak_in_flight,
+            "batches": p.batches,
+            "max_batch_size": p.max_batch_size,
+            "peak_queue_depth": p.peak_queue_depth,
+            "bytes_shipped": p.bytes_shipped,
+            "busy_seconds": round(p.busy_seconds, 6),
+            "worker_utilization": round(self.worker_utilization, 6),
+        }
 
 
 @dataclass

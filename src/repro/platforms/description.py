@@ -164,6 +164,33 @@ class Platform:
         aggregate = sum(pc.count * pc.effective_mhz for pc in self.processor_classes)
         return aggregate / main.effective_mhz
 
+    def fingerprint(self) -> str:
+        """Content hash of everything that influences a parallelization run.
+
+        Two :class:`Platform` objects that merely share a ``name`` but
+        differ in class specs, interconnect or overheads produce different
+        fingerprints — use this (not ``name``) to key caches of results
+        computed *on* a platform.
+        """
+        import hashlib
+
+        payload = (
+            self.name,
+            tuple(
+                (pc.name, pc.frequency_mhz, pc.count, pc.cpi_scale,
+                 pc.energy_per_cycle_nj)
+                for pc in self.processor_classes
+            ),
+            (
+                self.interconnect.name,
+                self.interconnect.bandwidth_bytes_per_us,
+                self.interconnect.latency_us,
+            ),
+            self.task_creation_overhead_us,
+            self.main_class_name,
+        )
+        return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
     def class_names(self) -> List[str]:
         return [pc.name for pc in self.processor_classes]
 

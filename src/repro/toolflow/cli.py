@@ -50,6 +50,7 @@ def _solver_options(args: argparse.Namespace):
         jobs=args.jobs,
         cache=args.cache or args.cache_dir is not None,
         cache_dir=args.cache_dir,
+        batch_size=args.batch_size,
     )
 
 
@@ -58,6 +59,12 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=1, metavar="N",
         help="solve independent ILPs on N worker processes (default: 1, "
         "serial; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=8, metavar="K",
+        help="group up to K small ILPs into one worker task when pooled "
+        "(default: 8; 1 dispatches every solve individually; results are "
+        "identical for any value)",
     )
     parser.add_argument(
         "--cache", action="store_true",
@@ -105,6 +112,12 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
             f"{pool.inline_solves} inline solves, "
             f"{pool.cache_hits} cache hits, "
             f"peak {pool.peak_in_flight} in flight"
+        )
+    if pool is not None and pool.jobs > 1:
+        print(
+            f"dispatch  : {pool.batches} batches (max size "
+            f"{pool.max_batch_size}), peak queue {pool.peak_queue_depth}, "
+            f"{pool.bytes_shipped:,} bytes shipped"
         )
 
     if args.annotate:

@@ -9,10 +9,23 @@
 
 Results are plain dataclasses; :mod:`repro.toolflow.report` renders them
 as the text tables the benchmark harness prints.
+
+Every multi-cell entry point (:func:`run_figure`, :func:`run_table1`,
+:func:`run_cells`) executes its benchmark×approach×platform cells as
+concurrent :class:`repro.core.parallelize.ParallelizeSession` runs
+against **one** shared :class:`repro.ilp.service.SolverService`: one
+process pool spun up once, one in-memory memo table, one on-disk cache,
+and one global solve queue in which the ILPs of all cells interleave
+(largest-first, batched — see :mod:`repro.ilp.service`). At ``jobs=1``
+the cells degenerate to the exact serial per-cell execution order, and
+results are bit-identical for any configuration either way. The shared
+run's telemetry is attached to the result as a
+:class:`repro.ilp.stats.SuiteStats`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -24,10 +37,12 @@ from repro.core.parallelize import (
     HomogeneousParallelizer,
     ParallelizeOptions,
     ParallelizeResult,
+    shared_service,
 )
+from repro.core.schedule import drive
 from repro.htg.builder import BuildOptions, build_htg
 from repro.htg.graph import HTG
-from repro.ilp.stats import StatsRatios, StatsSummary
+from repro.ilp.stats import StatsRatios, StatsSummary, SuiteStats
 from repro.platforms import config_a, config_b
 from repro.platforms.description import Platform
 from repro.simulator.engine import SimOptions
@@ -67,6 +82,9 @@ class FigureResult:
     scenario: str
     theoretical_limit: float
     runs: Dict[str, Dict[str, BenchmarkRun]] = field(default_factory=dict)
+    #: Shared-service telemetry of the suite run that produced the cells
+    #: (``None`` when every cell came out of the run cache).
+    suite: Optional[SuiteStats] = None
 
     def speedups(self, approach: str) -> Dict[str, float]:
         return {
@@ -96,6 +114,9 @@ class Table1Row:
 @dataclass
 class Table1Result:
     rows: List[Table1Row] = field(default_factory=list)
+    #: Shared-service telemetry of the suite run that produced the cells
+    #: (``None`` when every cell came out of the run cache).
+    suite: Optional[SuiteStats] = None
 
     def averages(self) -> Optional[Table1Row]:
         if not self.rows:
@@ -154,7 +175,48 @@ def prepare_benchmark(
     return program, htg
 
 
+#: Default-option run memo. Keyed on the *content fingerprint* of the
+#: platform, not its display name: two :class:`Platform` objects may share
+#: a name (e.g. a hand-tweaked copy of ``config-a``) while differing in
+#: class specs, and a name-based key would silently serve one platform's
+#: results for the other.
 _RUN_CACHE: Dict[Tuple[str, str, str], BenchmarkRun] = {}
+
+
+def _run_cache_key(
+    name: str, platform: Platform, approach: str
+) -> Tuple[str, str, str]:
+    return (name, platform.fingerprint(), approach)
+
+
+def _make_parallelizer(
+    approach: str, platform: Platform, options: Optional[ParallelizeOptions]
+):
+    if approach == "heterogeneous":
+        return HeterogeneousParallelizer(platform, options)
+    if approach == "homogeneous":
+        return HomogeneousParallelizer(platform, options)
+    raise ValueError(f"unknown approach {approach!r}")
+
+
+def _make_run(
+    name: str,
+    approach: str,
+    result: ParallelizeResult,
+    sim_options: Optional[SimOptions],
+) -> BenchmarkRun:
+    evaluation = evaluate_solution(result, sim_options)
+    return BenchmarkRun(
+        benchmark=name,
+        approach=approach,
+        speedup=evaluation.speedup,
+        estimated_speedup=result.estimated_speedup,
+        sequential_us=evaluation.sequential_us,
+        parallel_us=evaluation.parallel_us,
+        stats=result.stats.summary(),
+        wall_seconds=result.wall_seconds,
+        num_tasks=result.best.num_tasks,
+    )
 
 
 def run_benchmark(
@@ -167,13 +229,16 @@ def run_benchmark(
 ) -> BenchmarkRun:
     """Parallelize and simulate one benchmark on one platform.
 
-    Default-option runs are cached per (benchmark, platform, approach):
-    Table I reuses the platform-(A) runs of Figure 7(a) as the paper does.
+    Default-option runs are cached per (benchmark, platform fingerprint,
+    approach): Table I reuses the platform-(A) runs of Figure 7(a) as the
+    paper does. A shared solver service injected via
+    ``parallelize_options.service`` is honored by the underlying
+    :meth:`~repro.core.parallelize._BaseParallelizer.parallelize` call.
     """
     cacheable = (
         parallelize_options is None and sim_options is None and build_options is None
     )
-    cache_key = (name, platform.name, approach)
+    cache_key = _run_cache_key(name, platform, approach)
     if cacheable and cache_key in _RUN_CACHE:
         return _RUN_CACHE[cache_key]
     run = _run_benchmark_uncached(
@@ -195,25 +260,77 @@ def _run_benchmark_uncached(
     _program, htg = prepare_benchmark(
         name, platform.total_cores, build_options=build_options
     )
-    if approach == "heterogeneous":
-        parallelizer = HeterogeneousParallelizer(platform, parallelize_options)
-    elif approach == "homogeneous":
-        parallelizer = HomogeneousParallelizer(platform, parallelize_options)
-    else:
-        raise ValueError(f"unknown approach {approach!r}")
+    parallelizer = _make_parallelizer(approach, platform, parallelize_options)
     result = parallelizer.parallelize(htg)
-    evaluation = evaluate_solution(result, sim_options)
-    return BenchmarkRun(
-        benchmark=name,
-        approach=approach,
-        speedup=evaluation.speedup,
-        estimated_speedup=result.estimated_speedup,
-        sequential_us=evaluation.sequential_us,
-        parallel_us=evaluation.parallel_us,
-        stats=result.stats.summary(),
-        wall_seconds=result.wall_seconds,
-        num_tasks=result.best.num_tasks,
+    return _make_run(name, approach, result, sim_options)
+
+
+#: One experiment cell: (benchmark name, platform, approach).
+Cell = Tuple[str, Platform, str]
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    parallelize_options: Optional[ParallelizeOptions] = None,
+    sim_options: Optional[SimOptions] = None,
+) -> Tuple[Dict[Tuple[str, str, str], BenchmarkRun], Optional[SuiteStats]]:
+    """Run many (benchmark, platform, approach) cells against one service.
+
+    Every cell becomes a :class:`~repro.core.parallelize.ParallelizeSession`
+    against a single shared :class:`~repro.ilp.service.SolverService` (one
+    pool, one memo table, one on-disk cache) and all sessions are drained
+    together by :func:`~repro.core.schedule.drive` — the ILPs of different
+    cells interleave in one global largest-first batch queue, so no worker
+    idles at one run's level barrier while another run has solves ready.
+    Simulation/evaluation happens afterwards in the original cell order,
+    keeping every result bit-identical to serial per-cell execution.
+
+    Returns the runs keyed by ``(name, platform fingerprint, approach)``
+    plus a :class:`SuiteStats` snapshot (``None`` when every cell was
+    served from the default-option run cache and no service was needed).
+    Default-option runs are fed into / served from the same run cache
+    :func:`run_benchmark` uses.
+    """
+    cacheable = parallelize_options is None and sim_options is None
+    runs: Dict[Tuple[str, str, str], BenchmarkRun] = {}
+    pending: List[Tuple[Tuple[str, str, str], str, Platform, str]] = []
+    queued = set()
+    for name, platform, approach in cells:
+        key = _run_cache_key(name, platform, approach)
+        if key in queued:
+            continue
+        if cacheable and key in _RUN_CACHE:
+            runs[key] = _RUN_CACHE[key]
+            continue
+        queued.add(key)
+        pending.append((key, name, platform, approach))
+    if not pending:
+        return runs, None
+
+    start = time.perf_counter()
+    with shared_service(parallelize_options) as options:
+        service = options.service
+        assert service is not None
+        sessions = []
+        for key, name, platform, approach in pending:
+            _program, htg = prepare_benchmark(name, platform.total_cores)
+            parallelizer = _make_parallelizer(approach, platform, options)
+            sessions.append(
+                (key, name, approach, parallelizer.start_session(htg, service))
+            )
+        drive([entry[3] for entry in sessions], service)
+        pool = service.pool_stats()
+        for key, name, approach, session in sessions:
+            run = _make_run(name, approach, session.result, sim_options)
+            runs[key] = run
+            if cacheable:
+                _RUN_CACHE[key] = run
+    suite = SuiteStats(
+        wall_seconds=time.perf_counter() - start,
+        cells=len(pending),
+        pool=pool,
     )
+    return runs, suite
 
 
 def run_figure(
@@ -234,16 +351,18 @@ def run_figure(
         scenario=scenario,
         theoretical_limit=platform.theoretical_speedup(),
     )
-    for name in benchmarks or benchmark_names():
-        result.runs[name] = {}
-        for approach in approaches:
-            result.runs[name][approach] = run_benchmark(
-                name,
-                platform,
-                approach,
-                parallelize_options=parallelize_options,
-                sim_options=sim_options,
-            )
+    names = list(benchmarks or benchmark_names())
+    cells: List[Cell] = [
+        (name, platform, approach) for name in names for approach in approaches
+    ]
+    runs, result.suite = run_cells(
+        cells, parallelize_options=parallelize_options, sim_options=sim_options
+    )
+    for name in names:
+        result.runs[name] = {
+            approach: runs[_run_cache_key(name, platform, approach)]
+            for approach in approaches
+        }
     return result
 
 
@@ -254,12 +373,15 @@ def run_table1(
     """Regenerate Table I (ILP statistics, platform configuration (A))."""
     platform = config_a("accelerator")
     table = Table1Result()
-    for name in benchmarks or benchmark_names():
-        homo = run_benchmark(
-            name, platform, "homogeneous", parallelize_options=parallelize_options
-        )
-        hetero = run_benchmark(
-            name, platform, "heterogeneous", parallelize_options=parallelize_options
-        )
+    names = list(benchmarks or benchmark_names())
+    cells: List[Cell] = [
+        (name, platform, approach)
+        for name in names
+        for approach in ("homogeneous", "heterogeneous")
+    ]
+    runs, table.suite = run_cells(cells, parallelize_options=parallelize_options)
+    for name in names:
+        homo = runs[_run_cache_key(name, platform, "homogeneous")]
+        hetero = runs[_run_cache_key(name, platform, "heterogeneous")]
         table.rows.append(Table1Row(name, homo.stats, hetero.stats))
     return table

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.ilp.stats import SuiteStats
 from repro.toolflow.experiments import FigureResult, Table1Result
 
 _FIGURE_TITLES = {
@@ -43,7 +44,33 @@ def render_figure(result: FigureResult, bar_width: int = 40) -> str:
     lines.append(
         f"{'average':<14} {homo_avg:>11.2f}x {hetero_avg:>13.2f}x   (paper: see Section VI-A)"
     )
+    lines.extend(render_suite(result.suite))
     return "\n".join(lines)
+
+
+def render_suite(suite: Optional[SuiteStats]) -> List[str]:
+    """Shared-service telemetry footer of a multi-cell experiment run.
+
+    Empty when the result was served entirely from the run cache (no
+    service was spun up); the dispatch line appears only for pooled runs.
+    """
+    if suite is None:
+        return []
+    p = suite.pool
+    lines = [
+        "",
+        f"suite     : {suite.cells} cells in {suite.wall_seconds:.1f}s wall, "
+        f"jobs={p.jobs}, {p.dispatched} pooled / {p.inline_solves} inline "
+        f"solves, {p.cache_hits} cache hits",
+    ]
+    if p.jobs > 1:
+        lines.append(
+            f"dispatch  : {p.batches} batches (max size {p.max_batch_size}), "
+            f"peak queue {p.peak_queue_depth}, peak {p.peak_in_flight} in "
+            f"flight, {p.bytes_shipped:,} bytes shipped, "
+            f"worker utilization {100.0 * suite.worker_utilization:.0f}%"
+        )
+    return lines
 
 
 def render_table1(table: Table1Result) -> str:
@@ -80,4 +107,5 @@ def render_table1(table: Table1Result) -> str:
     if avg is not None:
         lines.append("-" * len(sub))
         lines.append(render_row(avg))
+    lines.extend(render_suite(table.suite))
     return "\n".join(lines)

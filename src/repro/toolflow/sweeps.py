@@ -25,6 +25,7 @@ from repro.core.parallelize import (
     HeterogeneousParallelizer,
     HomogeneousParallelizer,
     ParallelizeOptions,
+    shared_service,
 )
 from repro.htg.graph import HTG
 from repro.platforms.description import Interconnect, Platform, ProcessorClass
@@ -68,6 +69,13 @@ def _measure(htg: HTG, platform: Platform,
     )
 
 
+# Every sweep loop below runs inside ``shared_service(options)``: all
+# sweep points execute against one long-lived solver service, sharing its
+# process pool, in-memory memo table and on-disk cache — identical ILPs
+# across neighboring sweep points (unchanged subtrees) are answered from
+# the memo instead of being re-solved.
+
+
 def sweep_frequency_ratio(
     htg: HTG,
     ratios: Sequence[float] = (1.0, 1.5, 2.5, 4.0, 6.0),
@@ -79,19 +87,20 @@ def sweep_frequency_ratio(
 ) -> SweepResult:
     """Vary the fast/slow clock ratio (main core = slow)."""
     result = SweepResult("frequency_ratio")
-    for ratio in ratios:
-        platform = Platform(
-            name=f"ratio-{ratio:g}",
-            processor_classes=(
-                ProcessorClass("slow", slow_mhz, slow_count),
-                ProcessorClass("fast", slow_mhz * ratio, fast_count),
-            ),
-            task_creation_overhead_us=tco_us,
-            main_class_name="slow",
-        )
-        point = _measure(htg, platform, options)
-        point.value = ratio
-        result.points.append(point)
+    with shared_service(options) as options:
+        for ratio in ratios:
+            platform = Platform(
+                name=f"ratio-{ratio:g}",
+                processor_classes=(
+                    ProcessorClass("slow", slow_mhz, slow_count),
+                    ProcessorClass("fast", slow_mhz * ratio, fast_count),
+                ),
+                task_creation_overhead_us=tco_us,
+                main_class_name="slow",
+            )
+            point = _measure(htg, platform, options)
+            point.value = ratio
+            result.points.append(point)
     return result
 
 
@@ -105,19 +114,20 @@ def sweep_core_count(
 ) -> SweepResult:
     """Vary the number of fast helper cores next to one slow main core."""
     result = SweepResult("fast_core_count")
-    for count in counts:
-        platform = Platform(
-            name=f"helpers-{count}",
-            processor_classes=(
-                ProcessorClass("slow", slow_mhz, 1),
-                ProcessorClass("fast", fast_mhz, count),
-            ),
-            task_creation_overhead_us=tco_us,
-            main_class_name="slow",
-        )
-        point = _measure(htg, platform, options)
-        point.value = float(count)
-        result.points.append(point)
+    with shared_service(options) as options:
+        for count in counts:
+            platform = Platform(
+                name=f"helpers-{count}",
+                processor_classes=(
+                    ProcessorClass("slow", slow_mhz, 1),
+                    ProcessorClass("fast", fast_mhz, count),
+                ),
+                task_creation_overhead_us=tco_us,
+                main_class_name="slow",
+            )
+            point = _measure(htg, platform, options)
+            point.value = float(count)
+            result.points.append(point)
     return result
 
 
@@ -131,11 +141,12 @@ def sweep_tco(
     from dataclasses import replace
 
     result = SweepResult("task_creation_overhead_us")
-    for tco in tcos_us:
-        platform = replace(base_platform, task_creation_overhead_us=tco)
-        point = _measure(htg, platform, options)
-        point.value = tco
-        result.points.append(point)
+    with shared_service(options) as options:
+        for tco in tcos_us:
+            platform = replace(base_platform, task_creation_overhead_us=tco)
+            point = _measure(htg, platform, options)
+            point.value = tco
+            result.points.append(point)
     return result
 
 
@@ -149,17 +160,18 @@ def sweep_bus_bandwidth(
     from dataclasses import replace
 
     result = SweepResult("bus_bandwidth_bytes_per_us")
-    for bandwidth in bandwidths:
-        platform = replace(
-            base_platform,
-            interconnect=Interconnect(
-                bandwidth_bytes_per_us=bandwidth,
-                latency_us=base_platform.interconnect.latency_us,
-            ),
-        )
-        point = _measure(htg, platform, options)
-        point.value = bandwidth
-        result.points.append(point)
+    with shared_service(options) as options:
+        for bandwidth in bandwidths:
+            platform = replace(
+                base_platform,
+                interconnect=Interconnect(
+                    bandwidth_bytes_per_us=bandwidth,
+                    latency_us=base_platform.interconnect.latency_us,
+                ),
+            )
+            point = _measure(htg, platform, options)
+            point.value = bandwidth
+            result.points.append(point)
     return result
 
 

@@ -1,0 +1,214 @@
+"""Suite-level solve orchestration: shared service, determinism, caching.
+
+The contract under test: running a whole experiment suite through one
+shared :class:`~repro.ilp.service.SolverService` — with any combination
+of worker count and batched compact dispatch — produces **bit-identical**
+speedups and Table-I statistics to the serial per-cell path, and the
+suite degrades cleanly to inline solving when no process pool can be
+created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro.ilp.service as service_mod
+from repro.core.parallelize import ParallelizeOptions, shared_service
+from repro.ilp import Model, lin_sum
+from repro.ilp.service import SolverService, pack_form, unpack_form
+from repro.platforms import config_a
+from repro.toolflow import experiments
+from repro.toolflow.experiments import run_benchmark, run_figure, run_table1
+
+BENCH = ["fir_256"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(monkeypatch):
+    """Each test sees an empty default-option run cache."""
+    monkeypatch.setattr(experiments, "_RUN_CACHE", {})
+
+
+def _table_signature(table):
+    """Everything Table I reports, minus wall-clock timing."""
+    return [
+        (
+            row.benchmark,
+            (row.homogeneous.num_ilps, row.homogeneous.total_variables,
+             row.homogeneous.total_constraints),
+            (row.heterogeneous.num_ilps, row.heterogeneous.total_variables,
+             row.heterogeneous.total_constraints),
+        )
+        for row in table.rows
+    ]
+
+
+def _figure_signature(figure):
+    return [
+        (name, approach, run.speedup, run.parallel_us, run.sequential_us,
+         run.estimated_speedup, run.num_tasks)
+        for name, by_approach in figure.runs.items()
+        for approach, run in by_approach.items()
+    ]
+
+
+class TestSuiteDeterminism:
+    def test_table1_bit_identical_across_configs(self):
+        serial = run_table1(BENCH, parallelize_options=ParallelizeOptions(jobs=1))
+        configs = [
+            ParallelizeOptions(jobs=2),              # shared pool, batched
+            ParallelizeOptions(jobs=2, batch_size=1),  # singleton dispatch
+        ]
+        for options in configs:
+            experiments._RUN_CACHE.clear()
+            table = run_table1(BENCH, parallelize_options=options)
+            assert _table_signature(table) == _table_signature(serial)
+            assert table.suite is not None
+            assert table.suite.cells == 2 * len(BENCH)
+            pool = table.suite.pool
+            # Every generated ILP went through the shared service, either
+            # pooled or inline (pool-less sandboxes).
+            total_ilps = sum(
+                r.homogeneous.num_ilps + r.heterogeneous.num_ilps
+                for r in table.rows
+            )
+            assert (
+                pool.dispatched + pool.inline_solves + pool.cache_hits
+                == total_ilps
+            )
+
+    def test_figure_speedups_bit_identical_pooled(self):
+        serial = run_figure("7a", benchmarks=BENCH)
+        experiments._RUN_CACHE.clear()
+        pooled = run_figure(
+            "7a", benchmarks=BENCH,
+            parallelize_options=ParallelizeOptions(jobs=2),
+        )
+        assert _figure_signature(pooled) == _figure_signature(serial)
+
+    def test_batching_telemetry_recorded(self):
+        table = run_table1(
+            BENCH, parallelize_options=ParallelizeOptions(jobs=2)
+        )
+        pool = table.suite.pool
+        if pool.dispatched:  # pool actually came up in this sandbox
+            assert pool.batches > 0
+            assert pool.max_batch_size >= 1
+            assert pool.bytes_shipped > 0
+            assert pool.busy_seconds > 0.0
+
+    def test_pool_unavailable_degrades_to_inline(self, monkeypatch):
+        serial = run_table1(BENCH)
+        experiments._RUN_CACHE.clear()
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pool in this sandbox")
+
+        monkeypatch.setattr(service_mod, "ProcessPoolExecutor", broken_pool)
+        degraded = run_table1(
+            BENCH, parallelize_options=ParallelizeOptions(jobs=4)
+        )
+        assert _table_signature(degraded) == _table_signature(serial)
+        assert degraded.suite.pool.dispatched == 0
+        assert degraded.suite.pool.inline_solves > 0
+
+
+class TestRunCache:
+    def test_table1_reuses_figure_runs(self):
+        figure = run_figure("7a", benchmarks=BENCH)
+        assert figure.suite is not None and figure.suite.cells == 2 * len(BENCH)
+        table = run_table1(BENCH)
+        # Every cell came from the run cache: no service was spun up.
+        assert table.suite is None
+        assert table.rows[0].heterogeneous == (
+            figure.runs[BENCH[0]]["heterogeneous"].stats
+        )
+
+    def test_same_name_different_specs_do_not_collide(self):
+        platform = config_a("accelerator")
+        # Same display name, different class specs: a name-keyed cache
+        # would serve `faster`'s results for `platform` (or vice versa).
+        faster = replace(
+            platform,
+            processor_classes=tuple(
+                replace(pc, frequency_mhz=pc.frequency_mhz * 2)
+                for pc in platform.processor_classes
+            ),
+        )
+        assert faster.name == platform.name
+        assert faster.fingerprint() != platform.fingerprint()
+        base = run_benchmark(BENCH[0], platform, "heterogeneous")
+        other = run_benchmark(BENCH[0], faster, "heterogeneous")
+        # Twice the clock halves every sequential/parallel time estimate;
+        # a collision would have returned the identical cached object.
+        assert other is not base
+        assert other.parallel_us != base.parallel_us
+
+    def test_fingerprint_sensitive_to_every_spec_field(self):
+        platform = config_a("accelerator")
+        base = platform.fingerprint()
+        assert replace(platform, task_creation_overhead_us=99.0).fingerprint() != base
+        tweaked_classes = (
+            replace(platform.processor_classes[0], count=7),
+        ) + tuple(platform.processor_classes[1:])
+        assert replace(platform, processor_classes=tweaked_classes).fingerprint() != base
+
+
+class TestSharedServiceInjection:
+    def test_injected_service_is_shared_and_not_closed(self):
+        with SolverService(jobs=1) as service:
+            options = ParallelizeOptions(service=service)
+            run_table1(BENCH, parallelize_options=options)
+            # The injector keeps ownership: the suite must not close it.
+            assert service.closed is False
+            first_solves = service.inline_solves + service.dispatched
+            assert first_solves > 0
+            # A second suite through the same service hits its memo table.
+            experiments._RUN_CACHE.clear()
+            run_table1(BENCH, parallelize_options=options)
+            assert service.cache_hits >= first_solves
+
+    def test_shared_service_context_round_trip(self):
+        options = ParallelizeOptions(jobs=1)
+        with shared_service(options) as bound:
+            assert bound.service is not None
+            inner_service = bound.service
+            with shared_service(bound) as rebound:
+                # Already bound: yielded unchanged, ownership untouched.
+                assert rebound is bound
+            assert inner_service.closed is False
+        assert inner_service.closed is True
+
+
+class TestCompactWire:
+    def _form(self):
+        m = Model("wire")
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        y = m.add_var("y", lb=0.0, ub=7.0, integer=True)
+        m.add_constraint(lin_sum(xs) + 2.0 * y <= 9.0)
+        m.add_constraint(xs[3] + xs[1] + xs[4] <= 2.0)  # scrambled term order
+        m.add_constraint(xs[0] + y == 1.0)
+        m.maximize(lin_sum(xs) + 3.0 * y)
+        return m.to_matrix_form()
+
+    def test_roundtrip_preserves_rows_and_term_order(self):
+        form = self._form()
+        back = unpack_form(pack_form(form))
+        assert list(back.c) == list(form.c)
+        assert list(back.lb) == list(form.lb)
+        assert list(back.ub) == list(form.ub)
+        assert list(back.integrality) == list(form.integrality)
+        assert back.minimize == form.minimize
+        assert back.obj_const == form.obj_const
+        assert back.rows_ub == form.rows_ub
+        assert back.rows_eq == form.rows_eq
+        # Bit-identical solving relies on replaying the exact pivot order,
+        # which depends on within-row term *insertion* order.
+        for original, restored in zip(form.rows_ub, back.rows_ub):
+            assert list(original[0].items()) == list(restored[0].items())
+
+    def test_nbytes_is_positive_and_counts_payload(self):
+        compact = pack_form(self._form())
+        assert compact.nbytes > 0
