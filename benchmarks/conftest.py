@@ -86,11 +86,15 @@ def record_pipeline(section: str, runs) -> None:
     for name, by_approach in runs.items():
         per_bench = entry.setdefault(name, {})
         for approach, run in by_approach.items():
-            per_bench[approach] = {
+            metrics = {
                 "wall_seconds": round(run.wall_seconds, 6),
                 "estimated_speedup": round(run.estimated_speedup, 6),
                 "speedup": round(run.speedup, 6),
             }
+            if run.verify_seconds or run.verify_diagnostics:
+                metrics["verify_seconds"] = round(run.verify_seconds, 6)
+                metrics["verify_diagnostics"] = run.verify_diagnostics
+            per_bench[approach] = metrics
 
 
 def record_pipeline_row(section: str, benchmark: str, metrics: dict) -> None:
@@ -113,7 +117,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     OUT_DIR.mkdir(exist_ok=True)
     payload = {
-        "schema": "repro-bench-pipeline-v2",
+        "schema": "repro-bench-pipeline-v3",
         "subset": os.environ.get("REPRO_BENCH_SUBSET", "") or "all",
         "jobs": bench_jobs(),
         "sections": _PIPELINE,

@@ -1,0 +1,63 @@
+"""Verification smoke: certify the Table-I set on both ILP backends.
+
+Re-parallelizes every selected benchmark on platform configurations (A)
+and (B) with solve-time certificate replay enabled, runs the full
+certification pipeline (structural, races, certificates, trace,
+mapping) on each cell, and cross-checks the two ILP backends against
+each other. Any diagnostic — a race, a violated Eq. 1-18 row, an
+unordered conflicting trace pair, a mapping mismatch, or a backend
+divergence — fails the run.
+
+Solves go through the on-disk solver cache (``REPRO_VERIFY_CACHE_DIR``,
+default ``.repro_cache/``): a warm CI cache turns the whole sweep into
+replay + certification, keeping it well under a minute.
+
+Per-cell certifier runtimes land in ``BENCH_pipeline.json`` under the
+``verify_smoke`` section (see ``docs/BENCHMARKS.md``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.parallelize import ParallelizeOptions
+from repro.toolflow.verify import resolve_verify_platforms, run_verify
+
+from benchmarks.conftest import bench_jobs, record_pipeline_row
+
+
+def test_verify_smoke(benchmark, benchmarks_under_test):
+    cache_dir = os.environ.get("REPRO_VERIFY_CACHE_DIR", ".repro_cache")
+    options = ParallelizeOptions(
+        jobs=bench_jobs(), cache=True, cache_dir=cache_dir
+    )
+    box = {}
+
+    def run():
+        box["suite"] = run_verify(
+            benchmarks=benchmarks_under_test,
+            platforms=resolve_verify_platforms("both"),
+            backends=("scipy", "bnb"),
+            parallelize_options=options,
+        )
+        return box["suite"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    suite = box["suite"]
+
+    per_bench = {}
+    for cell in suite.cells:
+        row = per_bench.setdefault(cell.benchmark, {})
+        row[f"{cell.platform}|{cell.backend}"] = {
+            "verify_seconds": round(cell.report.total_seconds, 6),
+            "diagnostics": len(cell.report.diagnostics),
+            "exec_time_us": round(cell.exec_time_us, 3),
+        }
+    for name, row in per_bench.items():
+        record_pipeline_row("verify_smoke", name, row)
+
+    benchmark.extra_info["num_cells"] = len(suite.cells)
+    benchmark.extra_info["certify_seconds"] = round(
+        sum(cell.report.total_seconds for cell in suite.cells), 3
+    )
+    assert suite.ok, "\n" + suite.render_text()

@@ -1,0 +1,30 @@
+"""Independent certification of extracted task-level parallelism.
+
+Every layer of the tool flow is cross-checked against the layer below
+it, independently of the inputs that layer consumed:
+
+* :mod:`repro.analysis.structural` — solution-shape validation
+  (coverage, classes, budgets; wraps :mod:`repro.core.validation`);
+* :mod:`repro.analysis.races` — static race detector over recomputed
+  def/use dependences;
+* :mod:`repro.analysis.certificate` — ILP assignment replay against
+  the Eq. 1-18 instances;
+* :mod:`repro.analysis.hb` — happens-before trace sanitizer over
+  simulator vector clocks;
+* :mod:`repro.analysis.maplint` — mapping-spec / annotation / OpenMP
+  lint.
+
+:func:`repro.analysis.certifier.certify_run` orchestrates all tiers and
+returns a :class:`repro.analysis.diagnostics.Report`.
+"""
+
+from repro.analysis.diagnostics import ANALYSES, REPORT_SCHEMA, Diagnostic, Report
+from repro.analysis.certifier import certify_run
+
+__all__ = [
+    "ANALYSES",
+    "REPORT_SCHEMA",
+    "Diagnostic",
+    "Report",
+    "certify_run",
+]

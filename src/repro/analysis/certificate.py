@@ -1,0 +1,288 @@
+"""ILP certificate checker: replay a solved assignment against Eq. 1-18.
+
+The solver backends (scipy/HiGHS and the native bounded-variable
+simplex) return a variable assignment that the decoder trusts blindly.
+This analysis replays the assignment against the *instance* — every
+constraint row of the built :class:`~repro.core.ilppar.IlpParInstance`
+or :class:`~repro.core.homogeneous.HomoParInstance`, variable bounds,
+integrality, and the objective value — so a presolve bug, a numerically
+drifted basis, or a backend divergence surfaces as a diagnostic instead
+of silently producing an illegal (and later miscompiled) partition.
+
+Checks per solved instance:
+
+* every constraint of the model is satisfied (``Model.check``) — this is
+  the literal replay of Eq. 1-18 at instance level;
+* every variable respects its bounds, and integer variables are within
+  ``INT_TOL`` of an integer;
+* the reported objective equals the objective expression re-evaluated
+  under the assignment;
+* the assignment decodes uniquely: exactly one task (Eq. 1) and one
+  parallel-set choice (Eq. 3) per child, one class per used extra task
+  (Eq. 12);
+* when the decoded :class:`~repro.core.solution.SolutionCandidate` is
+  supplied, its segments/choices/exec-time match the assignment.
+
+Constraint tolerances are row-scaled: an absolute floor of
+:data:`FEAS_TOL` plus :data:`FEAS_REL` times the row's largest
+coefficient magnitude. Path-cost rows mix big-M terms in the 1e4-1e6 µs
+range, and HiGHS guarantees feasibility only *relative* to that scale —
+a fixed absolute tolerance either flags pure solver noise on big-M rows
+or waves real violations through on unit rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.solution import SolutionCandidate
+from repro.ilp.model import Constraint, Model, Solution
+
+#: Absolute feasibility-tolerance floor for constraint replay (µs-scale).
+FEAS_TOL = 1e-3
+#: Relative feasibility tolerance w.r.t. a row's largest coefficient.
+FEAS_REL = 1e-6
+#: Distance-to-integer tolerance for integral variables.
+INT_TOL = 1e-5
+#: Cap on per-constraint diagnostics (one summary record past this).
+MAX_CONSTRAINT_DIAGS = 25
+
+
+def check_solution_certificate(
+    inst,
+    solution: Solution,
+    candidate: Optional[SolutionCandidate] = None,
+) -> List[Diagnostic]:
+    """Certify one solved ILPPAR / homogeneous instance.
+
+    ``inst`` is an :class:`~repro.core.ilppar.IlpParInstance` or
+    :class:`~repro.core.homogeneous.HomoParInstance` (distinguished by
+    the presence of the task-class mapping ``map_tc``). Unusable
+    solutions (infeasible/error verdicts) carry no assignment to
+    certify and yield no diagnostics.
+    """
+    if not solution.usable:
+        return []
+    model: Model = inst.model
+    diags: List[Diagnostic] = []
+    diags.extend(_check_constraints(model, solution))
+    diags.extend(_check_variables(model, solution))
+    diags.extend(_check_objective(model, solution))
+    diags.extend(_check_decode(inst, solution))
+    if candidate is not None:
+        diags.extend(_check_candidate(inst, solution, candidate))
+    return diags
+
+
+def _row_tol(cons: Constraint) -> float:
+    scale = max(
+        [abs(cons.expr.const)]
+        + [abs(coef) for coef in cons.expr.terms.values()],
+        default=0.0,
+    )
+    return max(FEAS_TOL, FEAS_REL * scale)
+
+
+def _check_constraints(model: Model, solution: Solution) -> List[Diagnostic]:
+    violated: List[Constraint] = []
+    for cons in model.constraints:
+        try:
+            ok = cons.satisfied(solution.values, tol=_row_tol(cons))
+        except KeyError:
+            continue  # missing-variable diagnostics cover unvalued rows
+        if not ok:
+            violated.append(cons)
+    diags: List[Diagnostic] = []
+    for cons in violated[:MAX_CONSTRAINT_DIAGS]:
+        residual = cons.expr.value(solution.values)
+        diags.append(
+            Diagnostic(
+                "certificate", "certificate.constraint-violation",
+                f"{model.name}: constraint {cons.name!r} violated "
+                f"({cons.expr!r} {cons.sense.value} 0, residual {residual:.6g})",
+                context={
+                    "model": model.name,
+                    "constraint": cons.name,
+                    "sense": cons.sense.value,
+                    "residual": residual,
+                },
+            )
+        )
+    if len(violated) > MAX_CONSTRAINT_DIAGS:
+        diags.append(
+            Diagnostic(
+                "certificate", "certificate.constraint-violation",
+                f"{model.name}: {len(violated) - MAX_CONSTRAINT_DIAGS} further "
+                f"constraint violations suppressed",
+                context={
+                    "model": model.name,
+                    "suppressed": len(violated) - MAX_CONSTRAINT_DIAGS,
+                },
+            )
+        )
+    return diags
+
+
+def _check_variables(model: Model, solution: Solution) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for var in model.variables:
+        value = solution.values.get(var)
+        if value is None:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.missing-variable",
+                    f"{model.name}: solution carries no value for {var.name!r}",
+                    context={"model": model.name, "variable": var.name},
+                )
+            )
+            continue
+        if value < var.lb - FEAS_TOL or value > var.ub + FEAS_TOL:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.bound-violation",
+                    f"{model.name}: {var.name} = {value:.6g} outside "
+                    f"[{var.lb:g}, {var.ub:g}]",
+                    context={
+                        "model": model.name, "variable": var.name,
+                        "value": value, "lb": var.lb, "ub": var.ub,
+                    },
+                )
+            )
+        if var.integer and abs(value - round(value)) > INT_TOL:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.fractional-integer",
+                    f"{model.name}: integer variable {var.name} = {value:.6g}",
+                    context={
+                        "model": model.name, "variable": var.name, "value": value,
+                    },
+                )
+            )
+    return diags
+
+
+def _check_objective(model: Model, solution: Solution) -> List[Diagnostic]:
+    try:
+        recomputed = model.objective.value(solution.values)
+    except KeyError:
+        return []  # missing-variable diagnostics already cover this
+    reported = solution.objective
+    if reported is None:
+        return []
+    tol = FEAS_TOL + 1e-6 * abs(recomputed)
+    if abs(recomputed - reported) > tol:
+        return [
+            Diagnostic(
+                "certificate", "certificate.objective-mismatch",
+                f"{model.name}: reported objective {reported:.6g} differs "
+                f"from the re-evaluated objective {recomputed:.6g}",
+                context={
+                    "model": model.name,
+                    "reported": reported,
+                    "recomputed": recomputed,
+                },
+            )
+        ]
+    return []
+
+
+def _ones(solution: Solution, row) -> List[int]:
+    return [i for i, var in enumerate(row) if solution.values.get(var, 0.0) > 0.5]
+
+
+def _check_decode(inst, solution: Solution) -> List[Diagnostic]:
+    model: Model = inst.model
+    diags: List[Diagnostic] = []
+    for ni, child in enumerate(inst.children):
+        chosen_tasks = _ones(solution, inst.x[ni])
+        if len(chosen_tasks) != 1:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.ambiguous-task",
+                    f"{model.name}: child {child.label!r} maps to "
+                    f"{len(chosen_tasks)} tasks {chosen_tasks} (Eq. 1 wants 1)",
+                    context={
+                        "model": model.name, "child": child.label,
+                        "child_uid": child.uid, "tasks": chosen_tasks,
+                    },
+                )
+            )
+        chosen_cands = _ones(solution, inst.p[ni])
+        if len(chosen_cands) != 1:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.ambiguous-candidate",
+                    f"{model.name}: child {child.label!r} selects "
+                    f"{len(chosen_cands)} parallel-set entries (Eq. 3 wants 1)",
+                    context={
+                        "model": model.name, "child": child.label,
+                        "child_uid": child.uid, "choices": chosen_cands,
+                    },
+                )
+            )
+    map_tc = getattr(inst, "map_tc", None)
+    if map_tc is not None:
+        for t in inst.extras:
+            row = [map_tc[(t, c)] for c in inst.classes]
+            chosen = _ones(solution, row)
+            if len(chosen) != 1:
+                diags.append(
+                    Diagnostic(
+                        "certificate", "certificate.ambiguous-class",
+                        f"{model.name}: extra task {t} maps to "
+                        f"{len(chosen)} classes (Eq. 12 wants 1)",
+                        context={"model": model.name, "task": t,
+                                 "classes": [inst.classes[i] for i in chosen]},
+                    )
+                )
+    return diags
+
+
+def _check_candidate(
+    inst, solution: Solution, candidate: SolutionCandidate
+) -> List[Diagnostic]:
+    """The decoded candidate must restate the assignment, not reinterpret it."""
+    model: Model = inst.model
+    diags: List[Diagnostic] = []
+    for ni, child in enumerate(inst.children):
+        chosen = _ones(solution, inst.x[ni])
+        if len(chosen) != 1:
+            continue  # already diagnosed by the decode check
+        decoded = candidate.task_of_child(child)
+        if decoded != chosen[0]:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.decode-mismatch",
+                    f"{model.name}: child {child.label!r} assigned to task "
+                    f"{chosen[0]} by the ILP but to task {decoded} by the "
+                    f"decoded candidate",
+                    context={
+                        "model": model.name, "child": child.label,
+                        "child_uid": child.uid,
+                        "ilp_task": chosen[0], "decoded_task": decoded,
+                    },
+                )
+            )
+    accum_join = getattr(inst, "accum_join", None)
+    reference = (
+        solution.values.get(accum_join) if accum_join is not None
+        else solution.objective
+    )
+    if reference is not None:
+        tol = FEAS_TOL + 1e-6 * abs(reference)
+        if abs(candidate.exec_time_us - reference) > tol:
+            diags.append(
+                Diagnostic(
+                    "certificate", "certificate.exec-time-mismatch",
+                    f"{model.name}: candidate exec time "
+                    f"{candidate.exec_time_us:.6g}us differs from the "
+                    f"certified assignment's {reference:.6g}us",
+                    context={
+                        "model": model.name,
+                        "candidate_us": candidate.exec_time_us,
+                        "certified_us": reference,
+                    },
+                )
+            )
+    return diags

@@ -1,0 +1,112 @@
+"""Diagnostic records and reports of the certification pipeline.
+
+Every analysis in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` values — one record per violation, carrying the
+analysis that found it, a stable machine-readable code, a human-readable
+message and a JSON-safe context dict (source coordinates, edge
+endpoints, constraint names, ...). A :class:`Report` aggregates the
+diagnostics of one certification run together with per-analysis
+runtimes and renders either as text or as the machine-readable JSON
+document CI consumes (schema :data:`REPORT_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Schema tag of :meth:`Report.to_dict`; bump on breaking layout changes.
+REPORT_SCHEMA = "repro-verify-v1"
+
+#: The four certification analyses plus the structural pre-tier.
+ANALYSES = ("structural", "race", "certificate", "trace", "mapping")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One certification violation.
+
+    ``analysis`` names the tier that produced the finding (one of
+    :data:`ANALYSES`); ``code`` is a stable dotted identifier
+    (``"race.uncovered-dependence"``) tests and CI match on; ``context``
+    holds only JSON-serializable values.
+    """
+
+    analysis: str
+    code: str
+    message: str
+    severity: str = "error"
+    context: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "analysis": self.analysis,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.analysis}] {self.code}: {self.message}"
+
+
+@dataclass
+class Report:
+    """Aggregated outcome of one certification run.
+
+    ``subject`` identifies what was certified (benchmark/platform/
+    approach/backend); ``timings_s`` records the wall time each analysis
+    tier spent, so verification overhead is reported rather than silent.
+    """
+
+    subject: Dict[str, Any] = field(default_factory=dict)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    timings_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def by_analysis(self, analysis: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.analysis == analysis]
+
+    def merge(self, other: "Report") -> None:
+        """Fold another report's findings and timings into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        for name, seconds in other.timings_s.items():
+            self.timings_s[name] = self.timings_s.get(name, 0.0) + seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings_s.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "subject": dict(self.subject),
+            "ok": self.ok,
+            "num_diagnostics": len(self.diagnostics),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "timings_s": {k: round(v, 6) for k, v in sorted(self.timings_s.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable multi-line summary."""
+        subject = ", ".join(f"{k}={v}" for k, v in self.subject.items())
+        head = f"verify {subject}" if subject else "verify"
+        lines = [f"{head}: {'OK' if self.ok else 'FAILED'} "
+                 f"({len(self.diagnostics)} diagnostics, "
+                 f"{self.total_seconds:.3f}s)"]
+        for diag in self.diagnostics:
+            lines.append(f"  {diag}")
+            for key in sorted(diag.context):
+                lines.append(f"      {key} = {diag.context[key]!r}")
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Happens-before trace sanitizer: the dynamic oracle for the race tier.
+
+The simulator threads a vector clock through every scheduled task
+(:class:`~repro.simulator.engine.SimResult.clocks`): task ``p`` is in
+``clocks[t]`` iff ``p`` happened-before ``t`` via dependence edges or
+same-core serialization. This analysis replays one simulated schedule
+and flags every *conflicting* task pair — tasks whose def/use sets
+touch a common variable with at least one write — that executed
+unordered. A static miss in the race detector (an uncovered dependence
+the flattener then fails to materialize as a precedence edge) shows up
+here on every benchmark run.
+
+Chunk tasks of one chunked loop are the single sanctioned exception:
+they are unordered *by design*, their disjointness being certified
+statically (iteration-range tiling + ``classify_loop``), so pairs of
+chunks of the same loop are skipped. Chunk conflicts against anything
+else are tracked at array granularity (plus reduction variables): the
+scalars in a chunk's def/use set are loop-private temporaries that code
+generation privatizes per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.flatten import FlatTaskGraph
+from repro.htg.graph import HTG
+from repro.htg.nodes import ChunkNode, HTGNode
+from repro.simulator.engine import SimResult
+
+
+def sanitize_trace(
+    graph: FlatTaskGraph, sim: SimResult, htg: HTG
+) -> List[Diagnostic]:
+    """Certify one simulated schedule against the def/use conflicts.
+
+    Returns one diagnostic per conflicting-but-unordered task pair, plus
+    one per precedence edge the clocks fail to order (an engine-level
+    consistency failure rather than a partitioning race).
+    """
+    diags: List[Diagnostic] = []
+
+    # The engine must have ordered every materialized precedence edge.
+    for edge in graph.edges:
+        if edge.src in sim.clocks and not sim.happens_before(edge.src, edge.dst):
+            diags.append(
+                Diagnostic(
+                    "trace", "trace.missing-order",
+                    f"precedence edge task {edge.src} -> task {edge.dst} is "
+                    f"not reflected in the happens-before clocks",
+                    context={"src": edge.src, "dst": edge.dst},
+                )
+            )
+
+    node_of: Dict[int, HTGNode] = {n.uid: n for n in htg.root.walk()}
+    work = []
+    for task in graph.tasks:
+        if task.node_uid is None:
+            continue  # fork/join markers carry no data accesses
+        node = node_of.get(task.node_uid)
+        if node is None:
+            continue
+        work.append((task, node))
+
+    for i in range(len(work)):
+        task_a, node_a = work[i]
+        for j in range(i + 1, len(work)):
+            task_b, node_b = work[j]
+            if (
+                isinstance(node_a, ChunkNode)
+                and isinstance(node_b, ChunkNode)
+                and node_a.loop is node_b.loop
+            ):
+                continue  # same-loop chunks: disjointness certified statically
+            conflict = _conflict_vars(node_a, node_b)
+            if not conflict:
+                continue
+            if sim.ordered(task_a.tid, task_b.tid):
+                continue
+            diags.append(
+                Diagnostic(
+                    "trace", "trace.unordered-conflict",
+                    f"tasks {task_a.label!r} and {task_b.label!r} conflict "
+                    f"on {sorted(conflict)} but executed unordered",
+                    context={
+                        "task_a": task_a.tid, "task_b": task_b.tid,
+                        "label_a": task_a.label, "label_b": task_b.label,
+                        "node_a": node_a.label, "node_b": node_b.label,
+                        "variables": sorted(conflict),
+                    },
+                )
+            )
+    return diags
+
+
+def _conflict_vars(a: HTGNode, b: HTGNode) -> Set[str]:
+    """Variables both nodes touch with at least one write."""
+    defs_a, uses_a = _boundary_sets(a)
+    defs_b, uses_b = _boundary_sets(b)
+    return (defs_a & uses_b) | (uses_a & defs_b) | (defs_a & defs_b)
+
+
+def _boundary_sets(node: HTGNode) -> Tuple[Set[str], Set[str]]:
+    if isinstance(node, ChunkNode):
+        reductions = set(node.reduction_vars)
+        defs = set(node.defuse.array_defs) | reductions
+        uses = set(node.defuse.array_uses) | reductions
+        return defs, uses
+    return set(node.defuse.all_defs), set(node.defuse.all_uses)

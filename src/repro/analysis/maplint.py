@@ -1,0 +1,402 @@
+"""Codegen and mapping lint: the last layer before external tools.
+
+The pre-mapping specification (:mod:`repro.codegen.mapping_spec`) and
+the annotated / OpenMP source are what downstream mapping tools and
+compilers consume; a dangling task id or a wrong ``private`` list there
+is a miscompile that no ILP-level check can see. This tier re-derives
+the expected structure from the chosen
+:class:`~repro.core.solution.SolutionCandidate` tree and diffs it
+against the emitted artifacts:
+
+* **mapping spec**: every task path present exactly as the candidate
+  tree implies (no dangling, no missing), every ``class`` a real
+  platform class matching the segment's mapping, every chunk
+  ``iteration_range`` non-empty and equal to the chunk node's range;
+* **annotated C**: every ``#pragma repro task(N)`` inside a region maps
+  to a segment the region's candidate actually has, with the segment's
+  class; region/join pragmas must nest properly;
+* **OpenMP**: every ``repro:class(...)`` / ``repro:main_class(...)``
+  hint names a platform class, and each ``parallel sections`` region's
+  ``private(...)`` clause lists exactly the region scope's private
+  scalars — and none of the variables the region's boundary def/use
+  publishes or consumes (privatizing a shared variable drops writes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.cfront import ir
+from repro.cfront.deps import private_scalars
+from repro.core.solution import SolutionCandidate
+from repro.htg.nodes import ChunkNode, HierarchicalNode
+
+_TASK_RE = re.compile(
+    r"#pragma repro task\((\d+)\) role\((\w+)\) class\((\w+)\)"
+)
+_REGION_RE = re.compile(r'#pragma repro parallel region\("(.*)"\)')
+_JOIN_RE = re.compile(r'#pragma repro join region\("(.*)"\)')
+_OMP_SECTIONS_RE = re.compile(
+    r"#pragma omp parallel sections"
+    r"(?: private\(([^)]*)\))? /\* repro:main_class\((\w+)\) \*/"
+)
+_OMP_SECTION_RE = re.compile(
+    r"#pragma omp section /\* repro:class\((\w+)\) role\((\w+)\) \*/"
+)
+
+
+def region_private_scalars(node: HierarchicalNode) -> Set[str]:
+    """Scalars private to a parallel region's scope (safe to privatize)."""
+    stmt = getattr(node, "stmt", None)
+    if isinstance(stmt, (ir.ForLoop, ir.WhileLoop)):
+        private = set(private_scalars(stmt.body))
+        if isinstance(stmt, ir.ForLoop):
+            private.add(stmt.var)
+        return private
+    if isinstance(stmt, ir.Block):
+        return set(private_scalars(stmt))
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# Mapping specification
+# ---------------------------------------------------------------------------
+
+
+def lint_mapping_spec(spec: Dict[str, Any], candidate: SolutionCandidate,
+                      platform) -> List[Diagnostic]:
+    """Diff a pre-mapping spec against the candidate tree and platform."""
+    diags: List[Diagnostic] = []
+    classes = set(platform.class_names())
+
+    actual: List[Dict[str, Any]] = []
+    _flatten_spec_tasks(spec.get("tasks", []), actual)
+    expected: List[Dict[str, Any]] = []
+    _expected_tasks(candidate, "root", expected)
+
+    spec_main = spec.get("platform", {}).get("main_class")
+    if spec_main is not None and spec_main not in classes:
+        diags.append(
+            Diagnostic(
+                "mapping", "mapping.invalid-class",
+                f"mapping spec main class {spec_main!r} is not a platform "
+                f"class (have {sorted(classes)})",
+                context={"class": spec_main, "classes": sorted(classes)},
+            )
+        )
+
+    def key(entry: Dict[str, Any]) -> Tuple:
+        return (entry["path"], entry.get("role"), entry.get("class"))
+
+    actual_keys = sorted(key(e) for e in actual)
+    expected_keys = sorted(key(e) for e in expected)
+    for missing in _multiset_diff(expected_keys, actual_keys):
+        diags.append(
+            Diagnostic(
+                "mapping", "mapping.missing-task",
+                f"mapping spec lacks task {missing[0]!r} "
+                f"(role {missing[1]}, class {missing[2]}) present in the "
+                f"solution",
+                context={"path": missing[0], "role": missing[1],
+                         "class": missing[2]},
+            )
+        )
+    for dangling in _multiset_diff(actual_keys, expected_keys):
+        diags.append(
+            Diagnostic(
+                "mapping", "mapping.dangling-task",
+                f"mapping spec task {dangling[0]!r} (role {dangling[1]}, "
+                f"class {dangling[2]}) matches no task of the solution",
+                context={"path": dangling[0], "role": dangling[1],
+                         "class": dangling[2]},
+            )
+        )
+
+    for entry in actual:
+        cname = entry.get("class")
+        if cname is not None and cname not in classes:
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.invalid-class",
+                    f"mapping spec task {entry['path']!r} uses unknown "
+                    f"class {cname!r}",
+                    context={"path": entry["path"], "class": cname,
+                             "classes": sorted(classes)},
+                )
+            )
+        for stmt in entry.get("statements", []):
+            rng = stmt.get("iteration_range")
+            if rng is not None and (len(rng) != 2 or rng[0] >= rng[1]):
+                diags.append(
+                    Diagnostic(
+                        "mapping", "mapping.empty-chunk-range",
+                        f"mapping spec task {entry['path']!r} carries chunk "
+                        f"{stmt.get('node')!r} with empty iteration range "
+                        f"{rng}",
+                        context={"path": entry["path"],
+                                 "node": stmt.get("node"), "range": list(rng)},
+                    )
+                )
+    return diags
+
+
+def _flatten_spec_tasks(tasks: List[Dict[str, Any]],
+                        out: List[Dict[str, Any]]) -> None:
+    for entry in tasks:
+        out.append(entry)
+        _flatten_spec_tasks(entry.get("subtasks", []), out)
+
+
+def _expected_tasks(candidate: SolutionCandidate, path: str,
+                    out: List[Dict[str, Any]]) -> None:
+    """Mirror of ``mapping_spec._tasks_of``, re-derived for the diff."""
+    if candidate.is_sequential:
+        out.append({"path": path, "role": "sequential",
+                    "class": candidate.main_class})
+        return
+    for segment in candidate.segments:
+        if not segment.children:
+            continue
+        tpath = f"{path}/T{segment.index}"
+        out.append({"path": tpath, "role": segment.role,
+                    "class": segment.proc_class})
+        for child in segment.children:
+            chosen = candidate.child_choice[child.uid]
+            if not isinstance(child, ChunkNode) and not chosen.is_sequential:
+                _expected_tasks(chosen, tpath, out)
+
+
+def _multiset_diff(left: List, right: List) -> List:
+    """Elements of ``left`` not matched one-for-one in ``right``."""
+    remainder = list(right)
+    unmatched = []
+    for item in left:
+        try:
+            remainder.remove(item)
+        except ValueError:
+            unmatched.append(item)
+    return unmatched
+
+
+# ---------------------------------------------------------------------------
+# Annotated C (#pragma repro)
+# ---------------------------------------------------------------------------
+
+
+def lint_annotations(text: str, candidate: SolutionCandidate,
+                     platform) -> List[Diagnostic]:
+    """Check ``#pragma repro`` region/task structure against the solution."""
+    diags: List[Diagnostic] = []
+    classes = set(platform.class_names())
+
+    # Region labels are not unique ("block" nests inside "block"), so the
+    # expectation merges same-labelled regions: a task id is valid when
+    # *some* region with that label has the segment, and the class must be
+    # one that label's segments allow.
+    expected: Dict[str, Dict[int, Set[str]]] = {}
+    _expected_regions(candidate, expected)
+
+    stack: List[str] = []
+    seen: Dict[str, Set[int]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        opened = _REGION_RE.search(line)
+        if opened:
+            stack.append(opened.group(1))
+            continue
+        closed = _JOIN_RE.search(line)
+        if closed:
+            if not stack or stack[-1] != closed.group(1):
+                diags.append(
+                    Diagnostic(
+                        "mapping", "mapping.unbalanced-region",
+                        f"line {lineno}: join for region "
+                        f"{closed.group(1)!r} does not match the open "
+                        f"region {stack[-1] if stack else None!r}",
+                        context={"line": lineno, "region": closed.group(1)},
+                    )
+                )
+            else:
+                stack.pop()
+            continue
+        task = _TASK_RE.search(line)
+        if not task:
+            continue
+        index, _role, cname = int(task.group(1)), task.group(2), task.group(3)
+        region = stack[-1] if stack else None
+        segments = expected.get(region or "", {})
+        if index not in segments:
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.dangling-task-id",
+                    f"line {lineno}: task({index}) does not name a segment "
+                    f"of region {region!r}",
+                    context={"line": lineno, "task": index, "region": region},
+                )
+            )
+        elif cname not in segments[index]:
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.class-mismatch",
+                    f"line {lineno}: task({index}) of region {region!r} "
+                    f"annotated with class {cname!r}, solution maps it to "
+                    f"{sorted(segments[index])}",
+                    context={"line": lineno, "task": index, "region": region,
+                             "annotated": cname,
+                             "expected": sorted(segments[index])},
+                )
+            )
+        if cname not in classes:
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.invalid-class",
+                    f"line {lineno}: task({index}) uses unknown class "
+                    f"{cname!r}",
+                    context={"line": lineno, "task": index, "class": cname},
+                )
+            )
+        if region is not None:
+            seen.setdefault(region, set()).add(index)
+
+    for region, segments in expected.items():
+        missing = set(segments) - seen.get(region, set())
+        for index in sorted(missing):
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.missing-task-id",
+                    f"region {region!r} lacks an annotation for task "
+                    f"({index}) of the solution",
+                    context={"region": region, "task": index},
+                )
+            )
+    return diags
+
+
+def _expected_regions(candidate: SolutionCandidate,
+                      out: Dict[str, Dict[int, Set[str]]]) -> None:
+    if candidate.is_sequential:
+        return
+    node = candidate.node
+    if isinstance(node, HierarchicalNode) and node.construct != "if":
+        region = out.setdefault(node.label, {})
+        for segment in candidate.segments:
+            if segment.children:
+                region.setdefault(segment.index, set()).add(segment.proc_class)
+    for chosen in candidate.child_choice.values():
+        _expected_regions(chosen, out)
+
+
+# ---------------------------------------------------------------------------
+# OpenMP output
+# ---------------------------------------------------------------------------
+
+
+def lint_openmp(text: str, candidate: SolutionCandidate,
+                platform) -> List[Diagnostic]:
+    """Check the OpenMP rendering's class hints and ``private`` clauses."""
+    diags: List[Diagnostic] = []
+    classes = set(platform.class_names())
+    expected = _expected_omp_regions(candidate)
+
+    region_index = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        sections = _OMP_SECTIONS_RE.search(line)
+        if sections:
+            privates_text, main_class = sections.group(1), sections.group(2)
+            privates = (
+                {v.strip() for v in privates_text.split(",") if v.strip()}
+                if privates_text else set()
+            )
+            if main_class not in classes:
+                diags.append(
+                    Diagnostic(
+                        "mapping", "mapping.invalid-class",
+                        f"line {lineno}: main_class hint {main_class!r} is "
+                        f"not a platform class",
+                        context={"line": lineno, "class": main_class},
+                    )
+                )
+            if region_index < len(expected):
+                node, region_cand = expected[region_index]
+                want = region_private_scalars(node)
+                if privates != want:
+                    diags.append(
+                        Diagnostic(
+                            "mapping", "mapping.private-mismatch",
+                            f"line {lineno}: region {node.label!r} declares "
+                            f"private({sorted(privates)}), def/use analysis "
+                            f"expects private({sorted(want)})",
+                            context={"line": lineno, "region": node.label,
+                                     "declared": sorted(privates),
+                                     "expected": sorted(want)},
+                        )
+                    )
+                shared = node.defuse.all_defs | node.defuse.all_uses
+                leaked = privates & shared
+                if leaked:
+                    diags.append(
+                        Diagnostic(
+                            "mapping", "mapping.private-shared-conflict",
+                            f"line {lineno}: region {node.label!r} privatizes "
+                            f"{sorted(leaked)} although the region's boundary "
+                            f"def/use publishes or consumes them",
+                            context={"line": lineno, "region": node.label,
+                                     "variables": sorted(leaked)},
+                        )
+                    )
+            region_index += 1
+            continue
+        section = _OMP_SECTION_RE.search(line)
+        if section and section.group(1) not in classes:
+            diags.append(
+                Diagnostic(
+                    "mapping", "mapping.invalid-class",
+                    f"line {lineno}: section class hint "
+                    f"{section.group(1)!r} is not a platform class",
+                    context={"line": lineno, "class": section.group(1)},
+                )
+            )
+
+    if region_index != len(expected):
+        diags.append(
+            Diagnostic(
+                "mapping", "mapping.region-count-mismatch",
+                f"OpenMP output contains {region_index} parallel-sections "
+                f"regions, solution implies {len(expected)}",
+                context={"emitted": region_index, "expected": len(expected)},
+            )
+        )
+    return diags
+
+
+def _expected_omp_regions(
+    candidate: SolutionCandidate,
+) -> List[Tuple[HierarchicalNode, SolutionCandidate]]:
+    """Regions that render as ``parallel sections``, in emission order.
+
+    Mirrors :func:`repro.codegen.openmp._emit_sections`: a region emits a
+    pragma only when more than one segment holds children; candidates are
+    expanded depth-first in segment/child order.
+    """
+    out: List[Tuple[HierarchicalNode, SolutionCandidate]] = []
+
+    def visit(cand: SolutionCandidate) -> None:
+        if cand.is_sequential:
+            return
+        node = cand.node
+        if not isinstance(node, HierarchicalNode):
+            return
+        if node.construct == "if":
+            for child in node.children:
+                visit(cand.child_choice[child.uid])
+            return
+        used = [s for s in cand.segments if s.children]
+        if len(used) > 1:
+            out.append((node, cand))
+        for segment in used:
+            for child in segment.children:
+                visit(cand.child_choice[child.uid])
+
+    visit(candidate)
+    return out

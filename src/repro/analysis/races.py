@@ -1,0 +1,459 @@
+"""Static race detector: independent re-derivation of dependence coverage.
+
+The ILP consumes the AHTG's data-flow edges; if those edges (or a
+mutated solution) ever miss a real dependence, the solver will happily
+produce a partition that races. This analysis therefore recomputes the
+def/use dependences of every parallelized node **directly from the
+node's children's def/use sets** — the same raw facts
+:mod:`repro.cfront.deps` derives from the IR, not the edge list the ILP
+saw — and certifies that the chosen
+:class:`~repro.core.solution.SolutionCandidate` honors each of them:
+
+* a dependence whose endpoints share a task is ordered by the segment's
+  sequential chain (their in-segment order must match program order);
+* a *backward* (loop-carried) dependence must be intra-task — splitting
+  an ``iir``-style recurrence across tasks is a race by construction;
+* a forward dependence crossing tasks must be *covered* by a precedence
+  edge of the AHTG (that is what the flattener materializes as the
+  precedence constraint the simulator and code generator obey), and a
+  flow dependence additionally by enough communicated bytes: at least
+  one element of every communicated variable whose endpoints execute;
+* every child must be fed by a Communication-In edge covering its
+  external uses and drained by a Communication-Out edge covering its
+  escaping definitions (paper Eq. 5-7/10's comm-node structure);
+* chunked loops are re-proven chunkable via
+  :func:`repro.cfront.deps.classify_loop` (the ``affine_form``
+  distance-0 machinery) and their iteration ranges must tile the loop.
+
+Every violation becomes one :class:`~repro.analysis.diagnostics.Diagnostic`
+naming the offending edge with source-level context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.cfront import ir
+from repro.cfront.deps import DepKind, classify_loop
+from repro.core.solution import SolutionCandidate
+from repro.htg.graph import SymbolInfo
+from repro.htg.nodes import ChunkNode, HierarchicalNode, HTGEdge, HTGNode
+
+
+@dataclass(frozen=True)
+class RequiredDep:
+    """One dependence the candidate must honor (recomputed, not trusted)."""
+
+    src: HTGNode
+    dst: HTGNode
+    kind: DepKind
+    variables: frozenset
+    backward: bool = False
+
+
+def recompute_dependences(node: HierarchicalNode) -> List[RequiredDep]:
+    """Re-derive the dependences between ``node``'s children.
+
+    Mirrors the dependence rules of the AHTG builder — forward flow/
+    anti/output relations with scalar kill filtering, loop-carried
+    backward flow edges for serial loop bodies, ordering between
+    mutually exclusive if-branches — but works from the children's
+    def/use sets alone, independently of ``node.edges``.
+    """
+    children = node.children
+    deps: List[RequiredDep] = []
+    n = len(children)
+
+    if node.construct == "loop-chunked":
+        return deps  # chunk independence is certified separately
+
+    if node.construct == "if":
+        # Mutually exclusive branches cannot race, but must not be
+        # modelled as overlapping: an ordering dependence per pair.
+        for i in range(n - 1):
+            deps.append(
+                RequiredDep(children[i], children[i + 1], DepKind.ANTI, frozenset())
+            )
+        return deps
+
+    def defs(c: HTGNode) -> Set[str]:
+        return c.defuse.all_defs
+
+    def uses(c: HTGNode) -> Set[str]:
+        return c.defuse.all_uses
+
+    for j in range(n):
+        for i in range(j):
+            flow = _surviving(children, i, j, defs(children[i]) & uses(children[j]))
+            anti = _surviving(children, i, j, uses(children[i]) & defs(children[j]))
+            output = _surviving(children, i, j, defs(children[i]) & defs(children[j]))
+            if flow:
+                deps.append(
+                    RequiredDep(children[i], children[j], DepKind.FLOW, frozenset(flow))
+                )
+            if anti - flow:
+                deps.append(
+                    RequiredDep(
+                        children[i], children[j], DepKind.ANTI, frozenset(anti - flow)
+                    )
+                )
+            if output - flow:
+                deps.append(
+                    RequiredDep(
+                        children[i], children[j], DepKind.OUTPUT,
+                        frozenset(output - flow),
+                    )
+                )
+
+    if node.construct == "loop":
+        # Loop-carried: a later child defines what an earlier child
+        # consumes on the next iteration.
+        for j in range(n):
+            for i in range(j):
+                carried = defs(children[j]) & uses(children[i])
+                if carried:
+                    deps.append(
+                        RequiredDep(
+                            children[j], children[i], DepKind.FLOW,
+                            frozenset(carried), backward=True,
+                        )
+                    )
+    return deps
+
+
+def _surviving(
+    children: Sequence[HTGNode], i: int, j: int, related: Set[str]
+) -> Set[str]:
+    """Kill filtering: only full (scalar) redefinitions kill a dependence."""
+    survivors = set(related)
+    for k in range(i + 1, j):
+        survivors -= children[k].defuse.scalar_defs
+        if not survivors:
+            break
+    return survivors
+
+
+def check_candidate_races(
+    candidate: SolutionCandidate,
+    symbols: Optional[Mapping[str, SymbolInfo]] = None,
+    path: str = "root",
+) -> List[Diagnostic]:
+    """Certify one (non-recursive) candidate against recomputed dependences.
+
+    Returns one diagnostic per uncovered conflicting pair. Sequential
+    candidates trivially pass (program order is preserved).
+    """
+    if candidate.is_sequential:
+        return []
+    node = candidate.node
+    if not isinstance(node, HierarchicalNode):
+        return []  # structural tier reports this shape error
+
+    diags: List[Diagnostic] = []
+    task_of: Dict[int, int] = {}
+    pos_in_segment: Dict[int, int] = {}
+    for segment in candidate.segments:
+        for pos, child in enumerate(segment.children):
+            task_of[child.uid] = segment.index
+            pos_in_segment[child.uid] = pos
+
+    if node.construct == "loop-chunked":
+        diags.extend(_check_chunked_loop(node, path))
+        return diags
+
+    forward_cover: Dict[Tuple[int, int], List[HTGEdge]] = {}
+    for edge in node.edges_between_children():
+        if not edge.backward:
+            forward_cover.setdefault((edge.src.uid, edge.dst.uid), []).append(edge)
+
+    succ: Dict[int, Set[int]] = {}
+    for dep in recompute_dependences(node):
+        src_task = task_of.get(dep.src.uid)
+        dst_task = task_of.get(dep.dst.uid)
+        if src_task is None or dst_task is None:
+            continue  # uncovered child: the structural tier reports it
+        ctx = _dep_context(node, dep, path, src_task, dst_task)
+        if src_task == dst_task:
+            if not dep.backward and pos_in_segment[dep.src.uid] > pos_in_segment[dep.dst.uid]:
+                diags.append(
+                    Diagnostic(
+                        "race", "race.segment-order",
+                        f"{path}: task {src_task} executes "
+                        f"{dep.dst.label!r} before {dep.src.label!r}, against the "
+                        f"{dep.kind.value} dependence on {sorted(dep.variables)}",
+                        context=ctx,
+                    )
+                )
+            continue
+        if dep.backward:
+            diags.append(
+                Diagnostic(
+                    "race", "race.loop-carried-split",
+                    f"{path}: loop-carried flow dependence "
+                    f"{dep.src.label!r} -> {dep.dst.label!r} on "
+                    f"{sorted(dep.variables)} is split across tasks "
+                    f"{src_task} and {dst_task}",
+                    context=ctx,
+                )
+            )
+            continue
+        succ.setdefault(src_task, set()).add(dst_task)
+        covering = forward_cover.get((dep.src.uid, dep.dst.uid), [])
+        if not covering:
+            diags.append(
+                Diagnostic(
+                    "race", "race.uncovered-dependence",
+                    f"{path}: {dep.kind.value} dependence "
+                    f"{dep.src.label!r} -> {dep.dst.label!r} on "
+                    f"{sorted(dep.variables)} crosses tasks "
+                    f"{src_task} -> {dst_task} without a precedence edge",
+                    context=ctx,
+                )
+            )
+            continue
+        if dep.kind is DepKind.FLOW:
+            diags.extend(
+                _check_flow_bytes(node, dep, covering, symbols, ctx, path)
+            )
+
+    if _has_cycle(succ):
+        diags.append(
+            Diagnostic(
+                "race", "race.precedence-cycle",
+                f"{path}: recomputed inter-task dependences of "
+                f"{node.label!r} form a cycle",
+                context={"path": path, "node": node.label, "node_uid": node.uid},
+            )
+        )
+
+    diags.extend(_check_comm_coverage(node, task_of, candidate, symbols, path))
+    return diags
+
+
+def _check_flow_bytes(
+    node: HierarchicalNode,
+    dep: RequiredDep,
+    covering: List[HTGEdge],
+    symbols: Optional[Mapping[str, SymbolInfo]],
+    ctx: Dict,
+    path: str,
+) -> List[Diagnostic]:
+    """A cross-task flow dependence must ship at least the data it reads."""
+    flow_edges = [e for e in covering if e.kind is DepKind.FLOW]
+    covered_vars: Set[str] = set()
+    for edge in flow_edges:
+        covered_vars |= set(edge.variables)
+    missing = set(dep.variables) - covered_vars
+    if missing:
+        return [
+            Diagnostic(
+                "race", "race.missing-comm-vars",
+                f"{path}: flow dependence {dep.src.label!r} -> "
+                f"{dep.dst.label!r} communicates no data for "
+                f"{sorted(missing)}",
+                context=dict(ctx, missing=sorted(missing)),
+            )
+        ]
+    available = sum(e.bytes_volume for e in flow_edges)
+    required = _min_flow_bytes(dep.src, dep.dst, dep.variables, symbols)
+    if available + 1e-9 < required:
+        return [
+            Diagnostic(
+                "race", "race.comm-underflow",
+                f"{path}: flow edge {dep.src.label!r} -> {dep.dst.label!r} "
+                f"on {sorted(dep.variables)} carries {available:.0f} bytes, "
+                f"below the {required:.0f}-byte minimum of the communicated "
+                f"data",
+                context=dict(
+                    ctx, bytes_volume=available, required_bytes=required
+                ),
+            )
+        ]
+    return []
+
+
+def _min_flow_bytes(
+    src: HTGNode,
+    dst: HTGNode,
+    variables: frozenset,
+    symbols: Optional[Mapping[str, SymbolInfo]],
+) -> float:
+    """Lower bound on the data a flow dependence must communicate.
+
+    Each variable the consumer reads from the producer needs at least
+    one element on the wire per whole run; dead endpoints (zero
+    execution count) communicate nothing.
+    """
+    if src.exec_count <= 0 or dst.exec_count <= 0:
+        return 0.0
+    total = 0.0
+    for name in variables:
+        info = symbols.get(name) if symbols else None
+        total += info.element_bytes if info is not None else 4
+    return total
+
+
+def _check_comm_coverage(
+    node: HierarchicalNode,
+    task_of: Dict[int, int],
+    candidate: SolutionCandidate,
+    symbols: Optional[Mapping[str, SymbolInfo]],
+    path: str,
+) -> List[Diagnostic]:
+    """Comm-In/Out structure: recompute external uses / escaping defs."""
+    diags: List[Diagnostic] = []
+    in_edges: Dict[int, List[HTGEdge]] = {}
+    out_edges: Dict[int, List[HTGEdge]] = {}
+    for edge in node.in_edges():
+        in_edges.setdefault(edge.dst.uid, []).append(edge)
+    for edge in node.out_edges():
+        out_edges.setdefault(edge.src.uid, []).append(edge)
+
+    produced: Set[str] = set()
+    for child in node.children:
+        external = child.defuse.all_uses - produced
+        produced |= child.defuse.all_defs
+        covered: Set[str] = set()
+        for edge in in_edges.get(child.uid, []):
+            covered |= set(edge.variables)
+        missing = external - covered
+        if missing:
+            diags.append(
+                Diagnostic(
+                    "race", "race.missing-comm-in",
+                    f"{path}: child {child.label!r} consumes external "
+                    f"{sorted(missing)} without a covering Comm-In edge",
+                    context={
+                        "path": path, "node": node.label, "child": child.label,
+                        "child_uid": child.uid, "missing": sorted(missing),
+                    },
+                )
+            )
+
+    def _is_array(name: str) -> bool:
+        info = symbols.get(name) if symbols else None
+        return bool(info and info.is_array)
+
+    later_scalar_defs: Set[str] = set()
+    for child in reversed(node.children):
+        escaping: Set[str] = set()
+        for name in child.defuse.all_defs:
+            if _is_array(name) or name not in later_scalar_defs:
+                escaping.add(name)
+        covered = set()
+        for edge in out_edges.get(child.uid, []):
+            covered |= set(edge.variables)
+        missing = escaping - covered
+        if missing:
+            diags.append(
+                Diagnostic(
+                    "race", "race.missing-comm-out",
+                    f"{path}: child {child.label!r} publishes "
+                    f"{sorted(missing)} without a covering Comm-Out edge",
+                    context={
+                        "path": path, "node": node.label, "child": child.label,
+                        "child_uid": child.uid, "missing": sorted(missing),
+                    },
+                )
+            )
+        later_scalar_defs |= {
+            name for name in child.defuse.all_defs if not _is_array(name)
+        }
+    return diags
+
+
+def _check_chunked_loop(node: HierarchicalNode, path: str) -> List[Diagnostic]:
+    """Re-prove that splitting this loop into chunks is legal."""
+    diags: List[Diagnostic] = []
+    if isinstance(node.stmt, ir.ForLoop):
+        classification = classify_loop(node.stmt)
+        if not classification.chunkable:
+            diags.append(
+                Diagnostic(
+                    "race", "race.illegal-chunking",
+                    f"{path}: loop {node.label!r} was chunked but the "
+                    f"dependence test proves it serial: "
+                    f"{classification.reason}",
+                    context={
+                        "path": path, "node": node.label, "node_uid": node.uid,
+                        "reason": classification.reason,
+                        "coord": str(getattr(node.stmt, "coord", "") or ""),
+                    },
+                )
+            )
+    chunks = sorted(
+        (c for c in node.children if isinstance(c, ChunkNode)),
+        key=lambda c: c.iter_lo,
+    )
+    for prev, nxt in zip(chunks, chunks[1:]):
+        if nxt.iter_lo < prev.iter_hi:
+            diags.append(
+                Diagnostic(
+                    "race", "race.chunk-overlap",
+                    f"{path}: chunks {prev.label!r} and {nxt.label!r} of "
+                    f"{node.label!r} overlap in iterations "
+                    f"[{nxt.iter_lo}, {prev.iter_hi})",
+                    context={
+                        "path": path, "node": node.label,
+                        "chunks": [prev.label, nxt.label],
+                        "ranges": [
+                            [prev.iter_lo, prev.iter_hi],
+                            [nxt.iter_lo, nxt.iter_hi],
+                        ],
+                    },
+                )
+            )
+    return diags
+
+
+def _dep_context(
+    node: HierarchicalNode, dep: RequiredDep, path: str, src_task: int, dst_task: int
+) -> Dict:
+    src_stmt = getattr(dep.src, "stmt", None)
+    dst_stmt = getattr(dep.dst, "stmt", None)
+    return {
+        "path": path,
+        "node": node.label,
+        "node_uid": node.uid,
+        "kind": dep.kind.value,
+        "src": dep.src.label,
+        "dst": dep.dst.label,
+        "src_uid": dep.src.uid,
+        "dst_uid": dep.dst.uid,
+        "src_task": src_task,
+        "dst_task": dst_task,
+        "variables": sorted(dep.variables),
+        "src_coord": str(getattr(src_stmt, "coord", "") or ""),
+        "dst_coord": str(getattr(dst_stmt, "coord", "") or ""),
+    }
+
+
+def _has_cycle(succ: Dict[int, Set[int]]) -> bool:
+    """Iterative three-color DFS (no recursion: flattened AHTGs are deep)."""
+    color: Dict[int, int] = {}
+    for root in list(succ):
+        if color.get(root, 0) != 0:
+            continue
+        stack: List[Tuple[int, Optional[object]]] = [(root, None)]
+        while stack:
+            vertex, iterator = stack.pop()
+            if iterator is None:
+                if color.get(vertex, 0) == 2:
+                    continue
+                color[vertex] = 1
+                iterator = iter(succ.get(vertex, ()))
+            advanced = False
+            for nxt in iterator:
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return True
+                if state == 0:
+                    stack.append((vertex, iterator))
+                    stack.append((nxt, None))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = 2
+    return False

@@ -1,0 +1,30 @@
+"""Structural tier: the :mod:`repro.core.validation` checks as diagnostics.
+
+`core/validation.py` predates the certification pipeline and reports
+violations as plain strings; this adapter folds it in as the first tier
+of the certifier, so `repro verify` is the single entry point for every
+solution check (the ISSUE's "one certifier entry point"). The checks —
+segment coverage, class consistency, processor budgets, precedence
+acyclicity, critical-path lower bound — stay where they are; only the
+reporting is lifted to :class:`~repro.analysis.diagnostics.Diagnostic`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.parallelize import ParallelizeResult
+from repro.core.validation import validate_result
+
+
+def check_structure(result: ParallelizeResult) -> List[Diagnostic]:
+    """Run the structural validation suite over a whole result."""
+    return [
+        Diagnostic(
+            "structural", "structural.invalid-solution", problem,
+            context={"approach": result.approach,
+                     "platform": result.platform.name},
+        )
+        for problem in validate_result(result)
+    ]

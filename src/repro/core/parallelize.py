@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.homogeneous import build_homopar_model, extract_homopar_candidate
 from repro.core.ilppar import (
@@ -60,6 +60,9 @@ from repro.ilp.model import SolveStatus
 from repro.ilp.service import SolverService, SolveSpec
 from repro.ilp.stats import StatsCollector
 from repro.platforms.description import Platform
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import Diagnostic
 
 #: Default on-disk cache location when ``cache=True`` without a directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -90,6 +93,12 @@ class ParallelizeOptions:
     #: ``cache`` so repeated identical subtrees are deduplicated even
     #: without a persistent store.
     memory_cache: bool = True
+    #: Replay every accepted ILP assignment against its own instance at
+    #: solve time (the certificate tier of ``repro verify``): constraint
+    #: residuals, bounds, integrality, objective and decode agreement.
+    #: Diagnostics land on ``ParallelizeResult.certificates``. The check
+    #: happens outside the solver, so candidates are unaffected.
+    verify: bool = False
     #: Small-instance batching of pooled solves: up to ``batch_size``
     #: instances of at most ``batch_max_vars`` variables ship as one
     #: worker task. ``batch_size=1`` disables grouping (each solve is
@@ -161,6 +170,12 @@ class ParallelizeResult:
     htg: HTG
     platform: Platform
     approach: str
+    #: ILP replay diagnostics collected at solve time when
+    #: ``ParallelizeOptions.verify`` is on (empty otherwise); folded into
+    #: the certificate tier by :func:`repro.analysis.certifier.certify_run`.
+    certificates: List["Diagnostic"] = field(default_factory=list)
+    #: Wall time spent replaying assignments (0.0 when ``verify`` is off).
+    certificate_seconds: float = 0.0
 
     @property
     def estimated_exec_time_us(self) -> float:
@@ -175,6 +190,29 @@ class ParallelizeResult:
         """Model-estimated speedup vs. sequential on the main core."""
         parallel = self.estimated_exec_time_us
         return self.sequential_time_us() / parallel if parallel > 0 else float("inf")
+
+
+class _CertificateSink:
+    """Per-session collector for solve-time ILP replay diagnostics.
+
+    The certificate check needs instance and assignment side by side, and
+    that pairing only exists inside a budget sweep — so the session hands
+    one sink down through the sweep generators instead of trying to
+    reconstruct the instances afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.diagnostics: List["Diagnostic"] = []
+        self.seconds = 0.0
+
+    def check(self, inst, solution, candidate) -> None:
+        # Lazy import: repro.analysis pulls this module in through the
+        # certifier, so a top-level import would be circular.
+        from repro.analysis.certificate import check_solution_certificate
+
+        start = time.perf_counter()
+        self.diagnostics.extend(check_solution_certificate(inst, solution, candidate))
+        self.seconds += time.perf_counter() - start
 
 
 class _BaseParallelizer:
@@ -217,7 +255,10 @@ class _BaseParallelizer:
     _LevelWork = List[Tuple[HTGNode, SolutionSet, List[Sweep]]]
 
     def _build_level(
-        self, level: List[HTGNode], solution_sets: Dict[int, SolutionSet]
+        self,
+        level: List[HTGNode],
+        solution_sets: Dict[int, SolutionSet],
+        sink: Optional[_CertificateSink] = None,
     ) -> "_BaseParallelizer._LevelWork":
         """Seed sequential candidates and construct the level's sweeps."""
         work = []
@@ -230,7 +271,7 @@ class _BaseParallelizer:
                 and node.children
                 and self._worth_parallelizing(node)
             ):
-                sweeps = self._node_sweeps(node, solution_sets)
+                sweeps = self._node_sweeps(node, solution_sets, sink)
             work.append((node, sset, sweeps))
         return work
 
@@ -276,7 +317,10 @@ class _BaseParallelizer:
         raise NotImplementedError
 
     def _node_sweeps(
-        self, node: HierarchicalNode, solution_sets: Dict[int, SolutionSet]
+        self,
+        node: HierarchicalNode,
+        solution_sets: Dict[int, SolutionSet],
+        sink: Optional[_CertificateSink] = None,
     ) -> List[Sweep]:
         raise NotImplementedError
 
@@ -323,6 +367,7 @@ class ParallelizeSession:
         self._stats = StatsCollector()
         self._solution_sets: Dict[int, SolutionSet] = {}
         self._levels = collect_levels(htg.get_root_node())
+        self._sink = _CertificateSink() if parallelizer.options.verify else None
         self._level_idx = 0
         self._work: Optional[_BaseParallelizer._LevelWork] = None
         self._sweepset: Optional[SweepSet] = None
@@ -367,7 +412,7 @@ class ParallelizeSession:
             level = self._levels[self._level_idx]
             self._level_idx += 1
             self._work = self._parallelizer._build_level(
-                level, self._solution_sets
+                level, self._solution_sets, self._sink
             )
             sweeps = [sweep for _n, _s, sws in self._work for sweep in sws]
             self._sweepset = SweepSet(sweeps, self._service)
@@ -386,6 +431,8 @@ class ParallelizeSession:
             htg=self._htg,
             platform=self._parallelizer.platform,
             approach=self._parallelizer.approach,
+            certificates=list(self._sink.diagnostics) if self._sink else [],
+            certificate_seconds=self._sink.seconds if self._sink else 0.0,
         )
 
 
@@ -406,20 +453,20 @@ class HeterogeneousParallelizer(_BaseParallelizer):
                 )
             )
 
-    def _node_sweeps(self, node, solution_sets) -> List[Sweep]:
+    def _node_sweeps(self, node, solution_sets, sink=None) -> List[Sweep]:
         sweeps = []
         for pc in self.platform.processor_classes:
             sweeps.append(
                 Sweep(
                     label=f"n{node.uid}|{pc.name}",
                     make_gen=lambda out, seq_class=pc.name: self._sweep_gen(
-                        node, seq_class, solution_sets, out
+                        node, seq_class, solution_sets, out, sink
                     ),
                 )
             )
         return sweeps
 
-    def _sweep_gen(self, node, seq_class, solution_sets, out):
+    def _sweep_gen(self, node, seq_class, solution_sets, out, sink=None):
         budget = self.platform.total_cores
         prev_objective: Optional[float] = None
         while budget > 1:
@@ -437,6 +484,8 @@ class HeterogeneousParallelizer(_BaseParallelizer):
             if solution is None:
                 return
             candidate = extract_ilppar_candidate(inst, solution)
+            if sink is not None:
+                sink.check(inst, solution, candidate)
             out.append(candidate)
             if solution.status is SolveStatus.OPTIMAL:
                 # Only a proven optimum is a sound bound for the next
@@ -479,15 +528,15 @@ class HomogeneousParallelizer(_BaseParallelizer):
             )
         )
 
-    def _node_sweeps(self, node, solution_sets) -> List[Sweep]:
+    def _node_sweeps(self, node, solution_sets, sink=None) -> List[Sweep]:
         return [
             Sweep(
                 label=f"n{node.uid}|{self.ref_class}",
-                make_gen=lambda out: self._sweep_gen(node, solution_sets, out),
+                make_gen=lambda out: self._sweep_gen(node, solution_sets, out, sink),
             )
         ]
 
-    def _sweep_gen(self, node, solution_sets, out):
+    def _sweep_gen(self, node, solution_sets, out, sink=None):
         budget = self.platform.total_cores
         prev_objective: Optional[float] = None
         while budget > 1:
@@ -506,6 +555,8 @@ class HomogeneousParallelizer(_BaseParallelizer):
             if solution is None:
                 return
             candidate = extract_homopar_candidate(inst, solution)
+            if sink is not None:
+                sink.check(inst, solution, candidate)
             out.append(candidate)
             if solution.status is SolveStatus.OPTIMAL:
                 prev_objective = solution.objective

@@ -178,19 +178,33 @@ def _check_precedence(candidate: SolutionCandidate, node: HierarchicalNode) -> L
 
 
 def _has_cycle(succ: Dict[int, Set[int]]) -> bool:
+    # Iterative three-color DFS: flattened AHTGs can be deep enough that a
+    # recursive walk overruns the interpreter's recursion limit.
     color: Dict[int, int] = {}
-
-    def dfs(v: int) -> bool:
-        color[v] = 1
-        for w in succ.get(v, ()):  # noqa: B023
-            if color.get(w, 0) == 1:
-                return True
-            if color.get(w, 0) == 0 and dfs(w):
-                return True
-        color[v] = 2
-        return False
-
-    return any(color.get(v, 0) == 0 and dfs(v) for v in list(succ))
+    for root in list(succ):
+        if color.get(root, 0) != 0:
+            continue
+        stack: List[tuple] = [(root, None)]
+        while stack:
+            vertex, iterator = stack.pop()
+            if iterator is None:
+                if color.get(vertex, 0) == 2:
+                    continue
+                color[vertex] = 1
+                iterator = iter(succ.get(vertex, ()))
+            descended = False
+            for nxt in iterator:
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return True
+                if state == 0:
+                    stack.append((vertex, iterator))
+                    stack.append((nxt, None))
+                    descended = True
+                    break
+            if not descended:
+                color[vertex] = 2
+    return False
 
 
 def _check_time_lower_bound(

@@ -77,6 +77,20 @@ class SimResult:
     bus_busy_us: float = 0.0
     #: dynamic energy (nJ) = executed cycles x per-class energy-per-cycle
     energy_nj: float = 0.0
+    #: happens-before vector clock per task, as a bitmask of task ids:
+    #: bit ``p`` of ``clocks[t]`` is set iff ``p`` happened-before ``t``
+    #: (or ``p == t``). Each task runs exactly once, so one bit per task
+    #: is a full vector clock. Ordering sources: dependence edges and
+    #: same-core serialization. Consumed by the trace sanitizer.
+    clocks: Dict[int, int] = field(default_factory=dict)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True iff task ``a`` happened-before task ``b`` in this run."""
+        return a != b and bool((self.clocks.get(b, 0) >> a) & 1)
+
+    def ordered(self, a: int, b: int) -> bool:
+        """True iff tasks ``a`` and ``b`` are ordered either way."""
+        return self.happens_before(a, b) or self.happens_before(b, a)
 
     def utilization(self) -> Dict[Tuple[str, int], float]:
         if self.makespan_us <= 0:
@@ -117,6 +131,10 @@ def simulate_graph(
     schedule: Dict[int, ScheduledTask] = {}
     bus_free_at = 0.0
     bus_busy = 0.0
+
+    #: happens-before clocks (bitmask per task) and same-core predecessors.
+    clocks: Dict[int, int] = {}
+    last_on_core: Dict[Tuple[str, int], int] = {}
 
     ready: List[int] = [tid for tid, k in remaining_preds.items() if k == 0]
     ready.sort()
@@ -208,10 +226,20 @@ def simulate_graph(
         best_core.free_at = finish
         best_core.busy_us += duration
         finish_time[tid] = finish
-        core_of[tid] = (best_core.class_name, best_core.index)
-        schedule[tid] = ScheduledTask(
-            tid, (best_core.class_name, best_core.index), start, finish
-        )
+        core_key = (best_core.class_name, best_core.index)
+        core_of[tid] = core_key
+        # Vector-clock update: a task inherits the clocks of its graph
+        # predecessors (place() only runs once all of them finished) and
+        # of the previous occupant of its core (``free_at`` serializes).
+        clock = 1 << tid
+        for edge in preds[tid]:
+            clock |= clocks[edge.src]
+        prev = last_on_core.get(core_key)
+        if prev is not None:
+            clock |= clocks[prev]
+        clocks[tid] = clock
+        last_on_core[core_key] = tid
+        schedule[tid] = ScheduledTask(tid, core_key, start, finish)
         heapq.heappush(running, (finish, tid))
         scheduled.add(tid)
 
@@ -243,4 +271,5 @@ def simulate_graph(
         cores=cores,
         bus_busy_us=bus_busy,
         energy_nj=energy,
+        clocks=clocks,
     )

@@ -7,6 +7,9 @@ Commands:
   pre-mapping spec and a Gantt chart of the simulated schedule.
 * ``inspect FILE.c`` — show the extracted AHTG and loop classifications.
 * ``figure {7a,7b,8a,8b}`` / ``table1`` — regenerate paper experiments.
+* ``verify`` — certify benchmark solutions (structural checks, static
+  race detection, ILP certificate replay, happens-before trace
+  sanitizing, mapping lint) and cross-check the ILP backends.
 * ``benchmarks`` — list the bundled benchmark kernels.
 """
 
@@ -85,8 +88,16 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
     platform = _resolve_platform(args.platform, args.scenario)
     with open(args.source, "r", encoding="utf-8") as handle:
         source = handle.read()
+    options = _solver_options(args)
+    if args.verify:
+        # Certify at solve time too: replay every accepted budget-sweep
+        # ILP solution against Eq. 1-18 (the certificate tier of the
+        # post-run report below).
+        from dataclasses import replace
+
+        options = replace(options, verify=True)
     flow = ToolFlow(
-        platform, approach=args.approach, parallelize_options=_solver_options(args)
+        platform, approach=args.approach, parallelize_options=options
     )
     outcome = flow.run(source, entry=args.entry)
 
@@ -137,6 +148,19 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
 
         written = write_artifacts(outcome, args.artifacts)
         print(f"artifact bundle ({len(written)} files) written to {args.artifacts}")
+    if args.verify:
+        from repro.analysis import certify_run
+
+        report = certify_run(
+            outcome.result,
+            evaluation=outcome.evaluation,
+            subject={"source": args.source, "platform": platform.name,
+                     "approach": args.approach},
+        )
+        print()
+        print(report.render_text())
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -177,8 +201,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.toolflow.experiments import run_figure
     from repro.toolflow.report import render_figure
+    from repro.toolflow.verify import resolve_verify_benchmarks
 
-    names = args.benchmarks.split(",") if args.benchmarks else None
+    names = resolve_verify_benchmarks(args.benchmarks) if args.benchmarks else None
     print(
         render_figure(
             run_figure(
@@ -193,14 +218,50 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.toolflow.experiments import run_table1
     from repro.toolflow.report import render_table1
+    from repro.toolflow.verify import resolve_verify_benchmarks
 
-    names = args.benchmarks.split(",") if args.benchmarks else None
+    names = resolve_verify_benchmarks(args.benchmarks) if args.benchmarks else None
     print(
         render_table1(
             run_table1(benchmarks=names, parallelize_options=_solver_options(args))
         )
     )
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.toolflow.verify import (
+        resolve_verify_benchmarks,
+        resolve_verify_platforms,
+        run_verify,
+    )
+
+    names = resolve_verify_benchmarks(args.benchmarks)
+    platforms = resolve_verify_platforms(args.platform, args.scenario)
+    backends = ["scipy", "bnb"] if args.backend == "both" else [args.backend]
+    approaches = (
+        ["heterogeneous", "homogeneous"]
+        if args.approach == "both"
+        else [args.approach]
+    )
+    suite = run_verify(
+        benchmarks=names,
+        platforms=platforms,
+        approaches=approaches,
+        backends=backends,
+        parallelize_options=_solver_options(args),
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(_json.dumps(suite.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(suite.render_text())
+    return 0 if suite.ok else 1
 
 
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
@@ -235,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full artifact bundle (annotated/OpenMP source, "
         "pre-mapping, DOT graphs, schedule, report) to DIR",
     )
+    par.add_argument(
+        "--verify", action="store_true",
+        help="certify the solution (races, ILP certificates, trace, "
+        "mapping) and exit nonzero on any diagnostic",
+    )
     _add_solver_args(par)
     par.set_defaults(func=_cmd_parallelize)
 
@@ -254,6 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--benchmarks")
     _add_solver_args(tab)
     tab.set_defaults(func=_cmd_table1)
+
+    ver = sub.add_parser(
+        "verify", help="certify benchmark solutions on both ILP backends"
+    )
+    ver.add_argument(
+        "--benchmarks", metavar="NAMES",
+        help="comma-separated benchmark names (default: all ten)",
+    )
+    ver.add_argument(
+        "--platform", default="both", choices=["config-a", "config-b", "both"]
+    )
+    ver.add_argument(
+        "--scenario", default="accelerator",
+        choices=["accelerator", "slower-cores"],
+    )
+    ver.add_argument("--backend", default="both", choices=["scipy", "bnb", "both"])
+    ver.add_argument(
+        "--approach", default="heterogeneous",
+        choices=["heterogeneous", "homogeneous", "both"],
+    )
+    ver.add_argument("--format", default="text", choices=["text", "json"])
+    ver.add_argument(
+        "--out", metavar="OUT.json",
+        help="also write the machine-readable suite report to OUT.json",
+    )
+    _add_solver_args(ver)
+    ver.set_defaults(func=_cmd_verify)
 
     lst = sub.add_parser("benchmarks", help="list bundled benchmarks")
     lst.set_defaults(func=_cmd_benchmarks)

@@ -71,6 +71,10 @@ class BenchmarkRun:
     stats: StatsSummary
     wall_seconds: float
     num_tasks: int
+    #: Certifier wall time and finding count when the run was executed
+    #: with ``ParallelizeOptions.verify`` (0/0 otherwise).
+    verify_seconds: float = 0.0
+    verify_diagnostics: int = 0
 
 
 @dataclass
@@ -204,8 +208,22 @@ def _make_run(
     approach: str,
     result: ParallelizeResult,
     sim_options: Optional[SimOptions],
+    verify: bool = False,
 ) -> BenchmarkRun:
     evaluation = evaluate_solution(result, sim_options)
+    verify_seconds = 0.0
+    verify_diagnostics = 0
+    if verify:
+        from repro.analysis.certifier import certify_run
+
+        report = certify_run(
+            result,
+            evaluation=evaluation,
+            subject={"benchmark": name, "approach": approach,
+                     "platform": result.platform.name},
+        )
+        verify_seconds = report.total_seconds
+        verify_diagnostics = len(report.diagnostics)
     return BenchmarkRun(
         benchmark=name,
         approach=approach,
@@ -216,6 +234,8 @@ def _make_run(
         stats=result.stats.summary(),
         wall_seconds=result.wall_seconds,
         num_tasks=result.best.num_tasks,
+        verify_seconds=verify_seconds,
+        verify_diagnostics=verify_diagnostics,
     )
 
 
@@ -262,7 +282,8 @@ def _run_benchmark_uncached(
     )
     parallelizer = _make_parallelizer(approach, platform, parallelize_options)
     result = parallelizer.parallelize(htg)
-    return _make_run(name, approach, result, sim_options)
+    verify = parallelize_options is not None and parallelize_options.verify
+    return _make_run(name, approach, result, sim_options, verify=verify)
 
 
 #: One experiment cell: (benchmark name, platform, approach).
@@ -320,8 +341,11 @@ def run_cells(
             )
         drive([entry[3] for entry in sessions], service)
         pool = service.pool_stats()
+        verify = parallelize_options is not None and parallelize_options.verify
         for key, name, approach, session in sessions:
-            run = _make_run(name, approach, session.result, sim_options)
+            run = _make_run(
+                name, approach, session.result, sim_options, verify=verify
+            )
             runs[key] = run
             if cacheable:
                 _RUN_CACHE[key] = run

@@ -1,0 +1,257 @@
+"""Suite-level verification: certify benchmark solutions end to end.
+
+:func:`run_verify` re-parallelizes each requested (benchmark, platform,
+approach, backend) cell with solve-time ILP replay enabled
+(``ParallelizeOptions.verify``) and pushes the result through the full
+certification pipeline (:func:`repro.analysis.certifier.certify_run`):
+structural validation, static race detection, certificate replay,
+happens-before trace sanitizing and mapping/annotation lint.
+
+Running the same cell on *both* ILP backends doubles as a solver
+cross-check: the bounded-variable simplex and the scipy backend must
+agree on the optimal execution time of every cell, so a silent presolve
+or branch-and-bound bug in either shows up as a
+``certificate.backend-divergence`` diagnostic even when both solutions
+individually certify clean.
+
+All solves of one backend share one :class:`SolverService` (pool, memo
+table, on-disk cache), so a CI sweep over the full Table-I set stays
+cheap once the cache is warm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.certifier import certify_run
+from repro.analysis.diagnostics import REPORT_SCHEMA, Diagnostic, Report
+from repro.bench_suite import benchmark_names
+from repro.core.parallelize import ParallelizeOptions, shared_service
+from repro.core.schedule import drive
+from repro.platforms import config_a, config_b
+from repro.platforms.description import Platform
+from repro.toolflow.experiments import _make_parallelizer, prepare_benchmark
+
+SUITE_SCHEMA = "repro-verify-suite-v1"
+
+#: Relative agreement required between the two backends' optimal
+#: execution times. Both prove optimality on these instances; anything
+#: beyond rounding noise means one of them mis-solved.
+BACKEND_DIVERGENCE_RTOL = 1e-6
+
+_PLATFORM_FACTORIES = {
+    "config-a": config_a,
+    "config-b": config_b,
+}
+
+
+@dataclass
+class VerifyCell:
+    """One certified (benchmark, platform, approach, backend) run."""
+
+    benchmark: str
+    platform: str
+    approach: str
+    backend: str
+    report: Report
+    exec_time_us: float
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "approach": self.approach,
+            "backend": self.backend,
+            "exec_time_us": round(self.exec_time_us, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "verify_seconds": round(self.report.total_seconds, 6),
+            "report": self.report.to_dict(),
+        }
+
+
+@dataclass
+class VerifySuite:
+    """Outcome of one :func:`run_verify` sweep."""
+
+    cells: List[VerifyCell] = field(default_factory=list)
+    #: Cross-backend disagreement diagnostics (suite-level: they belong
+    #: to a cell *pair*, not to any single run).
+    divergences: List[Diagnostic] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def num_diagnostics(self) -> int:
+        return sum(len(cell.report.diagnostics) for cell in self.cells) + len(
+            self.divergences
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.num_diagnostics == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SUITE_SCHEMA,
+            "report_schema": REPORT_SCHEMA,
+            "ok": self.ok,
+            "num_cells": len(self.cells),
+            "num_diagnostics": self.num_diagnostics,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "divergences": [diag.to_dict() for diag in self.divergences],
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for cell in self.cells:
+            lines.append(cell.report.render_text())
+        for diag in self.divergences:
+            lines.append(f"  {diag}")
+        verdict = "OK" if self.ok else "FAILED"
+        lines.append(
+            f"verify suite: {verdict} ({len(self.cells)} cells, "
+            f"{self.num_diagnostics} diagnostics, {self.wall_seconds:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+def resolve_verify_platforms(
+    name: str, scenario: str = "accelerator"
+) -> List[Platform]:
+    """Resolve ``config-a`` / ``config-b`` / ``both`` to platform objects."""
+    if name == "both":
+        names = sorted(_PLATFORM_FACTORIES)
+    elif name in _PLATFORM_FACTORIES:
+        names = [name]
+    else:
+        raise SystemExit(
+            f"unknown platform {name!r}; choose from "
+            f"{sorted(_PLATFORM_FACTORIES)} or 'both'"
+        )
+    return [_PLATFORM_FACTORIES[key](scenario) for key in names]
+
+
+def resolve_verify_benchmarks(spec: Optional[str]) -> List[str]:
+    """Parse a comma-separated benchmark list, rejecting unknown names."""
+    known = benchmark_names()
+    if not spec:
+        return list(known)
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {', '.join(map(repr, unknown))}; "
+            f"choose from {', '.join(known)}"
+        )
+    return names
+
+
+def run_verify(
+    benchmarks: Optional[Sequence[str]] = None,
+    platforms: Optional[Sequence[Platform]] = None,
+    approaches: Sequence[str] = ("heterogeneous",),
+    backends: Sequence[str] = ("scipy", "bnb"),
+    parallelize_options: Optional[ParallelizeOptions] = None,
+) -> VerifySuite:
+    """Certify every requested cell; see the module docstring."""
+    names = list(benchmarks or benchmark_names())
+    plats = list(platforms or resolve_verify_platforms("both"))
+    base = parallelize_options or ParallelizeOptions()
+    suite = VerifySuite()
+    start = time.perf_counter()
+
+    # (benchmark, platform, approach) -> backend -> optimal exec time.
+    times: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+    for backend in backends:
+        options = replace(base, backend=backend, verify=True)
+        with shared_service(options) as bound:
+            service = bound.service
+            assert service is not None
+            sessions = []
+            for name in names:
+                for platform in plats:
+                    for approach in approaches:
+                        _program, htg = prepare_benchmark(
+                            name, platform.total_cores
+                        )
+                        parallelizer = _make_parallelizer(
+                            approach, platform, bound
+                        )
+                        sessions.append(
+                            (
+                                name,
+                                platform,
+                                approach,
+                                parallelizer.start_session(htg, service),
+                            )
+                        )
+            drive([entry[3] for entry in sessions], service)
+            for name, platform, approach, session in sessions:
+                cell_start = time.perf_counter()
+                result = session.result
+                report = certify_run(
+                    result,
+                    subject={
+                        "benchmark": name,
+                        "platform": platform.name,
+                        "approach": approach,
+                        "backend": backend,
+                    },
+                )
+                suite.cells.append(
+                    VerifyCell(
+                        benchmark=name,
+                        platform=platform.name,
+                        approach=approach,
+                        backend=backend,
+                        report=report,
+                        exec_time_us=result.best.exec_time_us,
+                        wall_seconds=result.wall_seconds
+                        + (time.perf_counter() - cell_start),
+                    )
+                )
+                times.setdefault((name, platform.name, approach), {})[
+                    backend
+                ] = result.best.exec_time_us
+
+    suite.divergences.extend(_backend_divergences(times))
+    suite.wall_seconds = time.perf_counter() - start
+    return suite
+
+
+def _backend_divergences(
+    times: Dict[Tuple[str, str, str], Dict[str, float]],
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for (name, platform, approach), by_backend in sorted(times.items()):
+        if len(by_backend) < 2:
+            continue
+        values = sorted(by_backend.items())
+        ref_backend, ref = values[0]
+        for backend, value in values[1:]:
+            tol = BACKEND_DIVERGENCE_RTOL * max(abs(ref), abs(value), 1.0)
+            if abs(value - ref) <= tol:
+                continue
+            diags.append(
+                Diagnostic(
+                    "certificate",
+                    "certificate.backend-divergence",
+                    f"{name} on {platform} ({approach}): backends disagree "
+                    f"on the optimal execution time "
+                    f"({ref_backend}={ref:.6f}us, {backend}={value:.6f}us)",
+                    context={
+                        "benchmark": name,
+                        "platform": platform,
+                        "approach": approach,
+                        "backends": {ref_backend: ref, backend: value},
+                    },
+                )
+            )
+    return diags

@@ -1,0 +1,103 @@
+"""Tests of the ILP certificate checker (assignment replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.certificate import check_solution_certificate
+from repro.core.ilppar import build_ilppar_model, extract_ilppar_candidate
+from repro.core.parallelize import HeterogeneousParallelizer, ParallelizeOptions
+
+from tests.test_ilppar import leaf, make_node, seed_sets, two_class_platform
+
+
+@pytest.fixture(scope="module")
+def solved_instance():
+    platform = two_class_platform()
+    children = [leaf(f"w{i}", 40_000.0) for i in range(4)]
+    node = make_node(children)
+    inst = build_ilppar_model(
+        node, "slow", 4, platform, seed_sets(platform, children)
+    )
+    assert inst is not None
+    solution = inst.model.solve()
+    candidate = extract_ilppar_candidate(inst, solution)
+    return inst, solution, candidate
+
+
+def _copy_solution(solution):
+    from dataclasses import replace
+
+    return replace(solution, values=dict(solution.values))
+
+
+class TestCleanCertificates:
+    def test_optimal_solve_certifies(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        assert check_solution_certificate(inst, solution, candidate) == []
+
+    def test_solve_time_verification_collects_nothing(self, small_fir, platform_a_acc):
+        _, _, htg = small_fir
+        options = ParallelizeOptions(verify=True)
+        result = HeterogeneousParallelizer(platform_a_acc, options).parallelize(htg)
+        assert result.certificates == []
+        assert result.certificate_seconds > 0.0
+
+    def test_verify_off_by_default(self, fir_hetero_result):
+        assert fir_hetero_result.certificates == []
+        assert fir_hetero_result.certificate_seconds == 0.0
+
+
+class TestTamperedAssignments:
+    def test_duplicated_task_assignment(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        bad = _copy_solution(solution)
+        # assign child 0 to every task: Eq. 1 wants exactly one
+        for var in inst.x[0]:
+            bad.values[var] = 1.0
+        codes = {d.code for d in check_solution_certificate(inst, bad, candidate)}
+        assert "certificate.ambiguous-task" in codes
+        assert "certificate.constraint-violation" in codes
+
+    def test_fractional_binary(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        bad = _copy_solution(solution)
+        chosen = next(v for v in inst.x[0] if solution.values.get(v, 0) > 0.5)
+        bad.values[chosen] = 0.5
+        codes = {d.code for d in check_solution_certificate(inst, bad, candidate)}
+        assert "certificate.fractional-integer" in codes
+
+    def test_objective_mismatch(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        from dataclasses import replace
+
+        bad = replace(
+            solution,
+            values=dict(solution.values),
+            objective=solution.objective + 1_000.0,
+        )
+        codes = {d.code for d in check_solution_certificate(inst, bad)}
+        assert "certificate.objective-mismatch" in codes
+
+    def test_exec_time_mismatch(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        from dataclasses import replace
+
+        lying = replace(candidate, exec_time_us=candidate.exec_time_us / 2.0)
+        codes = {d.code for d in check_solution_certificate(inst, solution, lying)}
+        assert "certificate.exec-time-mismatch" in codes
+
+    def test_missing_variable(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        bad = _copy_solution(solution)
+        del bad.values[inst.model.variables[0]]
+        codes = {d.code for d in check_solution_certificate(inst, bad)}
+        assert "certificate.missing-variable" in codes
+
+    def test_bound_violation(self, solved_instance):
+        inst, solution, candidate = solved_instance
+        bad = _copy_solution(solution)
+        var = next(v for v in inst.model.variables if v.ub < float("inf"))
+        bad.values[var] = var.ub + 1.0
+        codes = {d.code for d in check_solution_certificate(inst, bad)}
+        assert "certificate.bound-violation" in codes

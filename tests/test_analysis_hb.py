@@ -1,0 +1,71 @@
+"""Tests of the happens-before trace sanitizer and simulator vector clocks."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.hb import sanitize_trace
+from repro.simulator.run import evaluate_solution
+
+
+@pytest.fixture(scope="module")
+def fir_evaluation(fir_hetero_result):
+    return evaluate_solution(fir_hetero_result, None)
+
+
+class TestVectorClocks:
+    def test_every_task_clocked(self, fir_evaluation):
+        sim = fir_evaluation.sim
+        for task in fir_evaluation.graph.tasks:
+            assert task.tid in sim.clocks
+            # reflexive bit: a task is in its own causal past
+            assert (sim.clocks[task.tid] >> task.tid) & 1
+
+    def test_edges_are_ordered(self, fir_evaluation):
+        sim = fir_evaluation.sim
+        for edge in fir_evaluation.graph.edges:
+            assert sim.happens_before(edge.src, edge.dst), (edge.src, edge.dst)
+
+    def test_happens_before_is_a_partial_order(self, fir_evaluation):
+        sim = fir_evaluation.sim
+        tids = [t.tid for t in fir_evaluation.graph.tasks]
+        for a in tids:
+            assert not sim.happens_before(a, a)
+            for b in tids:
+                if sim.happens_before(a, b):
+                    assert not sim.happens_before(b, a)
+
+    def test_same_core_serialization_ordered(self, fir_evaluation):
+        sim = fir_evaluation.sim
+        by_core = {}
+        for tid, scheduled in sim.schedule.items():
+            by_core.setdefault(scheduled.core, []).append(scheduled)
+        for tasks in by_core.values():
+            tasks.sort(key=lambda s: s.start_us)
+            for prev, nxt in zip(tasks, tasks[1:]):
+                assert sim.ordered(prev.tid, nxt.tid)
+
+
+class TestSanitizer:
+    def test_clean_trace_sanitizes(self, fir_hetero_result, fir_evaluation):
+        diags = sanitize_trace(
+            fir_evaluation.graph, fir_evaluation.sim, fir_hetero_result.htg
+        )
+        assert diags == []
+
+    def test_erased_ordering_detected(self, fir_hetero_result, fir_evaluation):
+        sim = fir_evaluation.sim
+        # forge a trace where no task ever ordered after another
+        forged = replace(
+            sim, clocks={tid: 1 << tid for tid in sim.clocks}
+        )
+        diags = sanitize_trace(
+            fir_evaluation.graph, forged, fir_hetero_result.htg
+        )
+        codes = {d.code for d in diags}
+        assert "trace.missing-order" in codes
+        # SMALL_FIR has real inter-task data flow, so erasing all
+        # ordering must also surface at least one unordered conflict
+        assert "trace.unordered-conflict" in codes

@@ -1,0 +1,121 @@
+"""Tests of the mapping-spec / annotation / OpenMP lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.maplint import (
+    lint_annotations,
+    lint_mapping_spec,
+    lint_openmp,
+)
+from repro.codegen.annotate import annotate_solution
+from repro.codegen.mapping_spec import mapping_spec
+from repro.codegen.openmp import emit_openmp
+
+
+@pytest.fixture(scope="module")
+def artifacts(fir_hetero_result):
+    return {
+        "spec": mapping_spec(fir_hetero_result),
+        "annotated": annotate_solution(fir_hetero_result),
+        "openmp": emit_openmp(fir_hetero_result),
+    }
+
+
+class TestCleanArtifacts:
+    def test_mapping_spec_lints_clean(self, fir_hetero_result, artifacts):
+        diags = lint_mapping_spec(
+            artifacts["spec"], fir_hetero_result.best, fir_hetero_result.platform
+        )
+        assert diags == []
+
+    def test_annotations_lint_clean(self, fir_hetero_result, artifacts):
+        diags = lint_annotations(
+            artifacts["annotated"],
+            fir_hetero_result.best,
+            fir_hetero_result.platform,
+        )
+        assert diags == []
+
+    def test_openmp_lints_clean(self, fir_hetero_result, artifacts):
+        diags = lint_openmp(
+            artifacts["openmp"], fir_hetero_result.best, fir_hetero_result.platform
+        )
+        assert diags == []
+
+
+def _first_task_entry(spec):
+    tasks = spec["tasks"]
+    assert tasks, "expected a parallel pre-mapping"
+    return tasks[0]
+
+
+class TestMutatedArtifacts:
+    def test_dangling_spec_task(self, fir_hetero_result, artifacts):
+        import copy
+
+        spec = copy.deepcopy(artifacts["spec"])
+        ghost = copy.deepcopy(_first_task_entry(spec))
+        ghost["path"] = "root/T99"
+        spec["tasks"].append(ghost)
+        codes = {
+            d.code
+            for d in lint_mapping_spec(
+                spec, fir_hetero_result.best, fir_hetero_result.platform
+            )
+        }
+        assert "mapping.dangling-task" in codes
+
+    def test_missing_spec_task(self, fir_hetero_result, artifacts):
+        import copy
+
+        spec = copy.deepcopy(artifacts["spec"])
+        spec["tasks"].pop()
+        codes = {
+            d.code
+            for d in lint_mapping_spec(
+                spec, fir_hetero_result.best, fir_hetero_result.platform
+            )
+        }
+        assert "mapping.missing-task" in codes
+
+    def test_invalid_spec_class(self, fir_hetero_result, artifacts):
+        import copy
+
+        spec = copy.deepcopy(artifacts["spec"])
+        _first_task_entry(spec)["class"] = "not-a-class"
+        codes = {
+            d.code
+            for d in lint_mapping_spec(
+                spec, fir_hetero_result.best, fir_hetero_result.platform
+            )
+        }
+        assert "mapping.invalid-class" in codes
+
+    def test_dangling_annotation_task_id(self, fir_hetero_result, artifacts):
+        text = artifacts["annotated"].replace(
+            "#pragma repro task(0)", "#pragma repro task(9)", 1
+        )
+        assert text != artifacts["annotated"], "expected a task(0) pragma"
+        codes = {
+            d.code
+            for d in lint_annotations(
+                text, fir_hetero_result.best, fir_hetero_result.platform
+            )
+        }
+        assert "mapping.dangling-task-id" in codes
+
+    def test_invalid_omp_class(self, fir_hetero_result, artifacts):
+        text = artifacts["openmp"]
+        needle = "#pragma omp section /* repro:class("
+        start = text.index(needle) + len(needle)
+        end = text.index(")", start)
+        mutated = text[:start] + "bogus" + text[end:]
+        codes = {
+            d.code
+            for d in lint_openmp(
+                mutated, fir_hetero_result.best, fir_hetero_result.platform
+            )
+        }
+        assert "mapping.invalid-class" in codes or "mapping.class-mismatch" in codes

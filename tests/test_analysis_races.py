@@ -1,0 +1,228 @@
+"""Adversarial tests of the static race detector.
+
+Each mutation drops or weakens exactly one fact of a correct solution —
+a precedence edge, the communicated byte volume, the intra-task
+placement of a recurrence — and the detector must answer with exactly
+one diagnostic naming the offending edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.certifier import check_solution_tree_races
+from repro.analysis.races import check_candidate_races, recompute_dependences
+from repro.cfront.deps import DepKind
+from repro.core.solution import SolutionCandidate, TaskSegment
+from repro.htg.nodes import HTGEdge
+
+from tests.conftest import prepare
+
+#: Three independent producer loops feeding one consumer; distinct loop
+#: counters keep the only cross-loop dependences on the array data.
+PRODUCER_CONSUMER = """
+float x[64];
+float y[64];
+float z[64];
+
+void main(void) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 64; i++) { x[i] = 0.5f * i; }
+    for (j = 0; j < 64; j++) { y[j] = 2.0f * j; }
+    for (k = 0; k < 64; k++) { z[k] = x[k] + y[k]; }
+}
+"""
+
+#: An iir-style two-statement recurrence: the second statement writes
+#: what the first reads on the next iteration.
+RECURRENCE = """
+float x[64];
+float s;
+float t;
+
+void main(void) {
+    int i;
+    s = 0.0f;
+    t = 0.0f;
+    for (i = 1; i < 64; i++) {
+        t = s * 0.5f;
+        s = t + x[i];
+    }
+}
+"""
+
+
+def _find_child(node, needle):
+    for child in node.children:
+        if needle in child.label:
+            return child
+    raise AssertionError(f"no child matching {needle!r} in {node.label!r}")
+
+
+def _sequential(child, proc_class):
+    return SolutionCandidate(
+        node=child, main_class=proc_class,
+        exec_time_us=1.0, is_sequential=True,
+    )
+
+
+def _two_task_candidate(node, main_children, extra_children):
+    """Hand-build a fork/extra split with sequential child choices."""
+    choice = {}
+    for child in main_children:
+        choice[child.uid] = _sequential(child, "arm500")
+    for child in extra_children:
+        choice[child.uid] = _sequential(child, "arm500")
+    return SolutionCandidate(
+        node=node,
+        main_class="arm500",
+        exec_time_us=1_000.0,
+        segments=(
+            TaskSegment(0, "fork", "arm500", tuple(main_children)),
+            TaskSegment(1, "extra", "arm500", tuple(extra_children)),
+        ),
+        child_choice=choice,
+        used_procs={"arm500": 1},
+        is_sequential=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def producer_consumer():
+    return prepare(PRODUCER_CONSUMER)
+
+
+@pytest.fixture(scope="module")
+def recurrence():
+    return prepare(RECURRENCE)
+
+
+class TestRecomputedDependences:
+    def test_flow_deps_found(self, producer_consumer):
+        _, _, htg = producer_consumer
+        root = htg.root
+        deps = recompute_dependences(root)
+        flows = {
+            (d.src.label, d.dst.label): d.variables
+            for d in deps
+            if d.kind is DepKind.FLOW and not d.backward
+        }
+        consumer = _find_child(root, "for k").label
+        x_loop = _find_child(root, "for i").label
+        y_loop = _find_child(root, "for j").label
+        assert flows[(x_loop, consumer)] == frozenset({"x"})
+        assert flows[(y_loop, consumer)] == frozenset({"y"})
+
+    def test_loop_carried_dep_found(self, recurrence):
+        _, _, htg = recurrence
+        loop = _find_child(htg.root, "for i")
+        backward = [d for d in recompute_dependences(loop) if d.backward]
+        assert len(backward) == 1
+        assert backward[0].variables == frozenset({"s"})
+
+
+class TestLegalSplitsCertify:
+    def test_valid_split_has_no_diagnostics(self, producer_consumer):
+        _, _, htg = producer_consumer
+        root = htg.root
+        x_loop = _find_child(root, "for i")
+        y_loop = _find_child(root, "for j")
+        consumer = _find_child(root, "for k")
+        candidate = _two_task_candidate(root, [x_loop, consumer], [y_loop])
+        assert check_candidate_races(candidate, htg.symbols) == []
+
+    def test_real_solutions_certify(self, fir_hetero_result, fir_homo_result):
+        assert check_solution_tree_races(fir_hetero_result) == []
+        assert check_solution_tree_races(fir_homo_result) == []
+
+
+class TestDroppedPrecedenceEdge:
+    def test_exactly_one_uncovered_dependence(self):
+        # fresh AHTG: this test mutates the edge list
+        _, _, htg = prepare(PRODUCER_CONSUMER)
+        root = htg.root
+        x_loop = _find_child(root, "for i")
+        y_loop = _find_child(root, "for j")
+        consumer = _find_child(root, "for k")
+        # drop the y-producer -> consumer precedence edge
+        root.edges = [
+            e for e in root.edges
+            if not (e.src.uid == y_loop.uid and e.dst.uid == consumer.uid)
+        ]
+        candidate = _two_task_candidate(root, [x_loop, consumer], [y_loop])
+        diags = check_candidate_races(candidate, htg.symbols)
+        assert len(diags) == 1, [d.message for d in diags]
+        diag = diags[0]
+        assert diag.code == "race.uncovered-dependence"
+        assert diag.context["src"] == y_loop.label
+        assert diag.context["dst"] == consumer.label
+        assert diag.context["variables"] == ["y"]
+
+
+class TestUnderReportedBytes:
+    def test_exactly_one_comm_underflow(self):
+        # fresh AHTG: this test rewrites the edge list
+        _, _, htg = prepare(PRODUCER_CONSUMER)
+        root = htg.root
+        x_loop = _find_child(root, "for i")
+        y_loop = _find_child(root, "for j")
+        consumer = _find_child(root, "for k")
+        # report the y flow edge as carrying zero bytes
+        rewritten = []
+        for edge in root.edges:
+            if (
+                edge.src.uid == y_loop.uid
+                and edge.dst.uid == consumer.uid
+                and edge.kind is DepKind.FLOW
+            ):
+                edge = HTGEdge(
+                    edge.src, edge.dst, edge.kind, edge.variables, 0.0,
+                    backward=edge.backward,
+                )
+            rewritten.append(edge)
+        root.edges = rewritten
+        candidate = _two_task_candidate(root, [x_loop, consumer], [y_loop])
+        diags = check_candidate_races(candidate, htg.symbols)
+        assert len(diags) == 1, [d.message for d in diags]
+        diag = diags[0]
+        assert diag.code == "race.comm-underflow"
+        assert diag.context["src"] == y_loop.label
+        assert diag.context["dst"] == consumer.label
+        assert diag.context["bytes_volume"] == 0.0
+        assert diag.context["required_bytes"] > 0.0
+
+
+class TestRecurrenceSplit:
+    def test_exactly_one_loop_carried_split(self, recurrence):
+        _, _, htg = recurrence
+        loop = _find_child(htg.root, "for i")
+        first, second = loop.children
+        candidate = _two_task_candidate(loop, [first], [second])
+        diags = [
+            d for d in check_candidate_races(candidate, htg.symbols)
+            if d.code == "race.loop-carried-split"
+        ]
+        assert len(diags) == 1, [d.message for d in diags]
+        diag = diags[0]
+        assert diag.context["variables"] == ["s"]
+        assert diag.context["src"] == second.label
+        assert diag.context["dst"] == first.label
+
+    def test_intra_task_recurrence_is_legal(self, recurrence):
+        _, _, htg = recurrence
+        loop = _find_child(htg.root, "for i")
+        first, second = loop.children
+        candidate = SolutionCandidate(
+            node=loop,
+            main_class="arm500",
+            exec_time_us=1_000.0,
+            segments=(TaskSegment(0, "fork", "arm500", (first, second)),),
+            child_choice={
+                first.uid: _sequential(first, "arm500"),
+                second.uid: _sequential(second, "arm500"),
+            },
+            is_sequential=False,
+        )
+        assert check_candidate_races(candidate, htg.symbols) == []

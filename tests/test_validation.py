@@ -118,6 +118,23 @@ class TestViolationsDetected:
         problems = validate_candidate(broken, platform, node)
         assert any("claims" in p for p in problems)
 
+    def test_deep_chain_does_not_recurse(self):
+        import sys
+
+        from repro.core.validation import _has_cycle
+
+        depth = sys.getrecursionlimit() * 3
+        chain = {i: {i + 1} for i in range(depth)}
+        assert not _has_cycle(chain)
+        chain[depth] = {0}  # close the loop
+        assert _has_cycle(chain)
+
+    def test_diamond_is_acyclic(self):
+        from repro.core.validation import _has_cycle
+
+        assert not _has_cycle({0: {1, 2}, 1: {3}, 2: {3}})
+        assert _has_cycle({0: {1}, 1: {2}, 2: {1}})
+
     def test_sequential_with_segments_rejected(self):
         platform = two_class_platform()
         cand = SolutionCandidate(

@@ -1,0 +1,91 @@
+"""Tests of the ``repro verify`` subcommand and the certifier entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import certify_run
+from repro.analysis.diagnostics import ANALYSES, REPORT_SCHEMA
+from repro.toolflow.cli import main
+from repro.toolflow.verify import (
+    resolve_verify_benchmarks,
+    resolve_verify_platforms,
+    run_verify,
+)
+
+
+class TestNameResolution:
+    def test_unknown_benchmark_is_a_clear_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            resolve_verify_benchmarks("fir_256,no_such_kernel")
+        assert "no_such_kernel" in str(excinfo.value)
+        assert "choose from" in str(excinfo.value)
+
+    def test_unknown_platform_is_a_clear_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            resolve_verify_platforms("config-z")
+        assert "config-z" in str(excinfo.value)
+
+    def test_known_names_resolve(self):
+        assert resolve_verify_benchmarks("fir_256") == ["fir_256"]
+        assert resolve_verify_benchmarks(None)  # all ten
+        assert len(resolve_verify_platforms("both")) == 2
+
+    def test_cli_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--benchmarks", "no_such_kernel"])
+        assert "no_such_kernel" in str(excinfo.value)
+
+    def test_cli_rejects_unknown_benchmark_in_table1(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--benchmarks", "no_such_kernel"])
+        assert "no_such_kernel" in str(excinfo.value)
+
+
+class TestCertifyRun:
+    def test_report_shape(self, fir_hetero_result):
+        report = certify_run(fir_hetero_result)
+        assert report.ok
+        assert set(report.timings_s) == set(ANALYSES)
+        payload = report.to_dict()
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["ok"] is True
+        assert payload["num_diagnostics"] == 0
+        json.loads(report.to_json())  # serializable
+
+    def test_homogeneous_result_certifies(self, fir_homo_result):
+        assert certify_run(fir_homo_result).ok
+
+
+class TestVerifyEndToEnd:
+    def test_single_cell_suite(self):
+        suite = run_verify(
+            benchmarks=["fir_256"],
+            platforms=resolve_verify_platforms("config-a"),
+            backends=["scipy"],
+        )
+        assert suite.ok
+        assert len(suite.cells) == 1
+        payload = suite.to_dict()
+        assert payload["ok"] is True
+        assert payload["cells"][0]["benchmark"] == "fir_256"
+        assert payload["cells"][0]["report"]["num_diagnostics"] == 0
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        out = tmp_path / "verify.json"
+        code = main(
+            [
+                "verify",
+                "--benchmarks", "fir_256",
+                "--platform", "config-a",
+                "--backend", "scipy",
+                "--format", "json",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert json.loads(out.read_text()) == payload
