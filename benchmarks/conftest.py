@@ -41,6 +41,9 @@ _PIPELINE: Dict[str, dict] = {}
 #: section -> SuiteStats.as_dict() of the shared-service run (if any).
 _SUITES: Dict[str, dict] = {}
 
+#: key -> summary dict from the portfolio smoke (gap gates, race cell).
+_PORTFOLIO: Dict[str, dict] = {}
+
 
 def selected_benchmarks():
     subset = os.environ.get("REPRO_BENCH_SUBSET", "").strip()
@@ -102,6 +105,17 @@ def record_pipeline_row(section: str, benchmark: str, metrics: dict) -> None:
     _PIPELINE.setdefault(section, {})[benchmark] = metrics
 
 
+def record_portfolio(key: str, summary: dict) -> None:
+    """Attach one portfolio-smoke summary (gap gate or race cell).
+
+    Lands in the top-level ``portfolio`` block of
+    ``BENCH_pipeline.json`` — the before/after signal for heuristic
+    quality and incumbent-race speedups, next to (not inside) the
+    per-benchmark ``sections`` rows.
+    """
+    _PORTFOLIO[key] = summary
+
+
 def record_suite(section: str, suite) -> None:
     """Attach a section's shared-service :class:`SuiteStats` snapshot.
 
@@ -113,15 +127,16 @@ def record_suite(section: str, suite) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _PIPELINE and not _SUITES:
+    if not _PIPELINE and not _SUITES and not _PORTFOLIO:
         return
     OUT_DIR.mkdir(exist_ok=True)
     payload = {
-        "schema": "repro-bench-pipeline-v3",
+        "schema": "repro-bench-pipeline-v4",
         "subset": os.environ.get("REPRO_BENCH_SUBSET", "") or "all",
         "jobs": bench_jobs(),
         "sections": _PIPELINE,
         "suites": _SUITES,
+        "portfolio": _PORTFOLIO,
     }
     (OUT_DIR / "BENCH_pipeline.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

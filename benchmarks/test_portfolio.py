@@ -1,0 +1,157 @@
+"""Portfolio smoke: heuristic quality gates and the incumbent-race cell.
+
+Two gates, thresholds in ``benchmarks/heuristic_thresholds.json``:
+
+* **Quality** — a pure-heuristic run (``portfolio="heuristic"``) of every
+  paper benchmark under platform configurations (A) and (B) must land
+  within ``max_gap`` of the exact optimum, and every heuristic answer
+  must pass the full certification pipeline (structural checks, static
+  races, Eq. 1-18 certificate replay, trace sanitizing, mapping lint).
+
+* **Race** — on the synthetic wide-AHTG cell
+  (:func:`repro.bench_suite.synthetic.wide_ahtg_source`), racing the
+  heuristic against warm-started branch-and-bound must beat the
+  exact-only run by ``race.min_wall_factor`` in wall time at the same
+  ``mip_rel_gap``: the injected incumbent meets the critical-path lower
+  bound, so the warm solve terminates without search while the cold one
+  enumerates the slot-packing tree. The warm run must also expand no
+  more branch-and-bound nodes than the cold one and stay inside the
+  relative-gap tolerance of the exact objective.
+
+Results land in the ``portfolio`` block of ``BENCH_pipeline.json``
+(schema ``repro-bench-pipeline-v4``, documented in
+``docs/BENCHMARKS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis import certify_run
+from repro.bench_suite.synthetic import wide_ahtg_source
+from repro.cfront import parse_c_source
+from repro.cfront.defuse import compute_call_summaries
+from repro.core.parallelize import HeterogeneousParallelizer, ParallelizeOptions
+from repro.htg.builder import BuildOptions, build_htg
+from repro.platforms import config_a, config_b
+from repro.timing.estimator import annotate_costs
+from repro.toolflow.experiments import prepare_benchmark
+
+from benchmarks.conftest import record_pipeline_row, record_portfolio
+
+THRESHOLDS = json.loads(
+    (pathlib.Path(__file__).parent / "heuristic_thresholds.json").read_text()
+)
+
+CONFIGS = {"A": config_a, "B": config_b}
+
+
+def _parallelize(htg, platform, **options):
+    parallelizer = HeterogeneousParallelizer(
+        platform, ParallelizeOptions(**options)
+    )
+    start = time.perf_counter()
+    result = parallelizer.parallelize(htg)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.parametrize("config", sorted(THRESHOLDS["configs"]))
+def test_heuristic_gap_gate(config, benchmarks_under_test):
+    platform = CONFIGS[config]("accelerator")
+    max_gap = THRESHOLDS["max_gap"]
+    rows = {}
+    for name in benchmarks_under_test:
+        _program, htg = prepare_benchmark(name, platform.total_cores)
+        exact, exact_wall = _parallelize(htg, platform)
+        heur, heur_wall = _parallelize(htg, platform, portfolio="heuristic")
+        gap = (
+            heur.best.exec_time_us - exact.best.exec_time_us
+        ) / exact.best.exec_time_us
+        rows[name] = {
+            "exact_us": round(exact.best.exec_time_us, 3),
+            "heuristic_us": round(heur.best.exec_time_us, 3),
+            "gap": round(gap, 6),
+            "exact_wall_seconds": round(exact_wall, 6),
+            "heuristic_wall_seconds": round(heur_wall, 6),
+            "heuristic_solves": heur.stats.pool.heuristic_solves,
+        }
+        record_pipeline_row(f"portfolio_{config}", name, rows[name])
+        # Heuristic answers are feasible — never better than the optimum,
+        # never beyond the gap gate, and certificate-clean end to end.
+        assert gap >= -1e-6, (config, name, gap)
+        assert gap <= max_gap, (config, name, gap)
+        report = certify_run(heur)
+        assert report.ok, (config, name, report.diagnostics())
+    worst = max(r["gap"] for r in rows.values())
+    record_portfolio(
+        f"gap_gate_{config}",
+        {"max_gap": max_gap, "worst_gap": round(worst, 6), "cells": len(rows)},
+    )
+
+
+def _synthetic_htg(platform, params):
+    source = wide_ahtg_source(
+        blocks=params["blocks"],
+        base_iters=params["base_iters"],
+        pole=params["pole"],
+    )
+    program = parse_c_source(source)
+    func = program.entry("main")
+    summaries = compute_call_summaries(program)
+    cost_db = annotate_costs(program, func)
+    return build_htg(
+        program,
+        func,
+        cost_db=cost_db,
+        options=BuildOptions(),
+        total_cores=platform.total_cores,
+        summaries=summaries,
+    )
+
+
+def test_race_beats_exact_on_wide_ahtg():
+    gates = THRESHOLDS["race"]
+    params = gates["synthetic"]
+    platform = config_a("accelerator")
+    htg = _synthetic_htg(platform, params)
+    solver = dict(
+        backend="bnb",
+        mip_rel_gap=params["mip_rel_gap"],
+        time_limit_s=params["time_limit_s"],
+    )
+
+    exact, exact_wall = _parallelize(htg, platform, **solver)
+    race, race_wall = _parallelize(htg, platform, portfolio="race", **solver)
+    exact_nodes = exact.stats.total_nodes
+    race_nodes = race.stats.total_nodes
+    factor = exact_wall / race_wall
+    rel = (
+        abs(race.best.exec_time_us - exact.best.exec_time_us)
+        / exact.best.exec_time_us
+    )
+
+    metrics = {
+        "exact_wall_seconds": round(exact_wall, 3),
+        "race_wall_seconds": round(race_wall, 3),
+        "wall_factor": round(factor, 2),
+        "exact_bnb_nodes": exact_nodes,
+        "race_bnb_nodes": race_nodes,
+        "exact_us": round(exact.best.exec_time_us, 3),
+        "race_us": round(race.best.exec_time_us, 3),
+        "incumbents_injected": race.stats.pool.incumbents_injected,
+        "mip_rel_gap": params["mip_rel_gap"],
+    }
+    record_pipeline_row("portfolio_race", "wide_ahtg", metrics)
+    record_portfolio("race_cell", metrics)
+
+    assert race.stats.pool.incumbents_injected > 0
+    # Both runs solve to the same relative-gap tolerance: answers agree
+    # within it, and the warm start must never *grow* the search tree.
+    assert rel <= params["mip_rel_gap"], metrics
+    assert race_nodes <= exact_nodes, metrics
+    assert factor >= gates["min_wall_factor"], metrics
+    assert race_wall <= gates["max_race_wall_seconds"], metrics

@@ -86,6 +86,13 @@ def certify_run(
     start = time.perf_counter()
     report.extend(check_artifacts(result))
     report.timings_s["mapping"] = time.perf_counter() - start
+
+    # Portfolio tier: anytime answers are legitimate (FEASIBLE plus a
+    # proven gap), so degradation events surface as warnings — visible in
+    # every report, but never flipping ``ok`` on their own.
+    start = time.perf_counter()
+    report.extend(list(getattr(result, "portfolio_diagnostics", ()) or ()))
+    report.timings_s["portfolio"] = time.perf_counter() - start
     return report
 
 

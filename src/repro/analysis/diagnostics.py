@@ -19,8 +19,10 @@ from typing import Any, Dict, List, Optional
 #: Schema tag of :meth:`Report.to_dict`; bump on breaking layout changes.
 REPORT_SCHEMA = "repro-verify-v1"
 
-#: The four certification analyses plus the structural pre-tier.
-ANALYSES = ("structural", "race", "certificate", "trace", "mapping")
+#: The four certification analyses plus the structural pre-tier and the
+#: portfolio tier (anytime-answer provenance: degradation events and
+#: optimality-gap annotations from the heuristic scheduling portfolio).
+ANALYSES = ("structural", "race", "certificate", "trace", "mapping", "portfolio")
 
 
 @dataclass(frozen=True)

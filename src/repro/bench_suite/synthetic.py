@@ -1,0 +1,60 @@
+"""Synthetic stress benchmarks: parametric wide-AHTG generators.
+
+The paper's UTDSP-style kernels produce AHTGs whose hierarchical nodes
+have at most a handful of children, so their per-node ILPs stay small.
+The portfolio benchmarks need the opposite regime — one node with *many*
+mutually independent children — because that is where branch-and-bound
+enumeration blows up and an injected heuristic incumbent pays off.
+
+:func:`wide_ahtg_source` emits a C program of ``blocks`` independent
+first-order scalar recurrences (each loop is serial inside — the
+dependence tests must reject chunking — but the loops are pairwise
+independent, touching disjoint scalars), followed by a single checksum
+combination. The AHTG then contains one node with ``2 * blocks + 1``
+children and no cross-block dependences: the ILPPAR instance over it is
+a pure slot-packing problem whose search space grows combinatorially
+with ``blocks``.
+
+Trip counts are varied per block (``base_iters`` scaled by a small
+prime-stepped factor) so block costs are heterogeneous — uniform costs
+would make most packings tie and the packing trivial.
+"""
+
+from __future__ import annotations
+
+__all__ = ["wide_ahtg_source"]
+
+
+def wide_ahtg_source(
+    blocks: int = 12, base_iters: int = 64, pole: int = 1
+) -> str:
+    """C source with ``blocks`` independent serial-recurrence loops.
+
+    ``pole > 1`` multiplies the trip count of block 0, turning it into a
+    dominant critical-path "pole": the optimum then equals running the
+    pole on the fastest class with every other block hidden in its
+    shadow, which a list scheduler finds directly — the regime where an
+    injected incumbent meets the critical-path lower bound and lets the
+    warm-started exact solver terminate without search, while a cold
+    solver still has to enumerate the packing tree.
+    """
+    if blocks < 1:
+        raise ValueError(f"blocks must be >= 1, got {blocks}")
+    lines = ["float checksum;", "", "void main(void) {", "    int i;"]
+    for b in range(blocks):
+        lines.append(f"    float s{b};")
+    lines.append("")
+    for b in range(blocks):
+        iters = base_iters * (1 + (b * 3) % 7)
+        if b == 0:
+            iters = base_iters * pole
+        coeff = 0.90 + 0.005 * (b % 9)
+        lines.append(f"    s{b} = {float(b + 1)}f;")
+        lines.append(
+            f"    for (i = 1; i < {iters}; i++) "
+            f"{{ s{b} = {coeff:.3f}f * s{b} + 0.1f; }}"
+        )
+    total = " + ".join(f"s{b}" for b in range(blocks))
+    lines.append(f"    checksum = {total};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cfront.deps import DepKind
 from repro.core.solution import SolutionCandidate, SolutionSet, TaskSegment
@@ -57,6 +57,50 @@ class IlpParOptions:
 
 
 @dataclass
+class IlpParContext:
+    """Everything a *non-ILP* solver needs to reason about an instance.
+
+    :func:`build_ilppar_model` computes these quantities while emitting
+    the MILP rows; retaining them lets the heuristic schedulers of
+    :mod:`repro.heuristics` evaluate structural assignments (child→task,
+    task→class, candidate choice) against the *same* cost semantics and
+    complete them into full model vectors — every variable valued, every
+    constraint satisfied by construction — without re-deriving the model.
+    """
+
+    #: Occupancy indicator per extra slot (``used_t``).
+    used: Dict[int, Variable]
+    #: Precedence binaries ``pred[(t, u)]`` for ``t != u``.
+    pred: Dict[Tuple[int, int], Variable]
+    #: Per-child chosen-candidate cost variables.
+    childcost: List[Variable]
+    #: Gated per-(child, task) cost contributions.
+    contrib: Dict[Tuple[int, int], Variable]
+    #: Per-task cost / outgoing-communication / path-cost variables.
+    cost: Dict[int, Variable]
+    commcost: Dict[int, Variable]
+    accum: Dict[int, Variable]
+    #: Per-(child, class) / per-(task, class) inner processor usage.
+    childprocs: Dict[Tuple[int, str], Optional[Variable]]
+    procsused: Dict[Tuple[int, str], Optional[Variable]]
+    #: Inner data-flow edges ``(src_ni, dst_ni, xfer_us)``.
+    inner_edges: List[Tuple[int, int, float]]
+    #: Communication-In / -Out transfer times per child.
+    in_edge_time: List[float]
+    out_edge_time: List[float]
+    #: Child index pairs needing task precedence.
+    order_pairs: Set[Tuple[int, int]]
+    #: Execution count, task-creation overhead, master control cost.
+    ec: float
+    tco: float
+    control_us: float
+    #: Algorithm 1's processor budget ``i`` and the per-class processor
+    #: availability (main processor already deducted from ``seq_class``).
+    budget: int
+    available: Dict[str, int]
+
+
+@dataclass
 class IlpParInstance:
     """A built-but-unsolved ILPPAR model plus the context to decode it.
 
@@ -64,7 +108,9 @@ class IlpParInstance:
     ``model`` (possibly in a worker process) and
     :func:`extract_ilppar_candidate` turns the returned assignment into a
     :class:`SolutionCandidate`. Splitting build from solve is what lets
-    Algorithm 1's independent ILPs run concurrently.
+    Algorithm 1's independent ILPs run concurrently. ``ctx`` carries the
+    scheduling context the heuristic portfolio evaluates assignments
+    against (see :class:`IlpParContext`).
     """
 
     model: Model
@@ -80,6 +126,7 @@ class IlpParInstance:
     p: List[List[Variable]]
     map_tc: Dict[Tuple[int, str], Optional[Variable]]
     accum_join: Variable
+    ctx: Optional[IlpParContext] = None
 
 
 def ilp_parallelize_node(
@@ -518,6 +565,29 @@ def build_ilppar_model(
     else:
         model.minimize(accum[join])
 
+    ctx = IlpParContext(
+        used=used,
+        pred=pred,
+        childcost=childcost,
+        contrib=contrib,
+        cost=cost,
+        commcost=commcost,
+        accum=accum,
+        childprocs=childprocs,
+        procsused=procsused,
+        inner_edges=inner_edges,
+        in_edge_time=in_edge_time,
+        out_edge_time=out_edge_time,
+        order_pairs=order_pairs,
+        ec=ec,
+        tco=tco,
+        control_us=control_us,
+        budget=budget,
+        available={
+            c: platform.num_procs(c) - (1 if c == seq_class else 0)
+            for c in classes
+        },
+    )
     return IlpParInstance(
         model=model,
         node=node,
@@ -532,6 +602,7 @@ def build_ilppar_model(
         p=p,
         map_tc=map_tc,
         accum_join=accum[join],
+        ctx=ctx,
     )
 
 

@@ -105,6 +105,25 @@ class ParallelizeOptions:
     #: still dispatched in the compact wire format).
     batch_size: int = 8
     batch_max_vars: int = 96
+    #: Scheduling portfolio mode (heterogeneous approach, time objective):
+    #: ``"exact"`` (default) solves every ILP with the exact backend only;
+    #: ``"heuristic"`` answers every node from the anytime heuristics
+    #: (list scheduler + GA) without any exact solve, tagging candidates
+    #: with their proven optimality gap; ``"race"`` runs the heuristic
+    #: first and races the exact solver against it — the heuristic answer
+    #: is injected as an incumbent into the ``bnb`` backend (turning
+    #: cutoff-pruned searches into proved optima) and substituted, gap
+    #: annotation included, when the exact solve times out or the worker
+    #: pool is lost. The energy objective and the homogeneous baseline
+    #: always solve exactly.
+    portfolio: str = "exact"
+    #: GA generation budget of each heuristic solve (0 = list scheduler
+    #: only).
+    heuristic_budget: int = 40
+    #: Seed of the heuristic rngs. For a fixed seed, heuristic and
+    #: portfolio runs are bit-reproducible across ``jobs``/``batch_size``
+    #: configurations (the heuristics run inline in the parent process).
+    seed: int = 0
     #: Externally owned shared :class:`SolverService`. When set, every
     #: ``parallelize()`` run with these options executes against it —
     #: sharing its process pool, in-memory memo table and on-disk cache —
@@ -176,6 +195,10 @@ class ParallelizeResult:
     certificates: List["Diagnostic"] = field(default_factory=list)
     #: Wall time spent replaying assignments (0.0 when ``verify`` is off).
     certificate_seconds: float = 0.0
+    #: Portfolio degradation events (exact solve lost to a dead pool and
+    #: replaced by the heuristic answer); folded into the ``portfolio``
+    #: tier by :func:`repro.analysis.certifier.certify_run`.
+    portfolio_diagnostics: List["Diagnostic"] = field(default_factory=list)
 
     @property
     def estimated_exec_time_us(self) -> float:
@@ -190,6 +213,48 @@ class ParallelizeResult:
         """Model-estimated speedup vs. sequential on the main core."""
         parallel = self.estimated_exec_time_us
         return self.sequential_time_us() / parallel if parallel > 0 else float("inf")
+
+
+@dataclass
+class _PortfolioContext:
+    """Session-scoped state of the heuristic/exact scheduling portfolio.
+
+    Threaded through the sweep builders exactly like the certificate
+    sink: it carries the service whose portfolio telemetry counters the
+    heuristic leg bumps (the heuristics run inline in the parent, outside
+    the service) and collects the degradation diagnostics surfaced on
+    :attr:`ParallelizeResult.portfolio_diagnostics`.
+    """
+
+    service: SolverService
+    diagnostics: List["Diagnostic"] = field(default_factory=list)
+
+    def note_degraded(
+        self, node_uid: int, seq_class: str, budget: int, objective: float,
+        gap: Optional[float],
+    ) -> None:
+        from repro.analysis.diagnostics import Diagnostic
+
+        gap_text = "unknown" if gap is None else f"{gap:.1%}"
+        self.diagnostics.append(
+            Diagnostic(
+                analysis="portfolio",
+                code="portfolio.degraded-to-heuristic",
+                severity="warning",
+                message=(
+                    f"node {node_uid} ({seq_class}, budget {budget}): worker "
+                    f"pool lost, exact solve replaced by the heuristic answer "
+                    f"(objective {objective:.1f} us, proven gap <= {gap_text})"
+                ),
+                context={
+                    "node": node_uid,
+                    "seq_class": seq_class,
+                    "budget": budget,
+                    "objective_us": objective,
+                    "opt_gap": gap,
+                },
+            )
+        )
 
 
 class _CertificateSink:
@@ -259,6 +324,7 @@ class _BaseParallelizer:
         level: List[HTGNode],
         solution_sets: Dict[int, SolutionSet],
         sink: Optional[_CertificateSink] = None,
+        pctx: Optional[_PortfolioContext] = None,
     ) -> "_BaseParallelizer._LevelWork":
         """Seed sequential candidates and construct the level's sweeps."""
         work = []
@@ -271,7 +337,7 @@ class _BaseParallelizer:
                 and node.children
                 and self._worth_parallelizing(node)
             ):
-                sweeps = self._node_sweeps(node, solution_sets, sink)
+                sweeps = self._node_sweeps(node, solution_sets, sink, pctx)
             work.append((node, sset, sweeps))
         return work
 
@@ -321,6 +387,7 @@ class _BaseParallelizer:
         node: HierarchicalNode,
         solution_sets: Dict[int, SolutionSet],
         sink: Optional[_CertificateSink] = None,
+        pctx: Optional[_PortfolioContext] = None,
     ) -> List[Sweep]:
         raise NotImplementedError
 
@@ -368,6 +435,7 @@ class ParallelizeSession:
         self._solution_sets: Dict[int, SolutionSet] = {}
         self._levels = collect_levels(htg.get_root_node())
         self._sink = _CertificateSink() if parallelizer.options.verify else None
+        self._pctx = _PortfolioContext(service)
         self._level_idx = 0
         self._work: Optional[_BaseParallelizer._LevelWork] = None
         self._sweepset: Optional[SweepSet] = None
@@ -412,7 +480,7 @@ class ParallelizeSession:
             level = self._levels[self._level_idx]
             self._level_idx += 1
             self._work = self._parallelizer._build_level(
-                level, self._solution_sets, self._sink
+                level, self._solution_sets, self._sink, self._pctx
             )
             sweeps = [sweep for _n, _s, sws in self._work for sweep in sws]
             self._sweepset = SweepSet(sweeps, self._service)
@@ -433,6 +501,7 @@ class ParallelizeSession:
             approach=self._parallelizer.approach,
             certificates=list(self._sink.diagnostics) if self._sink else [],
             certificate_seconds=self._sink.seconds if self._sink else 0.0,
+            portfolio_diagnostics=list(self._pctx.diagnostics),
         )
 
 
@@ -453,47 +522,160 @@ class HeterogeneousParallelizer(_BaseParallelizer):
                 )
             )
 
-    def _node_sweeps(self, node, solution_sets, sink=None) -> List[Sweep]:
+    def _node_sweeps(self, node, solution_sets, sink=None, pctx=None) -> List[Sweep]:
         sweeps = []
         for pc in self.platform.processor_classes:
             sweeps.append(
                 Sweep(
                     label=f"n{node.uid}|{pc.name}",
-                    make_gen=lambda out, seq_class=pc.name: self._sweep_gen(
-                        node, seq_class, solution_sets, out, sink
+                    make_gen=lambda out, coll, seq_class=pc.name: self._sweep_gen(
+                        node, seq_class, solution_sets, out, coll, sink, pctx
                     ),
                 )
             )
         return sweeps
 
-    def _sweep_gen(self, node, seq_class, solution_sets, out, sink=None):
+    def _portfolio_mode(self) -> str:
+        """Effective portfolio mode: heuristics need the time objective."""
+        mode = self.options.portfolio
+        if mode not in ("exact", "heuristic", "race"):
+            raise ValueError(f"unknown portfolio mode {mode!r}")
+        if mode != "exact" and self.options.objective != "time":
+            # The heuristics optimize the critical path; the energy
+            # objective (deadline-constrained) stays exact-only.
+            return "exact"
+        return mode
+
+    def _sweep_gen(
+        self, node, seq_class, solution_sets, out, collector, sink=None, pctx=None
+    ):
+        opts = self.options
+        mode = self._portfolio_mode()
         budget = self.platform.total_cores
         prev_objective: Optional[float] = None
         while budget > 1:
             inst = build_ilppar_model(
                 node, seq_class, budget, self.platform, solution_sets,
-                options=self.options.ilp_options(),
+                options=opts.ilp_options(),
             )
             if inst is None:
                 return
+            tag = f"n{node.uid}|{seq_class}"
+
+            heur = None
+            if mode != "exact" and inst.ctx is not None:
+                from repro.heuristics import solve_heuristic
+
+                heur = solve_heuristic(
+                    inst, seed=opts.seed, budget=opts.heuristic_budget
+                )
+                if pctx is not None:
+                    pctx.service.heuristic_solves += 1
+
+            if heur is not None and mode == "heuristic":
+                # Anytime-only: no exact solve at all. Record the solve
+                # ourselves — it never touches the service.
+                if pctx is not None and heur.gap is not None:
+                    pctx.service.gap_sum += heur.gap
+                    pctx.service.gap_count += 1
+                collector.record(
+                    model_name=inst.model.name,
+                    num_variables=inst.model.num_variables,
+                    num_constraints=inst.model.num_constraints,
+                    solve_seconds=heur.seconds,
+                    status=SolveStatus.FEASIBLE,
+                    tag=tag,
+                    objective=heur.objective,
+                    source="heuristic",
+                    opt_gap=heur.gap,
+                )
+                if sink is not None:
+                    sink.check(inst, heur.solution, heur.candidate)
+                candidate = replace(
+                    heur.candidate, source="heuristic", opt_gap=heur.gap
+                )
+                out.append(candidate)
+                prev_objective = None
+                # No ladder skip here: skipping budgets below num_tasks
+                # is only lossless when the candidate is a proven
+                # optimum. A heuristic answer that under-uses its budget
+                # must not prune the smaller budgets it never explored.
+                budget -= 1
+                continue
+
+            spec = self._solve_spec(prev_objective)
+            job_source = "exact"
+            if heur is not None:  # race mode
+                job_source = "portfolio"
+                if opts.backend == "bnb":
+                    # Warm-start the exact search: the heuristic solution
+                    # becomes the incumbent (exhaustion now proves it or a
+                    # better solution optimal) and the strongest known
+                    # lower bound sharpens gap-based termination.
+                    bounds = [
+                        b for b in (spec.lower_bound, heur.lower_bound)
+                        if b is not None
+                    ]
+                    spec = replace(
+                        spec,
+                        incumbent_obj=heur.objective,
+                        incumbent_x=tuple(heur.vector),
+                        lower_bound=max(bounds) if bounds else None,
+                    )
+                    if pctx is not None:
+                        pctx.service.incumbents_injected += 1
             solution = yield SolveJob(
                 inst.model,
-                self._solve_spec(prev_objective),
-                tag=f"n{node.uid}|{seq_class}",
+                spec,
+                tag=tag,
+                fallback=heur.solution if heur is not None else None,
+                fallback_gap=heur.gap if heur is not None else None,
+                source=job_source,
             )
             if solution is None:
                 return
+            if heur is not None and solution.usable:
+                if solution.degraded and pctx is not None:
+                    pctx.note_degraded(
+                        node.uid, seq_class, budget, heur.objective, heur.gap
+                    )
+                if (
+                    not solution.degraded
+                    and solution.objective > heur.objective + 1e-6
+                ):
+                    # A timed-out exact incumbent (scipy backend, which
+                    # takes no seeded incumbent) can be worse than the
+                    # heuristic: keep the better answer.
+                    solution = heur.solution
+                if (
+                    pctx is not None
+                    and solution.objective >= heur.objective - 1e-6
+                ):
+                    # The exact leg did not improve on the heuristic.
+                    pctx.service.races_won_by_heuristic += 1
             candidate = extract_ilppar_candidate(inst, solution)
             if sink is not None:
                 sink.check(inst, solution, candidate)
+            if heur is not None and solution.status is not SolveStatus.OPTIMAL:
+                gap = heur.gap if solution.objective >= heur.objective - 1e-6 else None
+                candidate = replace(
+                    candidate,
+                    source="heuristic" if solution.degraded else "portfolio",
+                    opt_gap=gap,
+                )
             out.append(candidate)
             if solution.status is SolveStatus.OPTIMAL:
                 # Only a proven optimum is a sound bound for the next
-                # (smaller) budget; a timeout incumbent may overshoot it.
+                # (smaller) budget; a timeout incumbent may overshoot
+                # it. Likewise the ladder skip below num_tasks is only
+                # lossless for optima: a timeout/degraded answer that
+                # under-uses its budget must not prune budgets it never
+                # explored.
                 prev_objective = solution.objective
+                budget = min(budget - 1, candidate.num_tasks - 1)
             else:
                 prev_objective = None
-            budget = min(budget - 1, candidate.num_tasks - 1)
+                budget -= 1
 
     def _select_best(self, htg, solution_sets) -> SolutionCandidate:
         main = self.platform.main_class.name
@@ -528,11 +710,15 @@ class HomogeneousParallelizer(_BaseParallelizer):
             )
         )
 
-    def _node_sweeps(self, node, solution_sets, sink=None) -> List[Sweep]:
+    def _node_sweeps(self, node, solution_sets, sink=None, pctx=None) -> List[Sweep]:
+        # The baseline stays exact-only: the heuristics decode per-class
+        # candidate structures the homogeneous model does not have.
         return [
             Sweep(
                 label=f"n{node.uid}|{self.ref_class}",
-                make_gen=lambda out: self._sweep_gen(node, solution_sets, out, sink),
+                make_gen=lambda out, _coll: self._sweep_gen(
+                    node, solution_sets, out, sink
+                ),
             )
         ]
 

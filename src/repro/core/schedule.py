@@ -43,11 +43,22 @@ from repro.ilp.stats import StatsCollector
 
 @dataclass
 class SolveJob:
-    """One ILP solve requested by a sweep."""
+    """One ILP solve requested by a sweep.
+
+    ``fallback`` (plus its proven ``fallback_gap``) is the portfolio's
+    anytime answer for this model: the service substitutes it — tagged
+    degraded, never cached — if the worker pool is lost before the exact
+    solve completes. ``source`` labels the solve's record with the
+    portfolio leg that produced it (``"exact"`` or ``"portfolio"`` for
+    incumbent-warm-started races).
+    """
 
     model: Model
     spec: SolveSpec
     tag: str = ""
+    fallback: Optional[Solution] = None
+    fallback_gap: Optional[float] = None
+    source: str = "exact"
 
 
 #: A sweep body: yields jobs, receives the solution (``None`` when the
@@ -59,18 +70,22 @@ SweepGen = Generator[SolveJob, Optional[Solution], None]
 class Sweep:
     """One budget sweep: a serial chain of solves with its own outputs.
 
-    ``make_gen`` is called with the sweep's candidate output list so the
-    generator can append extracted candidates as it goes; the engine never
-    interprets candidates, it only shuttles jobs and solutions. Keeping
-    candidates and statistics per sweep is what makes the concurrent
-    execution deterministic: completion order influences neither.
+    ``make_gen`` is called with the sweep's candidate output list and its
+    statistics collector so the generator can append extracted candidates
+    as it goes and record solves that never touch the service (the
+    portfolio's heuristic-only answers); the engine never interprets
+    candidates, it only shuttles jobs and solutions. Keeping candidates
+    and statistics per sweep is what makes the concurrent execution
+    deterministic: completion order influences neither.
     """
 
-    def __init__(self, label: str, make_gen: Callable[[list], SweepGen]):
+    def __init__(
+        self, label: str, make_gen: Callable[[list, StatsCollector], SweepGen]
+    ):
         self.label = label
         self.candidates: list = []
         self.collector = StatsCollector()
-        self.gen: SweepGen = make_gen(self.candidates)
+        self.gen: SweepGen = make_gen(self.candidates, self.collector)
         self.pending: Optional[PendingSolve] = None  # while parked
 
 
@@ -137,7 +152,13 @@ class SweepSet:
             except StopIteration:
                 return
             pending = self.service.submit(
-                job.model, job.spec, tag=job.tag, collector=sweep.collector
+                job.model,
+                job.spec,
+                tag=job.tag,
+                collector=sweep.collector,
+                fallback=job.fallback,
+                fallback_gap=job.fallback_gap,
+                source=job.source,
             )
             if not pending.resolved:
                 sweep.pending = pending

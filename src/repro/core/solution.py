@@ -52,6 +52,14 @@ class SolutionCandidate:
     #: total energy (nJ) under the per-class energy-per-cycle model; used
     #: by the energy objective extension (paper future work).
     energy_nj: float = 0.0
+    #: Portfolio leg that produced the candidate: ``"exact"`` (an ILP
+    #: backend, the default), ``"heuristic"`` (list scheduler + GA) or
+    #: ``"portfolio"`` (exact solve warm-started by a heuristic
+    #: incumbent). Sequentially seeded candidates keep ``"exact"``.
+    source: str = "exact"
+    #: Proven relative optimality gap of an anytime candidate (``None``
+    #: for proved-optimal ones) — an upper bound on the true gap.
+    opt_gap: Optional[float] = None
 
     @property
     def num_tasks(self) -> int:

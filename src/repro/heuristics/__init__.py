@@ -1,0 +1,43 @@
+"""Anytime heuristic scheduling portfolio (list scheduler + GA).
+
+Feasible-by-construction ILPPAR solutions produced without the exact
+solver: a HEFT/AMTHA-style list scheduler seeds a bias-elitist GA, and
+the winner is completed into a full model vector that passes the same
+certificate replay as exact solutions and warm-starts the branch-and-
+bound backend as an incumbent. See ``docs/HEURISTICS.md``.
+"""
+
+from repro.heuristics.assignment import (
+    Assignment,
+    check_feasible,
+    choose_candidates,
+    complete_solution,
+    critical_path_bound,
+    evaluate,
+    solution_vector,
+)
+from repro.heuristics.ga import refine
+from repro.heuristics.list_scheduler import fallback_assignment, list_schedule
+from repro.heuristics.portfolio import (
+    HeuristicResult,
+    heuristic_rng,
+    relative_gap,
+    solve_heuristic,
+)
+
+__all__ = [
+    "Assignment",
+    "HeuristicResult",
+    "check_feasible",
+    "choose_candidates",
+    "complete_solution",
+    "critical_path_bound",
+    "evaluate",
+    "fallback_assignment",
+    "heuristic_rng",
+    "list_schedule",
+    "refine",
+    "relative_gap",
+    "solution_vector",
+    "solve_heuristic",
+]

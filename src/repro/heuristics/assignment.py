@@ -1,0 +1,407 @@
+"""Structural assignments over ILPPAR instances.
+
+The heuristic schedulers of this package never manipulate model rows;
+they decide the *combinatorial structure* of an ILPPAR solution — which
+task slot hosts each child (Eq. 1, respecting the monotone-task-id rule
+of Eq. 10, so feasible assignments are nondecreasing sequences over the
+topological child order), which processor class each occupied extra slot
+maps to (Eq. 12), and which parallel-set candidate each child selects
+(Eq. 3) — and this module turns such a structure into numbers:
+
+* :func:`check_feasible` / :func:`evaluate` replay the instance's cost
+  semantics (Eq. 8-9, 14-16) from the :class:`~repro.core.ilppar.IlpParContext`
+  and return the exact model objective of the assignment, or the reason
+  it is infeasible (budget overrun, broken slot prefix, class mismatch).
+* :func:`choose_candidates` picks per-child candidates greedily (fastest
+  of the hosting class) and repairs processor-budget overruns by
+  downgrading the cheapest-to-downgrade choices toward the zero-processor
+  sequential candidates that always exist.
+* :func:`complete_solution` expands the structure into a *full* model
+  assignment — every variable of the MILP valued, dependent integers
+  (occupancy, precedence, AND gadgets) derived, continuous cost variables
+  set to their LP-minimal completion — so the result passes the
+  certificate replay of :mod:`repro.analysis.certificate` verbatim and
+  can seed :func:`repro.ilp.bnb.solve_form_bnb` as an incumbent vector.
+
+The minimal completion is computable in closed form: with all integer
+variables fixed, every continuous variable of the ILPPAR model is either
+equality-defined (child costs, task costs) or bounded below by gated
+rows whose tightest binding value is a max over already-known terms
+(communication, processor usage, path costs via the longest-path
+recursion ``accum[t] = cost[t] + max(0, max_u accum[u] + commcost[u])``
+over the forced precedence DAG). Setting each variable to that minimum
+satisfies every row and minimizes ``accum[join]`` — the completion's
+objective *is* the true objective of the structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ilppar import IlpParInstance
+from repro.ilp.model import Solution, SolveStatus, Variable
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One structural ILPPAR solution proposed by a heuristic.
+
+    ``task_of`` maps each child (topological order) to a task slot
+    (0 = fork, 1..E = extras, E+1 = join) and must be nondecreasing with
+    the occupied extras forming the prefix 1..k; ``class_of`` maps each
+    *occupied* extra slot to a processor class; ``cand_of`` indexes each
+    child's chosen entry of ``inst.cand_table``.
+    """
+
+    task_of: Tuple[int, ...]
+    class_of: Tuple[Tuple[int, str], ...]
+    cand_of: Tuple[int, ...]
+
+    def class_map(self) -> Dict[int, str]:
+        return dict(self.class_of)
+
+
+def host_class(inst: IlpParInstance, task: int, class_map: Dict[int, str]) -> str:
+    """Processor class executing children hosted on ``task``."""
+    if task == 0 or task == inst.join:
+        return inst.seq_class
+    return class_map[task]
+
+
+def check_feasible(
+    inst: IlpParInstance,
+    task_of: Sequence[int],
+    class_map: Dict[int, str],
+    cand_of: Sequence[int],
+) -> Optional[str]:
+    """Return the reason the structure is infeasible, or ``None`` if OK."""
+    ctx = inst.ctx
+    assert ctx is not None, "instance built without scheduling context"
+    n = len(inst.children)
+    if len(task_of) != n or len(cand_of) != n:
+        return "assignment length mismatch"
+    task_set = set(inst.tasks)
+    prev = 0
+    for t in task_of:
+        if t not in task_set:
+            return f"task {t} out of range"
+        if t < prev:
+            return "task ids not monotone over topological order"
+        prev = t
+    # Dependence cycles at child granularity (e.g. Jacobi double-buffer
+    # swaps) appear as an order pair running against the topological
+    # index order. Splitting such a pair across tasks forces pred edges
+    # both ways, which the model's accum rows make infeasible (a positive
+    # cycle of completion-time lower bounds) — reject the structure here
+    # so the closed-form accum recursion below only ever sees a DAG.
+    for src_ni, dst_ni in ctx.order_pairs:
+        if task_of[src_ni] > task_of[dst_ni]:
+            return "dependence cycle split across tasks"
+    occupied = sorted({t for t in task_of if t in set(inst.extras)})
+    if occupied != list(range(1, len(occupied) + 1)):
+        return "occupied extra slots do not form a prefix"
+    for t in occupied:
+        if class_map.get(t) not in inst.classes:
+            return f"slot {t} has no processor class"
+    for ni in range(n):
+        si = cand_of[ni]
+        if not (0 <= si < len(inst.cand_table[ni])):
+            return f"child {ni} candidate index out of range"
+        cname = inst.cand_table[ni][si][0]
+        host = host_class(inst, task_of[ni], class_map)
+        if cname != host:
+            return f"child {ni} candidate class {cname} != host class {host}"
+
+    # Eq. 14-16: per-class and global processor budgets.
+    inner: Dict[Tuple[int, str], int] = {}
+    for ni in range(n):
+        cand = inst.cand_table[ni][cand_of[ni]][1]
+        t = task_of[ni]
+        for c, k in cand.used_procs.items():
+            key = (t, c)
+            inner[key] = max(inner.get(key, 0), k)
+    total_inner = 0
+    for c in inst.classes:
+        slots = sum(1 for t in occupied if class_map[t] == c)
+        procs = sum(k for (t, cc), k in inner.items() if cc == c)
+        total_inner += procs
+        if slots + procs > ctx.available[c]:
+            return f"class {c} budget exceeded ({slots}+{procs} > {ctx.available[c]})"
+    if len(occupied) + total_inner > ctx.budget - 1:
+        return "global processor budget exceeded"
+    return None
+
+
+def _cost_arrays(
+    inst: IlpParInstance,
+    task_of: Sequence[int],
+    cand_of: Sequence[int],
+) -> Tuple[Dict[int, float], Dict[int, float], Dict[int, float]]:
+    """Minimal (cost, commcost, accum) per task for a feasible structure."""
+    ctx = inst.ctx
+    assert ctx is not None
+    n = len(inst.children)
+    join = inst.join
+    extras = set(inst.extras)
+
+    child_cost = [
+        inst.cand_table[ni][cand_of[ni]][1].exec_time_us for ni in range(n)
+    ]
+    cost: Dict[int, float] = {}
+    for t in inst.tasks:
+        total = sum(child_cost[ni] for ni in range(n) if task_of[ni] == t)
+        if t == join:
+            total += ctx.control_us
+        if t in extras:
+            if any(task_of[ni] == t for ni in range(n)):
+                total += ctx.ec * ctx.tco
+            total += sum(
+                ctx.in_edge_time[ni]
+                for ni in range(n)
+                if task_of[ni] == t and ctx.in_edge_time[ni] > 0
+            )
+        cost[t] = total
+
+    commcost: Dict[int, float] = {}
+    for t in inst.tasks:
+        total = 0.0
+        for src_ni, dst_ni, xt in ctx.inner_edges:
+            if xt <= 0 or task_of[src_ni] != t or task_of[dst_ni] == t:
+                continue
+            if t == 0 and task_of[dst_ni] == join:
+                continue  # fork -> join stays on the master thread: free
+            total += xt
+        if t in extras:
+            total += sum(
+                ctx.out_edge_time[ni]
+                for ni in range(n)
+                if task_of[ni] == t and ctx.out_edge_time[ni] > 0
+            )
+        commcost[t] = total
+
+    forced = forced_precedence(inst, task_of)
+    accum: Dict[int, float] = {}
+    for t in inst.tasks:  # ascending: forced edges only go low -> high
+        incoming = [
+            accum[u] + commcost[u] for (u, tt) in forced if tt == t
+        ]
+        accum[t] = cost[t] + max(incoming, default=0.0)
+    return cost, commcost, accum
+
+
+def forced_precedence(
+    inst: IlpParInstance, task_of: Sequence[int]
+) -> set:
+    """The pred pairs the model's lower-bound rows force to 1 (Eq. 5-7)."""
+    ctx = inst.ctx
+    assert ctx is not None
+    join = inst.join
+    forced = set()
+    for src_ni, dst_ni in ctx.order_pairs:
+        t, u = task_of[src_ni], task_of[dst_ni]
+        if t != u:
+            forced.add((t, u))
+    for ni in range(len(inst.children)):
+        t = task_of[ni]
+        if t != join:
+            forced.add((t, join))
+    return forced
+
+
+def evaluate(
+    inst: IlpParInstance,
+    task_of: Sequence[int],
+    class_map: Dict[int, str],
+    cand_of: Sequence[int],
+) -> Optional[float]:
+    """Exact model objective of a structure, or ``None`` when infeasible."""
+    if check_feasible(inst, task_of, class_map, cand_of) is not None:
+        return None
+    _cost, _comm, accum = _cost_arrays(inst, task_of, cand_of)
+    return accum[inst.join]
+
+
+def choose_candidates(
+    inst: IlpParInstance,
+    task_of: Sequence[int],
+    class_map: Dict[int, str],
+) -> Optional[Tuple[int, ...]]:
+    """Greedy per-child candidate choice with processor-budget repair.
+
+    Starts from the fastest candidate of each child's hosting class and,
+    while a budget is violated, downgrades the choice whose alternative
+    frees processors of the violated class at the smallest execution-time
+    penalty. Falls back to the zero-processor (sequential) candidates —
+    which the solution sets guarantee per class — when no single swap
+    helps; returns ``None`` only if a child has no candidate of its
+    hosting class at all (cannot happen with sequential seeding).
+    """
+    ctx = inst.ctx
+    assert ctx is not None
+    n = len(inst.children)
+    options: List[List[int]] = []
+    picks: List[int] = []
+    for ni in range(n):
+        host = host_class(inst, task_of[ni], class_map)
+        opts = [
+            si
+            for si, (cname, _cand) in enumerate(inst.cand_table[ni])
+            if cname == host
+        ]
+        if not opts:
+            return None
+        options.append(opts)
+        picks.append(
+            min(opts, key=lambda si: (inst.cand_table[ni][si][1].exec_time_us, si))
+        )
+
+    for _ in range(4 * n + 4):
+        reason = check_feasible(inst, task_of, class_map, picks)
+        if reason is None:
+            return tuple(picks)
+        best_swap: Optional[Tuple[float, int, int]] = None
+        for ni in range(n):
+            cur = inst.cand_table[ni][picks[ni]][1]
+            for si in options[ni]:
+                if si == picks[ni]:
+                    continue
+                alt = inst.cand_table[ni][si][1]
+                frees = sum(cur.used_procs.values()) - sum(alt.used_procs.values())
+                if frees <= 0:
+                    continue
+                penalty = alt.exec_time_us - cur.exec_time_us
+                key = (penalty / frees, ni, si)
+                if best_swap is None or key < best_swap:
+                    best_swap = key
+        if best_swap is None:
+            break
+        _score, ni, si = best_swap
+        picks[ni] = si
+
+    # Last resort: every child on its hosting class's cheapest
+    # zero-processor candidate (always present and always budget-clean).
+    for ni in range(n):
+        zero = [
+            si
+            for si in options[ni]
+            if not inst.cand_table[ni][si][1].used_procs
+        ]
+        if not zero:
+            return None
+        picks[ni] = min(
+            zero, key=lambda si: (inst.cand_table[ni][si][1].exec_time_us, si)
+        )
+    if check_feasible(inst, task_of, class_map, picks) is not None:
+        return None
+    return tuple(picks)
+
+
+def critical_path_bound(inst: IlpParInstance) -> float:
+    """Combinatorial lower bound on the time objective of an instance.
+
+    Valid for *any* assignment: every child executes for at least its
+    fastest candidate's time, chained children (``order_pairs``) finish
+    in sequence whether co-hosted or split across tasks (Eq. 5-9), and
+    the join segment always pays the master control cost. The longest
+    path through the child-dependency DAG under minimal execution times
+    therefore bounds ``accum[join]`` from below — usually far tighter
+    than the root LP relaxation, whose big-M gating collapses.
+    """
+    ctx = inst.ctx
+    assert ctx is not None
+    n = len(inst.children)
+    min_cost = [
+        min(cand.exec_time_us for _cname, cand in inst.cand_table[ni])
+        for ni in range(n)
+    ]
+    finish = list(min_cost)
+    for ni in range(n):  # order_pairs go low -> high in topological order
+        for src, dst in ctx.order_pairs:
+            if dst == ni:
+                finish[ni] = max(finish[ni], finish[src] + min_cost[ni])
+    return ctx.control_us + max(finish, default=0.0)
+
+
+def complete_solution(inst: IlpParInstance, assignment: Assignment) -> Solution:
+    """Expand a feasible structure into a full, certifiable model solution.
+
+    Every model variable receives a value; the returned solution carries
+    :data:`SolveStatus.FEASIBLE` (the structure is feasible but not
+    proven optimal) and the exact objective of the completed assignment.
+    """
+    ctx = inst.ctx
+    assert ctx is not None, "instance built without scheduling context"
+    class_map = assignment.class_map()
+    task_of, cand_of = assignment.task_of, assignment.cand_of
+    reason = check_feasible(inst, task_of, class_map, cand_of)
+    if reason is not None:
+        raise ValueError(f"infeasible assignment: {reason}")
+
+    model = inst.model
+    n = len(inst.children)
+    join = inst.join
+    values: Dict[Variable, float] = {}
+
+    for ni in range(n):
+        for t in inst.tasks:
+            values[inst.x[ni][t]] = 1.0 if task_of[ni] == t else 0.0
+        for si in range(len(inst.cand_table[ni])):
+            values[inst.p[ni][si]] = 1.0 if cand_of[ni] == si else 0.0
+
+    occupied = {t for t in task_of if t in set(inst.extras)}
+    for t in inst.extras:
+        # Idle slots are pinned to the first class by the symmetry rows.
+        cls = class_map[t] if t in occupied else inst.classes[0]
+        for c in inst.classes:
+            values[inst.map_tc[(t, c)]] = 1.0 if c == cls else 0.0
+        values[ctx.used[t]] = 1.0 if t in occupied else 0.0
+
+    for ni in range(n):
+        values[ctx.childcost[ni]] = inst.cand_table[ni][cand_of[ni]][1].exec_time_us
+    for (ni, t), var in ctx.contrib.items():
+        values[var] = values[ctx.childcost[ni]] if task_of[ni] == t else 0.0
+
+    cost, commcost, accum = _cost_arrays(inst, task_of, cand_of)
+    for t in inst.tasks:
+        values[ctx.cost[t]] = cost[t]
+        values[ctx.commcost[t]] = commcost[t]
+        values[ctx.accum[t]] = accum[t]
+
+    forced = forced_precedence(inst, task_of)
+    for (t, u), var in ctx.pred.items():
+        values[var] = 1.0 if (t, u) in forced else 0.0
+
+    # AND gadgets resolve sequentially: operands are primary binaries
+    # (or earlier gadgets), all valued by the time each triple is reached.
+    for z, xv, yv in model.and_gadgets:
+        values[z] = 1.0 if (values[xv] > 0.5 and values[yv] > 0.5) else 0.0
+
+    for (ni, c), var in ctx.childprocs.items():
+        if var is not None:
+            values[var] = float(
+                inst.cand_table[ni][cand_of[ni]][1].used_procs_of(c)
+            )
+    for (t, c), var in ctx.procsused.items():
+        if var is None:
+            continue
+        hosted = [
+            values[ctx.childprocs[(ni, c)]]
+            for ni in range(n)
+            if task_of[ni] == t and ctx.childprocs[(ni, c)] is not None
+        ]
+        values[var] = max(hosted, default=0.0)
+
+    if len(values) != model.num_variables:
+        missing = [v.name for v in model.variables if v not in values]
+        raise RuntimeError(
+            f"assignment completion left {len(missing)} variables unvalued "
+            f"on {model.name!r}: {missing[:8]}"
+        )
+    objective = model.objective.value(values)
+    return Solution(SolveStatus.FEASIBLE, objective, values)
+
+
+def solution_vector(inst: IlpParInstance, solution: Solution) -> List[float]:
+    """The solution as a raw column vector (for bnb incumbent seeding)."""
+    return [solution.values[var] for var in inst.model.variables]

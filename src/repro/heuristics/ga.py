@@ -1,0 +1,418 @@
+"""Seeded bias-elitist genetic refinement of ILPPAR assignments.
+
+The genome is the run-length encoding of a structural assignment: a
+sequence of ``(length, kind)`` runs over the topologically ordered
+children, where ``kind`` is ``"fork"`` (master thread before the spawn,
+only legal as the first run), ``"join"`` (master tail, only legal as the
+last run) or a processor-class name (one extra task slot per run, at
+most ``len(inst.extras)`` of them). Because feasible ILPPAR assignments
+are exactly the nondecreasing slot sequences (Eq. 10) with the occupied
+extras forming a prefix, *every* legal genome decodes to a structurally
+feasible assignment — the GA never wastes evaluations on broken
+encodings, and candidate/budget repair is delegated to
+:func:`repro.heuristics.assignment.choose_candidates`.
+
+Selection is bias-elitist: the top ``elite`` genomes survive verbatim
+and the first parent of every offspring is drawn from them, the second
+from the whole population — a strong exploitation bias that suits the
+short budgets the portfolio grants (the exact solver is racing us).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ilppar import IlpParInstance
+from repro.heuristics.assignment import (
+    Assignment,
+    choose_candidates,
+    evaluate,
+)
+
+Run = Tuple[int, str]
+Genome = Tuple[Run, ...]
+
+_FORK = "fork"
+_JOIN = "join"
+
+
+def encode(inst: IlpParInstance, assignment: Assignment) -> Genome:
+    """Run-length encode an assignment's slot structure."""
+    class_map = assignment.class_map()
+    runs: List[Run] = []
+    for ni, t in enumerate(assignment.task_of):
+        if t == 0:
+            kind = _FORK
+        elif t == inst.join:
+            kind = _JOIN
+        else:
+            kind = class_map[t]
+        if runs and (
+            (t == 0 or t == inst.join)
+            and runs[-1][1] == kind
+            or (0 < t < inst.join and ni > 0 and assignment.task_of[ni - 1] == t)
+        ):
+            runs[-1] = (runs[-1][0] + 1, kind)
+        else:
+            runs.append((1, kind))
+    return tuple(runs)
+
+
+def decode(
+    inst: IlpParInstance, genome: Genome
+) -> Tuple[List[int], Dict[int, str]]:
+    """Expand a genome into ``(task_of, class_map)``."""
+    task_of: List[int] = []
+    class_map: Dict[int, str] = {}
+    slot = 0
+    for length, kind in genome:
+        if kind == _FORK:
+            t = 0
+        elif kind == _JOIN:
+            t = inst.join
+        else:
+            slot += 1
+            t = slot
+            class_map[t] = kind
+        task_of.extend([t] * length)
+    return task_of, class_map
+
+
+def _legal(inst: IlpParInstance, genome: Genome) -> bool:
+    if sum(length for length, _ in genome) != len(inst.children):
+        return False
+    if any(length <= 0 for length, _ in genome):
+        return False
+    kinds = [kind for _, kind in genome]
+    if _FORK in kinds[1:] or _JOIN in kinds[:-1]:
+        return False
+    class_runs = sum(1 for k in kinds if k not in (_FORK, _JOIN))
+    if class_runs > len(inst.extras):
+        return False
+    return all(
+        k in (_FORK, _JOIN) or k in inst.classes for k in kinds
+    )
+
+
+def mutate(
+    inst: IlpParInstance, genome: Genome, rng: random.Random
+) -> Genome:
+    """One random structural edit; returns a legal genome (or the input)."""
+    runs = [list(r) for r in genome]
+    ops = ["shift", "split", "merge", "reclass"]
+    rng.shuffle(ops)
+    for op in ops:
+        if op == "shift" and len(runs) >= 2:
+            i = rng.randrange(len(runs) - 1)
+            if rng.random() < 0.5:
+                src, dst = i, i + 1
+            else:
+                src, dst = i + 1, i
+            out = [list(r) for r in runs]
+            out[src][0] -= 1
+            out[dst][0] += 1
+            if out[src][0] == 0:
+                del out[src]
+            cand = tuple((ln, k) for ln, k in out)
+            if _legal(inst, cand):
+                return cand
+        elif op == "split":
+            fat = [i for i, (ln, _k) in enumerate(runs) if ln >= 2]
+            if fat:
+                i = rng.choice(fat)
+                cut = rng.randrange(1, runs[i][0])
+                cls = rng.choice(inst.classes)
+                left: List[Run] = [(cut, runs[i][1])]
+                right: List[Run] = [(runs[i][0] - cut, runs[i][1])]
+                if runs[i][1] == _FORK:
+                    right = [(runs[i][0] - cut, cls)]
+                elif runs[i][1] == _JOIN:
+                    left = [(cut, cls)]
+                else:
+                    right = [(runs[i][0] - cut, cls)]
+                out2 = (
+                    [(ln, k) for ln, k in runs[:i]]
+                    + left
+                    + right
+                    + [(ln, k) for ln, k in runs[i + 1 :]]
+                )
+                cand = tuple(out2)
+                if _legal(inst, cand):
+                    return cand
+        elif op == "merge" and len(runs) >= 2:
+            i = rng.randrange(len(runs) - 1)
+            a, b = runs[i], runs[i + 1]
+            # Keep whichever kind stays legal at the merged position.
+            for kind in (a[1], b[1]):
+                out3 = (
+                    [(ln, k) for ln, k in runs[:i]]
+                    + [(a[0] + b[0], kind)]
+                    + [(ln, k) for ln, k in runs[i + 2 :]]
+                )
+                cand = tuple(out3)
+                if _legal(inst, cand):
+                    return cand
+        elif op == "reclass":
+            cls_runs = [
+                i for i, (_ln, k) in enumerate(runs) if k not in (_FORK, _JOIN)
+            ]
+            if cls_runs and len(inst.classes) > 1:
+                i = rng.choice(cls_runs)
+                choices = [c for c in inst.classes if c != runs[i][1]]
+                cand = tuple(
+                    (ln, rng.choice(choices) if j == i else k)
+                    for j, (ln, k) in enumerate(runs)
+                )
+                if _legal(inst, cand):
+                    return cand
+    return genome
+
+
+def crossover(
+    inst: IlpParInstance, a: Genome, b: Genome, rng: random.Random
+) -> Genome:
+    """Single-point crossover at a child index, with legality fixes."""
+    n = len(inst.children)
+    if n < 2:
+        return a
+    cut = rng.randrange(1, n)
+    out: List[Run] = []
+    pos = 0
+    for length, kind in a:
+        take = min(length, cut - pos)
+        if take > 0:
+            out.append((take, kind))
+        pos += length
+        if pos >= cut:
+            break
+    pos = 0
+    for length, kind in b:
+        end = pos + length
+        take = min(length, end - max(pos, cut))
+        if take > 0:
+            out.append((take, kind))
+        pos = end
+
+    # Legality fixes: interior fork runs become class runs, interior
+    # join runs too; excess class runs merge into their left neighbor.
+    fixed: List[Run] = []
+    for i, (length, kind) in enumerate(out):
+        if kind == _FORK and i > 0:
+            kind = rng.choice(inst.classes)
+        if kind == _JOIN and i < len(out) - 1:
+            kind = rng.choice(inst.classes)
+        if fixed and fixed[-1][1] == kind and kind in (_FORK, _JOIN):
+            fixed[-1] = (fixed[-1][0] + length, kind)
+        else:
+            fixed.append((length, kind))
+    while (
+        sum(1 for _l, k in fixed if k not in (_FORK, _JOIN)) > len(inst.extras)
+        and len(fixed) >= 2
+    ):
+        idx = next(
+            i for i, (_l, k) in enumerate(fixed) if k not in (_FORK, _JOIN)
+        )
+        if idx > 0:
+            fixed[idx - 1] = (fixed[idx - 1][0] + fixed[idx][0], fixed[idx - 1][1])
+            del fixed[idx]
+        else:
+            fixed[idx + 1] = (fixed[idx][0] + fixed[idx + 1][0], fixed[idx + 1][1])
+            del fixed[idx]
+    cand = tuple(fixed)
+    return cand if _legal(inst, cand) else a
+
+
+def neighbors(inst: IlpParInstance, genome: Genome) -> List[Genome]:
+    """Systematic structural neighborhood of a genome.
+
+    Enumerates every single edit the random :func:`mutate` operators can
+    make — boundary shifts, run splits (including carving off a fork
+    head or join tail), merges and reclassing — plus fork/join
+    conversions of the first/last run. Used by :func:`polish` to descend
+    deterministically: random mutation alone routinely strands wide
+    slot-packing instances one coordinated edit away from the optimum
+    (e.g. an idle fork segment next to an overloaded extra).
+    """
+    out: List[Genome] = []
+    runs: List[Run] = list(genome)
+    m = len(runs)
+    for i in range(m - 1):
+        for src, dst in ((i, i + 1), (i + 1, i)):
+            edit = [list(r) for r in runs]
+            edit[src][0] -= 1
+            edit[dst][0] += 1
+            if edit[src][0] == 0:
+                del edit[src]
+            out.append(tuple((ln, k) for ln, k in edit))
+    for i, (length, kind) in enumerate(runs):
+        if length < 2:
+            continue
+        for cut in range(1, length):
+            left = [(cut, kind)]
+            right = [(length - cut, kind)]
+            pieces: List[Tuple[List[Run], List[Run]]] = []
+            for cls in inst.classes:
+                if kind == _JOIN:
+                    pieces.append(([(cut, cls)], right))
+                else:
+                    pieces.append((left, [(length - cut, cls)]))
+            if i == 0 and kind != _FORK:
+                pieces.append(([(cut, _FORK)], right))
+            if i == m - 1 and kind != _JOIN:
+                pieces.append((left, [(length - cut, _JOIN)]))
+            for lft, rgt in pieces:
+                out.append(tuple(runs[:i] + lft + rgt + runs[i + 1 :]))
+    for i in range(m - 1):
+        a, b = runs[i], runs[i + 1]
+        for kind in (a[1], b[1]):
+            out.append(tuple(runs[:i] + [(a[0] + b[0], kind)] + runs[i + 2 :]))
+    for i, (length, kind) in enumerate(runs):
+        swaps = [c for c in inst.classes if c != kind]
+        if kind not in (_FORK, _JOIN):
+            if i == 0:
+                swaps.append(_FORK)
+            if i == m - 1:
+                swaps.append(_JOIN)
+        for swap in swaps:
+            out.append(tuple(runs[:i] + [(length, swap)] + runs[i + 1 :]))
+    seen = set()
+    uniq: List[Genome] = []
+    for g in out:
+        if g not in seen and _legal(inst, g):
+            seen.add(g)
+            uniq.append(g)
+    return uniq
+
+
+def _fitness(inst: IlpParInstance, genome: Genome) -> Tuple[float, Optional[Assignment]]:
+    task_of, class_map = decode(inst, genome)
+    cand_of = choose_candidates(inst, task_of, class_map)
+    if cand_of is None:
+        return float("inf"), None
+    value = evaluate(inst, task_of, class_map, cand_of)
+    if value is None:
+        return float("inf"), None
+    occupied = {t for t in task_of if 0 < t < inst.join}
+    assignment = Assignment(
+        task_of=tuple(task_of),
+        class_of=tuple(sorted((t, c) for t, c in class_map.items() if t in occupied)),
+        cand_of=cand_of,
+    )
+    return value, assignment
+
+
+def polish(
+    inst: IlpParInstance,
+    genome: Genome,
+    score,
+    max_evals: Optional[int] = None,
+) -> Genome:
+    """Plateau-tolerant steepest descent from ``genome``.
+
+    Expands the neighborhood breadth-first over *equal-cost* states too
+    (visited-guarded), because the strictly improving edit frequently
+    requires a cost-neutral enabler first — e.g. when every extra slot
+    is occupied, a run must be folded into the fork segment (neutral if
+    that slot was not the bottleneck) before a split of the overloaded
+    run becomes legal. Whenever a strict improvement appears, the
+    descent restarts from it; the walk is deterministic (frontiers and
+    winners ordered by genome) and bounded by ``max_evals`` fitness
+    evaluations, and the result is never worse than the input.
+    """
+    cap = max_evals if max_evals is not None else 150 * (len(inst.children) + 2)
+    best = genome
+    best_obj = score(best)[0]
+    frontier = [best]
+    visited = {best}
+    evals = 0
+    while frontier and evals < cap:
+        frontier.sort()
+        plateau: List[Genome] = []
+        improved: Optional[Tuple[float, Genome]] = None
+        for g in frontier:
+            for nb in neighbors(inst, g):
+                if nb in visited:
+                    continue
+                visited.add(nb)
+                obj = score(nb)[0]
+                evals += 1
+                if obj < best_obj - 1e-9:
+                    if improved is None or (obj, nb) < improved:
+                        improved = (obj, nb)
+                elif obj <= best_obj + 1e-9:
+                    plateau.append(nb)
+                if evals >= cap:
+                    break
+            if evals >= cap:
+                break
+        if improved is not None:
+            best_obj, best = improved
+            frontier = [best]
+        else:
+            frontier = plateau
+    return best
+
+
+def refine(
+    inst: IlpParInstance,
+    seeds: List[Assignment],
+    rng: random.Random,
+    budget: int,
+) -> Tuple[Assignment, float]:
+    """Run the GA for ``budget`` generations; returns (best, objective).
+
+    ``seeds`` must contain at least one feasible assignment (the list
+    scheduler / fallback guarantee this); the best seed is always part of
+    the elite set, so the result is never worse than the best seed.
+    """
+    n = len(inst.children)
+    pop_size = min(24, 6 + 2 * n)
+    generations = max(0, min(budget, 8 + 4 * n))
+    elite = min(4, pop_size)
+
+    scored: Dict[Genome, Tuple[float, Optional[Assignment]]] = {}
+
+    def score(g: Genome) -> Tuple[float, Optional[Assignment]]:
+        if g not in scored:
+            scored[g] = _fitness(inst, g)
+        return scored[g]
+
+    population: List[Genome] = []
+    for seed in seeds:
+        g = encode(inst, seed)
+        if g not in population:
+            population.append(g)
+    base = list(population)
+    while len(population) < pop_size:
+        g = mutate(inst, base[len(population) % len(base)], rng)
+        for _ in range(rng.randrange(3)):
+            g = mutate(inst, g, rng)
+        population.append(g)
+
+    for _gen in range(generations):
+        population.sort(key=lambda g: (score(g)[0], g))
+        elites = population[:elite]
+        nxt = list(elites)
+        while len(nxt) < pop_size:
+            pa = rng.choice(elites)
+            pb = rng.choice(population)
+            child = crossover(inst, pa, pb, rng)
+            if rng.random() < 0.8:
+                child = mutate(inst, child, rng)
+            nxt.append(child)
+        population = nxt
+
+    population.sort(key=lambda g: (score(g)[0], g))
+    # Descend from the GA's winner: crossover+mutation leave wide
+    # slot-packing instances stranded at near-optima the systematic
+    # neighborhood escapes in a couple of steps.
+    best_obj, best_assignment = score(polish(inst, population[0], score))
+    if best_assignment is None:
+        # All genomes degenerate (cannot happen with feasible seeds).
+        for g in population[1:]:
+            best_obj, best_assignment = score(g)
+            if best_assignment is not None:
+                break
+    assert best_assignment is not None, "GA lost every feasible seed"
+    return best_assignment, best_obj

@@ -1,0 +1,99 @@
+"""HEFT/AMTHA-style greedy list scheduling of one ILPPAR instance.
+
+The scheduler walks the children in topological order — the only order
+the monotone-task-id rule (Eq. 10) admits — and greedily grows a run
+structure: each child either *stays* on the currently open task slot,
+*opens* the next extra slot under one of the processor classes, or
+*joins* the master thread's tail segment. Each option is scored with a
+full lookahead evaluation: the remaining children are tentatively placed
+on the option's slot and the complete structure is priced by
+:func:`repro.heuristics.assignment.evaluate` — the exact ILPPAR
+objective, so the greedy decision optimizes estimated finish time the
+way HEFT's earliest-finish-time rule does, and the AMTHA-style class
+choice falls out of comparing the same placement under every class.
+
+The result is always feasible: the all-on-fork structure (every child
+sequential on the master thread) is both the scoring baseline and the
+guaranteed fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ilppar import IlpParInstance
+from repro.heuristics.assignment import (
+    Assignment,
+    choose_candidates,
+    evaluate,
+)
+
+
+def fallback_assignment(inst: IlpParInstance) -> Assignment:
+    """The always-feasible structure: every child on the fork segment."""
+    n = len(inst.children)
+    task_of = tuple([0] * n)
+    cand_of = choose_candidates(inst, task_of, {})
+    assert cand_of is not None, "sequential seeding guarantees candidates"
+    return Assignment(task_of=task_of, class_of=(), cand_of=cand_of)
+
+
+def _score(
+    inst: IlpParInstance,
+    task_of: List[int],
+    class_map: Dict[int, str],
+) -> float:
+    cand_of = choose_candidates(inst, task_of, class_map)
+    if cand_of is None:
+        return math.inf
+    value = evaluate(inst, task_of, class_map, cand_of)
+    return math.inf if value is None else value
+
+
+def list_schedule(inst: IlpParInstance) -> Assignment:
+    """Greedy placement of every child; returns a feasible assignment."""
+    assert inst.ctx is not None, "instance built without scheduling context"
+    n = len(inst.children)
+    num_extra = len(inst.extras)
+    join = inst.join
+
+    assigned: List[int] = []
+    class_map: Dict[int, str] = {}
+    for _ni in range(n):
+        cur = assigned[-1] if assigned else 0
+        opened = max((t for t in assigned if t in set(inst.extras)), default=0)
+        # Option order is fixed so score ties resolve deterministically:
+        # stay, open-next-slot per class (declaration order), join.
+        options: List[Tuple[int, Optional[str]]] = [(cur, None)]
+        if cur != join and opened + 1 <= num_extra:
+            for cname in inst.classes:
+                options.append((opened + 1, cname))
+        if cur != join:
+            options.append((join, None))
+
+        best: Optional[Tuple[float, int, Optional[str]]] = None
+        for slot, cname in options:
+            trial_classes = dict(class_map)
+            if cname is not None:
+                trial_classes[slot] = cname
+            # Lookahead: the remaining children ride on the same slot.
+            trial = assigned + [slot] * (n - len(assigned))
+            score = _score(inst, trial, trial_classes)
+            if best is None or score < best[0]:
+                best = (score, slot, cname)
+        assert best is not None
+        _score_val, slot, cname = best
+        assigned.append(slot)
+        if cname is not None:
+            class_map[slot] = cname
+
+    cand_of = choose_candidates(inst, assigned, class_map)
+    if cand_of is None or evaluate(inst, assigned, class_map, cand_of) is None:
+        return fallback_assignment(inst)
+    used = {t for t in assigned if t in set(inst.extras)}
+    return Assignment(
+        task_of=tuple(assigned),
+        class_of=tuple(sorted((t, c) for t, c in class_map.items() if t in used)),
+        cand_of=cand_of,
+    )

@@ -13,9 +13,20 @@ to 0), pruning by the incumbent objective.
 Warm-start interface (used by the solver service's budget sweeps):
 
 * ``incumbent_obj`` seeds the incumbent objective as a *cutoff*: only
-  solutions strictly better than it are sought. If none exists the solve
-  reports :data:`SolveStatus.INFEASIBLE` ("nothing beats the cutoff") and
-  the caller keeps its incumbent.
+  solutions strictly better than it are sought. Without ``incumbent_x``
+  the cutoff is anonymous — if nothing beats it the solve reports
+  :data:`SolveStatus.INFEASIBLE` ("nothing beats the cutoff") and the
+  caller keeps its incumbent.
+* ``incumbent_x`` (the heuristic portfolio's warm start) seeds the
+  incumbent *solution* alongside its objective. The search then behaves
+  like a normal solve that found this incumbent first: exhausting the
+  tree proves no strictly better solution exists and returns the best
+  incumbent as :data:`SolveStatus.OPTIMAL` — in particular, when the
+  injected cutoff already equals the optimum the matching solution comes
+  back OPTIMAL instead of everything being pruned into an INFEASIBLE
+  verdict. A timeout returns the best incumbent as FEASIBLE. The seeded
+  objective is recomputed as ``c @ incumbent_x`` so cutoff comparisons
+  stay in the matrix-form objective units the search uses internally.
 * ``lower_bound`` is a known valid lower bound on the optimum (e.g. the
   optimum of a relaxation of the same model solved earlier). As soon as an
   incumbent within ``mip_rel_gap`` of the bound is found the search stops
@@ -87,6 +98,7 @@ def solve_form_bnb(
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
     incumbent_obj: Optional[float] = None,
+    incumbent_x: Optional[np.ndarray] = None,
     lower_bound: Optional[float] = None,
     stats: Optional[BnbStats] = None,
     warm_start: bool = True,
@@ -110,6 +122,17 @@ def solve_form_bnb(
     a_eq, b_eq = _dense_rows(form.rows_eq, n)
     c = np.asarray(form.c, dtype=float)
     int_mask = np.asarray(form.integrality, dtype=bool)
+
+    seed_x: Optional[np.ndarray] = None
+    if incumbent_x is not None:
+        seed_x = np.asarray(incumbent_x, dtype=float).copy()
+        if seed_x.shape != (n,):
+            raise ValueError(
+                f"incumbent_x has {seed_x.shape} entries, model has {n}"
+            )
+        # Score the seed exactly as search incumbents are scored, so the
+        # cutoff comparison is free of caller-side rounding drift.
+        incumbent_obj = float(c @ seed_x)
 
     if use_scipy_lp:
         relax = _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq)
@@ -148,13 +171,17 @@ def solve_form_bnb(
             return SolveStatus.INFEASIBLE, None
         obj = float(c @ x)
         if incumbent_obj is not None and obj >= float(incumbent_obj) - 1e-9:
+            if seed_x is not None:
+                # The seeded incumbent is at least as good as the unique
+                # feasible point: it *is* the optimum.
+                return SolveStatus.OPTIMAL, seed_x
             return SolveStatus.INFEASIBLE, None  # nothing beats the cutoff
         return SolveStatus.OPTIMAL, x
 
     root = _Node(pre_lb, pre_ub, 0)
     stack: List[_Node] = [root]
     best_obj = math.inf if incumbent_obj is None else float(incumbent_obj)
-    best_x: Optional[np.ndarray] = None
+    best_x: Optional[np.ndarray] = seed_x
     nodes_explored = 0
     root_unbounded = False
     timed_out = False
@@ -162,6 +189,15 @@ def solve_form_bnb(
 
     def _prune_margin(ref: float) -> float:
         return max(1e-9, mip_rel_gap * abs(ref)) if math.isfinite(ref) else 1e-9
+
+    if (
+        best_x is not None
+        and lower_bound is not None
+        and best_obj <= float(lower_bound) + _prune_margin(float(lower_bound))
+    ):
+        # The seeded incumbent already meets a known valid lower bound:
+        # provably optimal (within mip_rel_gap) with zero search nodes.
+        return SolveStatus.OPTIMAL, best_x
 
     while stack:
         if time_limit is not None and _now() - start > time_limit:
@@ -247,6 +283,7 @@ def solve_bnb(
     time_limit: float | None = None,
     mip_rel_gap: float = 0.0,
     incumbent_obj: Optional[float] = None,
+    incumbent_x: Optional[np.ndarray] = None,
     lower_bound: Optional[float] = None,
 ) -> Solution:
     """Solve ``model`` by branch and bound.
@@ -256,7 +293,7 @@ def solve_bnb(
     default picks the built-in simplex for small models and scipy's LP
     above :data:`_SIMPLEX_SIZE_LIMIT` variables. See the module docstring
     for the ``time_limit`` / ``mip_rel_gap`` / ``incumbent_obj`` /
-    ``lower_bound`` semantics.
+    ``incumbent_x`` / ``lower_bound`` semantics.
     """
     form = model.to_matrix_form()
     if model.num_variables == 0:
@@ -273,6 +310,7 @@ def solve_bnb(
             time_limit=time_limit,
             mip_rel_gap=mip_rel_gap,
             incumbent_obj=incumbent_obj,
+            incumbent_x=incumbent_x,
             lower_bound=lower_bound,
             stats=stats,
         )
@@ -304,6 +342,43 @@ def solve_bnb(
         warm_lp_solves=stats.warm_lp_solves,
         warm_lp_hits=stats.warm_lp_hits,
     )
+
+
+def root_relaxation_bound(form: MatrixForm) -> Optional[float]:
+    """Objective of the root LP relaxation, in model-objective units.
+
+    For a minimization form this is a valid lower bound on the MILP
+    optimum. The heuristic portfolio uses it to compute optimality gaps
+    for anytime solutions and to seed ``lower_bound`` so an
+    incumbent-seeded exact solve can prove gap-optimality at the root
+    without branching. Returns ``None`` when the relaxation is
+    infeasible or unbounded.
+    """
+    n = len(form.c)
+    if n == 0:
+        return float(form.obj_const)
+    a_ub, b_ub = _dense_rows(form.rows_ub, n)
+    a_eq, b_eq = _dense_rows(form.rows_eq, n)
+    c = np.asarray(form.c, dtype=float)
+    if n > _SIMPLEX_SIZE_LIMIT:
+        relax = _make_scipy_relaxation(c, a_ub, b_ub, a_eq, b_eq)
+        res = relax(np.asarray(form.lb, dtype=float), np.asarray(form.ub, dtype=float))
+    else:
+        res = solve_lp(
+            c,
+            a_ub,
+            b_ub,
+            a_eq,
+            b_eq,
+            np.asarray(form.lb, dtype=float),
+            np.asarray(form.ub, dtype=float),
+        )
+    if res.status != "optimal":
+        return None
+    value = float(res.objective)
+    if not form.minimize:
+        value = -value
+    return value + float(form.obj_const)
 
 
 def _dense_rows(rows: List[Tuple[dict, float]], n: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -264,6 +264,12 @@ class Solution:
     nodes: int = 0
     warm_lp_solves: int = 0
     warm_lp_hits: int = 0
+    #: True when this solution was *not* produced by the requested solve
+    #: but substituted from a portfolio fallback after the worker pool was
+    #: lost mid-flight (see ``repro.ilp.service``). Degraded results are
+    #: feasible and certified, but carry no optimality claim and are
+    #: never cached.
+    degraded: bool = False
 
     @property
     def usable(self) -> bool:
@@ -297,6 +303,11 @@ class Model:
         self.constraints: List[Constraint] = []
         self.objective: LinExpr = LinExpr()
         self.minimize_objective = True
+        #: ``(z, x, y)`` triples recorded by :meth:`add_and`, in creation
+        #: order. Heuristic solvers replay them to complete a structural
+        #: assignment into a full model vector (``z = x * y`` sequentially,
+        #: so chained gadgets resolve in one pass).
+        self.and_gadgets: List[Tuple[Variable, Variable, Variable]] = []
         self._names: Dict[str, Variable] = {}
         self._aux_counter = 0
 
@@ -361,6 +372,7 @@ class Model:
         self.add_constraint(z >= x + y - 1, name=f"{z.name}_ge")
         self.add_constraint(z <= x, name=f"{z.name}_le_x")
         self.add_constraint(z <= y, name=f"{z.name}_le_y")
+        self.and_gadgets.append((z, x, y))
         return z
 
     def add_implication_ge(

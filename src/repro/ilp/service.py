@@ -71,7 +71,8 @@ from repro.ilp.stats import PoolStats
 #: Bump whenever the model construction or a backend changes behavior;
 #: old entries become unreachable (different directory and fingerprint).
 #: v2: ILPPAR models gained dominance pruning + symmetry-breaking rows.
-CACHE_SCHEMA = "repro-ilp-v2"
+#: v3: heuristic warm starts — ``incumbent_x`` joined the cache key.
+CACHE_SCHEMA = "repro-ilp-v3"
 
 #: Kernel counters reported for solves that never ran a solver (cache
 #: hits, degenerate models).
@@ -84,7 +85,9 @@ class SolveSpec:
 
     Everything except ``lower_bound`` is part of the cache key.
     ``incumbent_obj`` (a cutoff — only strictly better solutions are
-    sought) changes the outcome and is keyed; ``lower_bound`` is a pure
+    sought) changes the outcome and is keyed; so does ``incumbent_x``
+    (a seeded incumbent solution — it decides what a timed-out or
+    exhausted ``bnb`` solve returns); ``lower_bound`` is a pure
     early-termination aid and is not.
     """
 
@@ -93,6 +96,7 @@ class SolveSpec:
     mip_rel_gap: float = 0.0
     incumbent_obj: Optional[float] = None
     lower_bound: Optional[float] = None
+    incumbent_x: Optional[Tuple[float, ...]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -108,6 +112,10 @@ def form_fingerprint(form: MatrixForm, spec: SolveSpec) -> str:
         "time_limit": spec.time_limit_s,
         "gap": spec.mip_rel_gap,
         "incumbent": spec.incumbent_obj,
+        "incumbent_x": (
+            None if spec.incumbent_x is None
+            else [float(v) for v in spec.incumbent_x]
+        ),
         "minimize": form.minimize,
         "obj_const": form.obj_const,
         "c": [float(v) for v in form.c],
@@ -280,6 +288,7 @@ def _execute_form(form: MatrixForm, spec: SolveSpec) -> RawResult:
                 time_limit=spec.time_limit_s,
                 mip_rel_gap=spec.mip_rel_gap,
                 incumbent_obj=spec.incumbent_obj,
+                incumbent_x=spec.incumbent_x,
                 lower_bound=spec.lower_bound,
                 stats=stats,
             )
@@ -360,12 +369,20 @@ class PendingSolve:
         spec: SolveSpec,
         tag: str,
         collector,
+        fallback: Optional[Solution] = None,
+        fallback_gap: Optional[float] = None,
+        source: str = "exact",
     ):
         self._service = service
         self._model = model
         self._spec = spec
         self._tag = tag
         self._collector = collector
+        #: Anytime answer (the heuristic leg of the portfolio) substituted
+        #: when the worker pool is lost before or during this solve.
+        self._fallback = fallback
+        self._fallback_gap = fallback_gap
+        self._source = source
         self._key: Optional[str] = None
         self._form: Optional[MatrixForm] = None
         self._solution: Optional[Solution] = None
@@ -400,13 +417,25 @@ class PendingSolve:
                 self._service.flush()
             if not self._resolved:
                 assert self.future is not None
-                raw = self.future.result()[self.batch_index]
-                self._service._note_completed()
-                self.future = None
-                if self._piggybacked:
-                    self._finish_from_leader(raw)
+                try:
+                    raw = self.future.result()[self.batch_index]
+                except Exception:
+                    # The pool died mid-flight (BrokenProcessPool or a
+                    # cancelled batch). Mark it gone so later submits
+                    # bypass it, then resolve locally: from the attached
+                    # portfolio fallback when there is one, else by
+                    # re-solving in-process.
+                    self._service._note_completed()
+                    self.future = None
+                    self._service._mark_pool_broken()
+                    self._resolve_without_pool()
                 else:
-                    self._finish(raw, cache_hit=False)
+                    self._service._note_completed()
+                    self.future = None
+                    if self._piggybacked:
+                        self._finish_from_leader(raw)
+                    else:
+                        self._finish(raw, cache_hit=False)
         assert self._solution is not None
         return self._solution
 
@@ -435,6 +464,12 @@ class PendingSolve:
             )
             return
         if service.jobs <= 1 or service._pool_unavailable:
+            if service.jobs > 1 and self._fallback is not None:
+                # The caller asked for pooled solving but the pool is
+                # gone: degrade to the portfolio fallback rather than
+                # serializing a potentially unbounded exact solve.
+                self._finish_degraded()
+                return
             raw = _execute_form(form, self._spec)
             service.inline_solves += 1
             self._finish(raw, cache_hit=False)
@@ -454,11 +489,47 @@ class PendingSolve:
 
     def _run_inline(self) -> None:
         """Pool-fallback path: solve a queued form in-process."""
+        if self._fallback is not None:
+            self._form = None
+            self._finish_degraded()
+            return
         assert self._form is not None
         raw = _execute_form(self._form, self._spec)
         self._form = None
         self._service.inline_solves += 1
         self._finish(raw, cache_hit=False)
+
+    def _resolve_without_pool(self) -> None:
+        """Resolve after a mid-flight pool loss: fallback or inline."""
+        if self._fallback is not None:
+            self._finish_degraded()
+            return
+        if self._form is None:
+            self._form = self._model.to_matrix_form()
+        self._run_inline()
+
+    def _finish_degraded(self) -> None:
+        """Substitute the attached portfolio fallback for the solve.
+
+        The fallback is a feasible, certified heuristic solution with no
+        optimality claim: it is tagged ``degraded``, recorded under the
+        ``heuristic`` source with its proven gap, and never cached (a
+        later run with a healthy pool must re-attempt the exact solve).
+        """
+        from dataclasses import replace
+
+        assert self._fallback is not None
+        service = self._service
+        service.degraded_solves += 1
+        if self._key is not None:
+            service._in_flight_leaders.pop(self._key, None)
+        solution = replace(self._fallback, degraded=True)
+        self._source = "heuristic"
+        self._settle(solution, 0.0, cache_hit=False, degraded=True)
+        for follower in self._followers:
+            if not follower._resolved and follower.future is None:
+                follower._resolve_without_pool()
+        self._followers = []
 
     def _finish(self, raw: RawResult, cache_hit: bool) -> None:
         status_name, x, seconds, info = raw
@@ -499,9 +570,31 @@ class PendingSolve:
         )
         self._settle(solution, 0.0, cache_hit=True)
 
-    def _settle(self, solution: Solution, seconds: float, cache_hit: bool) -> None:
+    def _settle(
+        self,
+        solution: Solution,
+        seconds: float,
+        cache_hit: bool,
+        degraded: bool = False,
+    ) -> None:
         self._solution = solution
         self._resolved = True
+        opt_gap: Optional[float] = None
+        if degraded:
+            opt_gap = self._fallback_gap
+        elif (
+            solution.status is SolveStatus.FEASIBLE
+            and self._spec.lower_bound is not None
+            and solution.objective == solution.objective  # not NaN
+        ):
+            # Anytime exact answer (timeout): price it against the known
+            # valid lower bound, exactly as the heuristic leg does.
+            denom = abs(solution.objective)
+            diff = solution.objective - float(self._spec.lower_bound)
+            opt_gap = max(0.0, diff / denom) if denom > 1e-12 else 0.0
+        if opt_gap is not None:
+            self._service.gap_sum += opt_gap
+            self._service.gap_count += 1
         if self._collector is not None:
             self._collector.record(
                 model_name=self._model.name,
@@ -516,6 +609,8 @@ class PendingSolve:
                 nodes=solution.nodes,
                 warm_lp_solves=solution.warm_lp_solves,
                 warm_lp_hits=solution.warm_lp_hits,
+                source=self._source,
+                opt_gap=opt_gap,
             )
 
 
@@ -578,18 +673,50 @@ class SolverService:
         self.busy_seconds = 0.0
         self._in_flight = 0
         self.peak_in_flight = 0
+        # Anytime-portfolio telemetry. ``heuristic_solves`` /
+        # ``incumbents_injected`` / ``races_won_by_heuristic`` are bumped
+        # by the parallelizer's portfolio driver (the heuristic leg runs
+        # in the parent process, outside this service); the degraded and
+        # gap counters are maintained by the pendings themselves.
+        self.heuristic_solves = 0
+        self.incumbents_injected = 0
+        self.races_won_by_heuristic = 0
+        self.degraded_solves = 0
+        self.gap_sum = 0.0
+        self.gap_count = 0
 
     # -- public API ----------------------------------------------------------
 
     def submit(
-        self, model: Model, spec: SolveSpec, tag: str = "", collector=None
+        self,
+        model: Model,
+        spec: SolveSpec,
+        tag: str = "",
+        collector=None,
+        fallback: Optional[Solution] = None,
+        fallback_gap: Optional[float] = None,
+        source: str = "exact",
     ) -> PendingSolve:
         """Submit one solve; may resolve synchronously or park in the queue.
 
         Queued solves are not on a worker yet — call :meth:`flush` (the
         schedulers do this right before blocking) to dispatch them.
+        ``fallback`` (with its proven ``fallback_gap``) is an anytime
+        answer substituted — tagged degraded, never cached — if the
+        worker pool is lost before this solve completes; ``source``
+        labels the resulting :class:`~repro.ilp.stats.SolveRecord` with
+        the portfolio leg that produced it.
         """
-        pending = PendingSolve(self, model, spec, tag, collector)
+        pending = PendingSolve(
+            self,
+            model,
+            spec,
+            tag,
+            collector,
+            fallback=fallback,
+            fallback_gap=fallback_gap,
+            source=source,
+        )
         pending._start()
         return pending
 
@@ -648,6 +775,12 @@ class SolverService:
             peak_queue_depth=self.peak_queue_depth,
             bytes_shipped=self.bytes_shipped,
             busy_seconds=self.busy_seconds,
+            heuristic_solves=self.heuristic_solves,
+            incumbents_injected=self.incumbents_injected,
+            races_won_by_heuristic=self.races_won_by_heuristic,
+            degraded_solves=self.degraded_solves,
+            gap_sum=self.gap_sum,
+            gap_count=self.gap_count,
         )
 
     @property
@@ -681,6 +814,13 @@ class SolverService:
                 self._pool_unavailable = True
                 return None
         return self._pool
+
+    def _mark_pool_broken(self) -> None:
+        """Tear down a pool that died mid-flight; later solves degrade."""
+        self._pool_unavailable = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def _enqueue(self, pending: PendingSolve) -> None:
         self._queue.append(pending)

@@ -35,6 +35,13 @@ class SolveRecord:
     and branch-and-bound nodes — backend-invariant accounting for
     Table I), and the ``warm_lp_*`` pair tracks warm-start basis reuse in
     the pure-Python backend.
+
+    ``source`` tells which leg of the scheduling portfolio produced the
+    answer: ``"exact"`` (an ILP backend, the default), ``"heuristic"``
+    (list scheduler / GA, no exact solve ran) or ``"portfolio"`` (exact
+    solve warm-started by a heuristic incumbent). ``opt_gap`` is the
+    proven relative optimality gap of an anytime answer (``None`` for
+    proved-optimal solves).
     """
 
     model_name: str
@@ -49,6 +56,8 @@ class SolveRecord:
     nodes: int = 0
     warm_lp_solves: int = 0
     warm_lp_hits: int = 0
+    source: str = "exact"
+    opt_gap: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,13 @@ class PoolStats:
     (``max_batch_size``), the total compact-form payload that crossed the
     process boundary (``bytes_shipped``), and the summed in-worker solve
     time (``busy_seconds``) from which worker utilization is derived.
+
+    The ``heuristic_*`` block is the anytime-portfolio telemetry:
+    heuristic solves run (list scheduler + GA), incumbent vectors
+    injected into exact solves, races the heuristic leg won (the exact
+    solver did not improve on the injected incumbent), solves degraded
+    to the heuristic answer after a pool loss, and the sum/count of the
+    proven optimality gaps of anytime answers (``mean_gap``).
     """
 
     jobs: int
@@ -74,6 +90,17 @@ class PoolStats:
     peak_queue_depth: int = 0
     bytes_shipped: int = 0
     busy_seconds: float = 0.0
+    heuristic_solves: int = 0
+    incumbents_injected: int = 0
+    races_won_by_heuristic: int = 0
+    degraded_solves: int = 0
+    gap_sum: float = 0.0
+    gap_count: int = 0
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean proven optimality gap of anytime answers (0.0 if none)."""
+        return self.gap_sum / self.gap_count if self.gap_count else 0.0
 
     def utilization(self, wall_seconds: float) -> float:
         """Fraction of worker capacity kept busy over ``wall_seconds``."""
@@ -110,6 +137,13 @@ class SuiteStats:
             "bytes_shipped": p.bytes_shipped,
             "busy_seconds": round(p.busy_seconds, 6),
             "worker_utilization": round(self.worker_utilization, 6),
+            "portfolio": {
+                "heuristic_solves": p.heuristic_solves,
+                "incumbents_injected": p.incumbents_injected,
+                "races_won_by_heuristic": p.races_won_by_heuristic,
+                "degraded_solves": p.degraded_solves,
+                "mean_gap": round(p.mean_gap, 6),
+            },
         }
 
 
@@ -136,6 +170,8 @@ class StatsCollector:
         nodes: int = 0,
         warm_lp_solves: int = 0,
         warm_lp_hits: int = 0,
+        source: str = "exact",
+        opt_gap: Optional[float] = None,
     ) -> None:
         self.records.append(
             SolveRecord(
@@ -151,6 +187,8 @@ class StatsCollector:
                 nodes,
                 warm_lp_solves,
                 warm_lp_hits,
+                source,
+                opt_gap,
             )
         )
 
@@ -205,6 +243,13 @@ class StatsCollector:
     @property
     def cache_misses(self) -> int:
         return sum(1 for r in self.records if not r.cache_hit)
+
+    def solves_by_source(self) -> Dict[str, int]:
+        """Record counts per portfolio leg (``exact``/``heuristic``/...)."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.source] = out.get(r.source, 0) + 1
+        return out
 
     def solve_seconds_by_tag(self) -> Dict[str, float]:
         """Aggregate solve wall time per sweep tag (per-node solve times)."""

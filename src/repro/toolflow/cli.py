@@ -49,11 +49,20 @@ def _solver_options(args: argparse.Namespace):
     """Build :class:`ParallelizeOptions` from the shared solver flags."""
     from repro.core.parallelize import ParallelizeOptions
 
+    # ``verify``'s --backend accepts "both" and iterates the backends
+    # itself; anything but a concrete backend falls back to the default.
+    backend = getattr(args, "backend", None)
+    if backend not in ("scipy", "bnb"):
+        backend = "scipy"
     return ParallelizeOptions(
         jobs=args.jobs,
         cache=args.cache or args.cache_dir is not None,
         cache_dir=args.cache_dir,
         batch_size=args.batch_size,
+        backend=backend,
+        portfolio=args.portfolio,
+        heuristic_budget=args.heuristic_budget,
+        seed=args.seed,
     )
 
 
@@ -76,6 +85,29 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", metavar="DIR",
         help="on-disk solver cache directory (implies --cache)",
+    )
+    parser.add_argument(
+        "--portfolio", default="exact",
+        choices=["exact", "heuristic", "race"],
+        help="solve strategy: 'exact' runs only the ILP backends "
+        "(default); 'heuristic' answers every time-objective ILP with "
+        "the anytime list-scheduler/GA portfolio (fast, tagged with a "
+        "proven optimality gap); 'race' runs the heuristic first, "
+        "injects its answer as a branch-and-bound incumbent, and keeps "
+        "the better of the two — degrading gracefully to the heuristic "
+        "answer if the worker pool is lost",
+    )
+    parser.add_argument(
+        "--heuristic-budget", type=int, default=40, metavar="G",
+        help="genetic-refinement generation budget per heuristic solve "
+        "(default: 40; 0 skips the GA and keeps the list-scheduled "
+        "solution)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="random seed of the heuristic portfolio (default: 0); runs "
+        "are bit-reproducible for a fixed seed regardless of --jobs or "
+        "--batch-size",
     )
 
 
@@ -129,6 +161,20 @@ def _cmd_parallelize(args: argparse.Namespace) -> int:
             f"dispatch  : {pool.batches} batches (max size "
             f"{pool.max_batch_size}), peak queue {pool.peak_queue_depth}, "
             f"{pool.bytes_shipped:,} bytes shipped"
+        )
+    if pool is not None and (pool.heuristic_solves or pool.degraded_solves):
+        print(
+            f"portfolio : {pool.heuristic_solves} heuristic solves, "
+            f"{pool.incumbents_injected} incumbents injected, "
+            f"{pool.races_won_by_heuristic} races won by heuristic, "
+            f"{pool.degraded_solves} degraded, "
+            f"mean gap {100.0 * pool.mean_gap:.1f}%"
+        )
+    best = outcome.result.best
+    if best.opt_gap is not None:
+        print(
+            f"gap       : best solution is heuristic "
+            f"(≤ {100.0 * best.opt_gap:.1f}% from optimal)"
         )
 
     if args.annotate:
@@ -300,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="certify the solution (races, ILP certificates, trace, "
         "mapping) and exit nonzero on any diagnostic",
+    )
+    par.add_argument(
+        "--backend", default="scipy", choices=["scipy", "bnb"],
+        help="exact ILP backend (default: scipy; 'bnb' is the pure-python "
+        "branch-and-bound solver, which accepts --portfolio race "
+        "incumbent warm starts)",
     )
     _add_solver_args(par)
     par.set_defaults(func=_cmd_parallelize)

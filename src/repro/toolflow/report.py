@@ -70,6 +70,14 @@ def render_suite(suite: Optional[SuiteStats]) -> List[str]:
             f"flight, {p.bytes_shipped:,} bytes shipped, "
             f"worker utilization {100.0 * suite.worker_utilization:.0f}%"
         )
+    if p.heuristic_solves or p.degraded_solves:
+        lines.append(
+            f"portfolio : {p.heuristic_solves} heuristic solves, "
+            f"{p.incumbents_injected} incumbents injected, "
+            f"{p.races_won_by_heuristic} races won by heuristic, "
+            f"{p.degraded_solves} degraded, "
+            f"mean gap {100.0 * p.mean_gap:.1f}%"
+        )
     return lines
 
 

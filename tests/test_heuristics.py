@@ -1,0 +1,216 @@
+"""Behavioral tests of the anytime heuristic portfolio (repro.heuristics)."""
+
+import pytest
+
+from repro.cfront.deps import DepKind
+from repro.core.ilppar import build_ilppar_model
+from repro.heuristics import (
+    check_feasible,
+    complete_solution,
+    critical_path_bound,
+    evaluate,
+    fallback_assignment,
+    heuristic_rng,
+    list_schedule,
+    relative_gap,
+    solve_heuristic,
+)
+from repro.htg.nodes import HTGEdge
+from repro.ilp.model import SolveStatus
+from repro.platforms import Interconnect, Platform, ProcessorClass
+from tests.test_ilppar import leaf, make_node, seed_sets, two_class_platform
+
+
+def build(cycles, budget=4, chain_bytes=None, tco=1.0):
+    """One ILPPAR instance over independent leaves (or a flow chain)."""
+    platform = two_class_platform(tco=tco)
+    children = [leaf(f"w{i}", c) for i, c in enumerate(cycles)]
+    edges = None
+    if chain_bytes is not None:
+        edges = [
+            HTGEdge(a, b, DepKind.FLOW, frozenset(), chain_bytes)
+            for a, b in zip(children, children[1:])
+        ]
+    node = make_node(children, edges=edges)
+    inst = build_ilppar_model(
+        node, "slow", budget, platform, seed_sets(platform, children)
+    )
+    assert inst is not None
+    return inst
+
+
+SHAPES = [
+    {"cycles": [40_000.0] * 3},
+    {"cycles": [40_000.0] * 8},
+    {"cycles": [5_000.0, 80_000.0, 5_000.0, 80_000.0]},
+    {"cycles": [40_000.0] * 4, "chain_bytes": 2_000.0},
+    {"cycles": [100.0] * 4, "tco": 100.0},  # spawning never pays off
+    {"cycles": [400_000.0], "budget": 2},
+]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_list_schedule_is_feasible(self, shape):
+        inst = build(**shape)
+        a = list_schedule(inst)
+        assert check_feasible(inst, a.task_of, a.class_map(), a.cand_of) is None
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_fallback_is_feasible(self, shape):
+        inst = build(**shape)
+        a = fallback_assignment(inst)
+        assert check_feasible(inst, a.task_of, a.class_map(), a.cand_of) is None
+        # the fallback is the all-sequential structure: everything on fork
+        assert set(a.task_of) == {0}
+
+
+class TestDependenceCycles:
+    def test_cyclic_pair_solves_clean(self):
+        # Jacobi-style double-buffer swap: the two children depend on
+        # each other (order pairs both ways at child granularity). Any
+        # structure splitting them across tasks is model-infeasible; the
+        # heuristic must keep them together and stay certificate-clean.
+        platform = two_class_platform()
+        a, b = leaf("fwd", 40_000.0), leaf("bwd", 40_000.0)
+        edges = [
+            HTGEdge(a, b, DepKind.FLOW, frozenset(), 100.0),
+            HTGEdge(b, a, DepKind.ANTI, frozenset(), 100.0),
+        ]
+        node = make_node([a, b], edges=edges)
+        inst = build_ilppar_model(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        assert inst is not None
+        assert (1, 0) in inst.ctx.order_pairs  # the backward pair exists
+        heur = solve_heuristic(inst, seed=0, budget=8)
+        assert inst.model.check(heur.solution) == []
+        ta, tb = heur.assignment.task_of
+        assert ta == tb  # the cycle stays on one task
+
+    def test_split_cycle_rejected(self):
+        platform = two_class_platform()
+        a, b = leaf("fwd", 40_000.0), leaf("bwd", 40_000.0)
+        edges = [
+            HTGEdge(a, b, DepKind.FLOW, frozenset(), 100.0),
+            HTGEdge(b, a, DepKind.ANTI, frozenset(), 100.0),
+        ]
+        node = make_node([a, b], edges=edges)
+        inst = build_ilppar_model(
+            node, "slow", 4, platform, seed_sets(platform, [a, b])
+        )
+        base = fallback_assignment(inst)
+        split = (0, 1)  # b spawned away from a: forces pred both ways
+        reason = check_feasible(
+            inst, split, {1: "fast"}, base.cand_of
+        )
+        assert reason is not None and "cycle" in reason
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_completion_is_certificate_clean(self, shape):
+        # complete_solution must price *every* model variable so the
+        # exact certificate replay (Model.check over Eq. 1-18) accepts
+        # the heuristic answer with zero violations.
+        inst = build(**shape)
+        for a in (fallback_assignment(inst), list_schedule(inst)):
+            solution = complete_solution(inst, a)
+            assert solution.status is SolveStatus.FEASIBLE
+            assert inst.model.check(solution) == []
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_objective_matches_closed_form(self, shape):
+        inst = build(**shape)
+        a = list_schedule(inst)
+        solution = complete_solution(inst, a)
+        closed = evaluate(inst, a.task_of, a.class_map(), a.cand_of)
+        assert solution.objective == pytest.approx(closed)
+
+
+class TestQuality:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_heuristic_matches_exact_on_small_instances(self, shape):
+        inst = build(**shape)
+        exact = inst.model.solve(backend="bnb")
+        heur = solve_heuristic(inst, seed=0, budget=12)
+        assert heur.objective >= exact.objective - 1e-6  # never "better"
+        assert heur.objective == pytest.approx(exact.objective, rel=1e-6)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_lower_bound_is_valid(self, shape):
+        inst = build(**shape)
+        exact = inst.model.solve(backend="bnb")
+        assert critical_path_bound(inst) <= exact.objective + 1e-6
+        heur = solve_heuristic(inst, seed=0, budget=4)
+        assert heur.lower_bound is not None
+        assert heur.lower_bound <= exact.objective + 1e-6
+        assert heur.gap is not None and heur.gap >= 0.0
+
+    def test_polish_escapes_saturated_slot_plateau(self):
+        # Regression: 8 identical children, all extra slots occupied,
+        # fork idle and one extra overloaded. The improving edit needs a
+        # cost-neutral enabler first (fold a run into the fork to free a
+        # slot, then split the overloaded run), which random mutation
+        # reliably misses — the plateau-tolerant polish must find it.
+        # Mirrors mult_10's chunked node under config B, where this
+        # structure cost 26% before the polish existed.
+        platform = Platform(
+            "plateau",
+            (
+                ProcessorClass("slow", 100.0, 2),
+                ProcessorClass("fast", 250.0, 2),
+            ),
+            interconnect=Interconnect(
+                bandwidth_bytes_per_us=1000.0, latency_us=0.5
+            ),
+            task_creation_overhead_us=25.0,
+            main_class_name="slow",
+        )
+        children = [leaf(f"w{i}", 40_000.0) for i in range(8)]
+        node = make_node(children)
+        inst = build_ilppar_model(
+            node, "slow", 4, platform, seed_sets(platform, children)
+        )
+        assert inst is not None
+        exact = inst.model.solve(backend="bnb")
+        heur = solve_heuristic(inst, seed=0, budget=40)
+        assert heur.objective == pytest.approx(exact.objective, rel=1e-6)
+        # The optimum needs the fork segment working, not idle.
+        assert heur.assignment.task_of[0] == 0
+
+    def test_budget_zero_skips_refinement(self):
+        inst = build([40_000.0] * 4)
+        heur = solve_heuristic(inst, seed=0, budget=0)
+        assert inst.model.check(heur.solution) == []
+        ls = list_schedule(inst)
+        assert heur.objective <= evaluate(
+            inst, ls.task_of, ls.class_map(), ls.cand_of
+        ) + 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_answer(self):
+        inst = build([5_000.0, 80_000.0, 5_000.0, 80_000.0, 30_000.0])
+        a = solve_heuristic(inst, seed=11, budget=20)
+        b = solve_heuristic(inst, seed=11, budget=20)
+        assert a.assignment == b.assignment
+        assert a.vector == b.vector
+        assert a.objective == b.objective
+
+    def test_rng_keyed_by_model_name_not_call_order(self):
+        # The stream for a model must not depend on what was solved
+        # before it — that is what makes --jobs/--batch-size invisible.
+        first = heuristic_rng(3, "node7:slow:4").random()
+        heuristic_rng(3, "other").random()
+        again = heuristic_rng(3, "node7:slow:4").random()
+        assert first == again
+
+
+class TestGap:
+    def test_relative_gap_edge_cases(self):
+        assert relative_gap(10.0, None) is None
+        assert relative_gap(10.0, 10.0) == 0.0
+        assert relative_gap(10.0, 12.0) == 0.0  # bound above: clamp, not negative
+        assert relative_gap(10.0, 5.0) == pytest.approx(0.5)
+        assert relative_gap(0.0, 0.0) == 0.0

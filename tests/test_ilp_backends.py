@@ -102,6 +102,40 @@ class TestBnbWarmStart:
         # its incumbent, reported as INFEASIBLE.
         assert solve_bnb(m, incumbent_obj=3.0).status is SolveStatus.INFEASIBLE
 
+    def test_incumbent_x_at_optimum_returns_optimal_not_infeasible(self):
+        # Regression: an injected incumbent *solution* whose objective
+        # equals the optimum must come back OPTIMAL with that solution —
+        # the cutoff prunes every node, but the seed itself is the
+        # answer. (Plain incumbent_obj keeps the caller-keeps-incumbent
+        # INFEASIBLE contract tested above.)
+        m = Model("warm-at-optimum")
+        x = m.add_var("x", 0, 10, integer=True)
+        m.add_constraint(x >= 3)
+        m.minimize(x)
+        warm = solve_bnb(m, incumbent_obj=3.0, incumbent_x=[3.0])
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(3.0)
+        assert warm[x] == pytest.approx(3.0)
+        assert not m.check(warm)
+
+    def test_incumbent_x_objective_recomputed_from_vector(self):
+        # The seeded objective is recomputed as c @ x: a stale or
+        # mis-rounded incumbent_obj cannot poison the cutoff.
+        m = Model("warm-recompute")
+        x = m.add_var("x", 0, 10, integer=True)
+        m.add_constraint(x >= 3)
+        m.minimize(x)
+        warm = solve_bnb(m, incumbent_obj=2.5, incumbent_x=[4.0])
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(3.0)
+
+    def test_incumbent_x_suboptimal_is_improved(self):
+        m = _knapsack([6, 5, 4], [3, 2, 2], 4)
+        # Seed the feasible but suboptimal "take only item 2" solution.
+        warm = solve_bnb(m, incumbent_x=[0.0, 0.0, 1.0])
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(solve_bnb(m).objective)
+
     def test_lower_bound_accelerates_without_changing_result(self):
         m = _knapsack([6, 5, 4], [3, 2, 2], 4)
         plain = solve_bnb(m)

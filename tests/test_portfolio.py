@@ -1,0 +1,206 @@
+"""End-to-end tests of the heuristic/exact solve portfolio.
+
+Covers the three ``ParallelizeOptions.portfolio`` modes, graceful
+degradation when the worker pool dies mid-race, seed reproducibility
+across dispatch configurations, and the telemetry counters.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+import repro.ilp.service as service_mod
+from repro.analysis import certify_run
+from repro.core.parallelize import HeterogeneousParallelizer, ParallelizeOptions
+from repro.platforms import config_a
+from repro.toolflow.experiments import prepare_benchmark
+
+
+def _run(name, platform, **options):
+    _program, htg = prepare_benchmark(name, platform.total_cores)
+    parallelizer = HeterogeneousParallelizer(platform, ParallelizeOptions(**options))
+    return parallelizer.parallelize(htg)
+
+
+def _signature(result):
+    """Everything observable about the produced solution sets."""
+    candidates = []
+    for uid in sorted(result.solution_sets):
+        for cand in result.solution_sets[uid].all():
+            candidates.append(
+                (
+                    uid,
+                    cand.main_class,
+                    cand.exec_time_us,
+                    cand.source,
+                    cand.opt_gap,
+                    tuple(sorted(cand.used_procs.items())),
+                    tuple(
+                        (seg.index, seg.role, seg.proc_class,
+                         tuple(ch.uid for ch in seg.children))
+                        for seg in cand.segments
+                    ),
+                )
+            )
+    return (result.best.exec_time_us, tuple(candidates))
+
+
+class _DyingPool:
+    """A pool that comes up fine but whose every future dies."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        future: Future = Future()
+        future.set_exception(BrokenProcessPool("worker died mid-race"))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestRaceMode:
+    def test_race_matches_exact_objective(self):
+        platform = config_a("accelerator")
+        exact = _run("fir_256", platform, backend="bnb")
+        race = _run("fir_256", platform, backend="bnb", portfolio="race")
+        assert race.best.exec_time_us == pytest.approx(exact.best.exec_time_us)
+        pool = race.stats.pool
+        assert pool.heuristic_solves > 0
+        assert pool.incumbents_injected > 0
+        assert pool.degraded_solves == 0
+
+    def test_race_with_scipy_backend(self):
+        # scipy has no incumbent channel: the race is decided post-solve,
+        # keeping whichever answer is better.
+        platform = config_a("accelerator")
+        exact = _run("mult_10", platform, backend="scipy")
+        race = _run("mult_10", platform, backend="scipy", portfolio="race")
+        assert race.best.exec_time_us == pytest.approx(exact.best.exec_time_us)
+        assert race.stats.pool.incumbents_injected == 0
+
+    def test_pool_death_degrades_to_heuristic(self, monkeypatch):
+        # Satellite: kill the worker pool mid-race. The run must finish
+        # with the heuristic answers — gap-annotated and diagnosed, not
+        # raised as an exception.
+        monkeypatch.setattr(service_mod, "ProcessPoolExecutor", _DyingPool)
+        platform = config_a("accelerator")
+        result = _run(
+            "fir_256", platform, jobs=2, backend="bnb", portfolio="race"
+        )
+        pool = result.stats.pool
+        assert pool.degraded_solves > 0
+        assert result.best is not None
+        assert result.best.source == "heuristic"
+        assert result.best.opt_gap is not None and result.best.opt_gap >= 0.0
+        codes = {d.code for d in result.portfolio_diagnostics}
+        assert codes == {"portfolio.degraded-to-heuristic"}
+        assert all(d.severity == "warning" for d in result.portfolio_diagnostics)
+        # Degraded answers are anytime-legitimate: certification keeps
+        # the warnings visible but stays OK.
+        report = certify_run(result)
+        assert report.ok
+        assert report.by_analysis("portfolio")
+        # The records carry the provenance for the report table.
+        by_source = result.stats.solves_by_source()
+        assert by_source.get("heuristic", 0) == pool.degraded_solves
+
+    def test_pool_death_solution_is_certified_feasible(self, monkeypatch):
+        monkeypatch.setattr(service_mod, "ProcessPoolExecutor", _DyingPool)
+        platform = config_a("accelerator")
+        degraded = _run(
+            "mult_10", platform, jobs=2, backend="bnb", portfolio="race"
+        )
+        exact = _run("mult_10", platform, backend="bnb")
+        # Heuristic answers are feasible, never better than the optimum.
+        assert degraded.best.exec_time_us >= exact.best.exec_time_us - 1e-6
+
+
+class TestHeuristicMode:
+    def test_no_exact_solves_and_gap_annotations(self):
+        platform = config_a("accelerator")
+        result = _run("fir_256", platform, portfolio="heuristic")
+        pool = result.stats.pool
+        assert pool.heuristic_solves > 0
+        assert pool.dispatched == 0 and pool.inline_solves == 0
+        by_source = result.stats.solves_by_source()
+        assert by_source.get("exact", 0) == 0
+        assert by_source.get("heuristic", 0) == pool.heuristic_solves
+        assert result.best.source == "heuristic"
+        assert result.best.opt_gap is not None
+
+    def test_heuristic_certifies_clean(self):
+        # Every heuristic solution must pass the full certification
+        # pipeline (structural, races, trace, mapping) like an exact one.
+        platform = config_a("accelerator")
+        result = _run("fir_256", platform, portfolio="heuristic")
+        report = certify_run(result)
+        assert report.ok
+
+    def test_heuristic_never_better_than_exact(self):
+        platform = config_a("accelerator")
+        exact = _run("fir_256", platform, backend="bnb")
+        heur = _run("fir_256", platform, portfolio="heuristic")
+        assert heur.best.exec_time_us >= exact.best.exec_time_us - 1e-6
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("jobs,batch_size", [(1, 8), (2, 1), (2, 8)])
+    def test_seed_makes_runs_bit_identical(self, jobs, batch_size):
+        # Satellite: a fixed --seed must make heuristic answers
+        # bit-identical regardless of --jobs/--batch-size, because the
+        # rng is keyed on (seed, model name), not solve order.
+        platform = config_a("accelerator")
+        base = _run("fir_256", platform, portfolio="heuristic", seed=5)
+        other = _run(
+            "fir_256", platform, portfolio="heuristic", seed=5,
+            jobs=jobs, batch_size=batch_size,
+        )
+        assert _signature(other) == _signature(base)
+
+    def test_race_mode_deterministic_across_jobs(self):
+        platform = config_a("accelerator")
+        serial = _run("mult_10", platform, backend="bnb", portfolio="race")
+        pooled = _run(
+            "mult_10", platform, backend="bnb", portfolio="race", jobs=2
+        )
+        assert _signature(pooled) == _signature(serial)
+
+
+class TestOptionValidation:
+    def test_unknown_mode_rejected(self):
+        platform = config_a("accelerator")
+        with pytest.raises(ValueError, match="portfolio"):
+            _run("fir_256", platform, portfolio="fastest")
+
+    def test_energy_objective_stays_exact(self):
+        platform = config_a("accelerator")
+        result = _run(
+            "fir_256", platform, portfolio="heuristic", objective="energy"
+        )
+        pool = result.stats.pool
+        assert pool.heuristic_solves == 0
+        assert result.stats.solves_by_source().get("heuristic", 0) == 0
+
+
+class TestTelemetry:
+    def test_suite_stats_portfolio_block(self):
+        platform = config_a("accelerator")
+        result = _run("fir_256", platform, backend="bnb", portfolio="race")
+        pool = result.stats.pool
+        assert pool.races_won_by_heuristic <= pool.heuristic_solves
+        assert 0.0 <= pool.mean_gap
+        from repro.ilp.stats import SuiteStats
+
+        block = SuiteStats(cells=1, wall_seconds=1.0, pool=pool).as_dict()[
+            "portfolio"
+        ]
+        assert block["heuristic_solves"] == pool.heuristic_solves
+        assert block["incumbents_injected"] == pool.incumbents_injected
+        assert block["races_won_by_heuristic"] == pool.races_won_by_heuristic
+        assert block["degraded_solves"] == 0
+        assert block["mean_gap"] == pytest.approx(pool.mean_gap, abs=1e-6)
